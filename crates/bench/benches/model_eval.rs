@@ -1,0 +1,37 @@
+//! Criterion benchmark for the analytical model — the evaluation cost that
+//! multiplies into every baseline mapper's runtime (Table VI context).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cosa_mappers::sample_valid_schedules;
+use cosa_model::CostModel;
+use cosa_spec::{Arch, Layer};
+
+fn bench_model_eval(c: &mut Criterion) {
+    let arch = Arch::simba_baseline();
+    let layer = Layer::parse_paper_name("3_14_256_256_1").expect("layer");
+    let schedule = sample_valid_schedules(&arch, &layer, 1, 200_000, 3)
+        .pop()
+        .expect("sampler finds a valid schedule")
+        .schedule;
+    let model = CostModel::new(&arch);
+    c.bench_function("model_evaluate_resnet_layer", |b| {
+        b.iter(|| black_box(model.evaluate(black_box(&layer), black_box(&schedule))))
+    });
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let arch = Arch::simba_baseline();
+    let layer = Layer::parse_paper_name("3_14_256_256_1").expect("layer");
+    let schedule = sample_valid_schedules(&arch, &layer, 1, 200_000, 3)
+        .pop()
+        .expect("valid schedule")
+        .schedule;
+    c.bench_function("schedule_validate", |b| {
+        b.iter(|| black_box(schedule.validate(black_box(&layer), black_box(&arch))))
+    });
+}
+
+criterion_group!(benches, bench_model_eval, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the scheduling stack: CoSA end-to-end solve
+//! time per layer class (the quantity behind Table VI's CoSA column) and
+//! the raw MILP solver on its own.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cosa_core::{CosaProgram, CosaScheduler, ObjectiveWeights};
+use cosa_spec::{Arch, Layer};
+
+fn bench_cosa_schedule(c: &mut Criterion) {
+    let arch = Arch::simba_baseline();
+    let scheduler = CosaScheduler::new(&arch);
+    let mut group = c.benchmark_group("cosa_schedule");
+    group.sample_size(10);
+    for (name, layer) in [
+        ("small_conv", Layer::conv("s", 3, 3, 8, 8, 16, 16, 1, 1, 1)),
+        ("fc_layer", Layer::matmul("fc", 2048, 1000, 1)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(scheduler.schedule(black_box(&layer)).expect("feasible")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_milp_build(c: &mut Criterion) {
+    let arch = Arch::simba_baseline();
+    let layer = Layer::parse_paper_name("3_13_256_256_1").expect("layer");
+    c.bench_function("milp_build_resnet_layer", |b| {
+        b.iter(|| {
+            black_box(CosaProgram::build(
+                black_box(&layer),
+                black_box(&arch),
+                ObjectiveWeights::default(),
+            ))
+        })
+    });
+}
+
+fn bench_lp_relaxation(c: &mut Criterion) {
+    use cosa_milp::simplex::LpProblem;
+    let arch = Arch::simba_baseline();
+    let layer = Layer::parse_paper_name("3_13_256_256_1").expect("layer");
+    let program = CosaProgram::build(&layer, &arch, ObjectiveWeights::default());
+    let lp = LpProblem::from_model(program.model());
+    c.bench_function("lp_relaxation_resnet_layer", |b| {
+        b.iter(|| black_box(lp.solve(black_box(50_000)).expect("solves")))
+    });
+}
+
+criterion_group!(benches, bench_cosa_schedule, bench_milp_build, bench_lp_relaxation);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! **Ablation** (design-choice study beyond the paper's figures): how much
+//! does each piece of the CoSA formulation contribute?
+//!
+//! Compared on a cross-section of paper layers, by analytical-model latency:
+//!
+//! * `weighted`  — the full Eq. 12 objective (the paper's default);
+//! * `balanced`  — the Sec. III-D.4 alternative `|wT·T̂ − wC·Ĉ|`;
+//! * `no-perm`   — the tiling-only program (permutation machinery of
+//!   Eq. 9–10 ablated; NoC-level order chosen canonically), quantifying
+//!   the value of solving permutation *inside* the MILP;
+//! * `no-util`   — Eq. 12 with `wU = 0`, quantifying the utilization
+//!   objective's contribution.
+
+use cosa_bench::{geomean, write_csv};
+use cosa_core::{CosaProgram, CosaScheduler, ObjectiveKind, ObjectiveWeights};
+use cosa_model::CostModel;
+use cosa_spec::{workloads, Arch};
+
+fn main() {
+    let arch = Arch::simba_baseline();
+    let model = CostModel::new(&arch);
+    let layers = [
+        "3_7_512_512_1",
+        "1_56_64_64_1",
+        "7_112_3_64_2",
+        "3_13_256_256_1",
+        "1_1_4096_1000_1",
+        "3_240_16_32_1",
+    ];
+    let weights = ObjectiveWeights::default();
+
+    let variants: Vec<(&str, Box<dyn Fn(&cosa_spec::Layer) -> Option<f64>>)> = vec![
+        (
+            "weighted",
+            Box::new(|layer| {
+                CosaScheduler::with_weights(&arch, weights)
+                    .schedule(layer)
+                    .ok()
+                    .and_then(|r| model.evaluate(layer, &r.schedule).ok())
+                    .map(|e| e.latency_cycles)
+            }),
+        ),
+        (
+            "balanced",
+            Box::new(|layer| {
+                CosaScheduler::with_weights(&arch, weights)
+                    .with_objective_kind(ObjectiveKind::Balanced)
+                    .schedule(layer)
+                    .ok()
+                    .and_then(|r| model.evaluate(layer, &r.schedule).ok())
+                    .map(|e| e.latency_cycles)
+            }),
+        ),
+        (
+            "no-perm",
+            Box::new(|layer| {
+                // Tiling-only program; extraction falls back to canonical
+                // NoC order (ranks from the proxy solution).
+                let program = CosaProgram::build_tiling_only(layer, &arch, weights);
+                let asg = program.solve_default().ok()?;
+                let mut schedule = cosa_core::extract_schedule(&arch, &asg);
+                cosa_core::refine_intra_level_order(layer, &arch, &mut schedule);
+                model.evaluate(layer, &schedule).ok().map(|e| e.latency_cycles)
+            }),
+        ),
+        (
+            "no-util",
+            Box::new(|layer| {
+                let w = ObjectiveWeights { w_util: 0.0, ..weights };
+                CosaScheduler::with_weights(&arch, w)
+                    .schedule(layer)
+                    .ok()
+                    .and_then(|r| model.evaluate(layer, &r.schedule).ok())
+                    .map(|e| e.latency_cycles)
+            }),
+        ),
+    ];
+
+    println!("Ablation — analytical-model latency (cycles) per variant");
+    print!("{:16}", "layer");
+    for (name, _) in &variants {
+        print!(" {name:>14}");
+    }
+    println!();
+    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    let mut rows = Vec::new();
+    for name in layers {
+        let layer = workloads::find_layer(name)
+            .or_else(|| cosa_spec::Layer::parse_paper_name(name).ok())
+            .expect("known layer");
+        print!("{name:16}");
+        let mut row = name.to_string();
+        for (vi, (_, run)) in variants.iter().enumerate() {
+            let lat = run(&layer).unwrap_or(f64::INFINITY);
+            per_variant[vi].push(lat);
+            print!(" {lat:>14.0}");
+            row.push_str(&format!(",{lat:.0}"));
+        }
+        println!();
+        rows.push(row);
+    }
+    print!("{:16}", "GEOMEAN");
+    for lats in &per_variant {
+        print!(" {:>14.0}", geomean(lats.iter().copied()));
+    }
+    println!();
+    let path = write_csv(
+        "ablation_objectives.csv",
+        "layer,weighted,balanced,no_perm,no_util",
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}

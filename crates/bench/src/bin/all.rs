@@ -1,0 +1,60 @@
+//! Run every experiment of the paper's evaluation in one go, sharing the
+//! expensive scheduling campaigns across figures. Writes CSVs to
+//! `results/` and prints the same rows/series the paper reports.
+//!
+//! Usage: `cargo run --release -p cosa-bench --bin all [-- --quick]`
+
+use cosa_bench::{campaign::CampaignConfig, figures, parse_flags, run_campaign, selected_suites};
+use cosa_spec::Arch;
+use std::process::Command;
+
+fn main() {
+    let (quick, suite) = parse_flags();
+    let started = std::time::Instant::now();
+
+    // Standalone experiments (self-contained binaries).
+    for bin in ["fig1", "fig3", "fig4", "fig8", "fig11"] {
+        println!("\n================ {bin} ================");
+        let mut cmd = Command::new(std::env::current_exe().expect("self").with_file_name(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            other => println!("({bin} subprocess: {other:?} — run it directly for details)"),
+        }
+    }
+
+    // Campaign-based experiments on the baseline architecture: one campaign
+    // with NoC evaluation serves Fig. 6, Fig. 10 and Table VI.
+    let arch = Arch::simba_baseline();
+    let mut cfg = if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+    cfg.with_noc = true;
+    let suites = selected_suites(quick, &suite);
+    println!("\n================ fig6 / fig10 / table6 ================");
+    println!("latency campaign on {arch} ({} suites) ...", suites.len());
+    let outcome = run_campaign(&arch, &suites, &cfg);
+    figures::fig6_report(&outcome, "fig6_model_speedup.csv");
+    figures::fig10_report(&outcome);
+    figures::table6_report(&outcome);
+
+    // Fig. 7: energy-objective campaign.
+    println!("\n================ fig7 ================");
+    let mut cfg_energy =
+        if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+    cfg_energy.energy_objective = true;
+    let outcome_energy = run_campaign(&arch, &suites, &cfg_energy);
+    figures::fig7_report(&outcome_energy);
+
+    // Fig. 9: architecture variants.
+    println!("\n================ fig9 ================");
+    for arch in [Arch::simba_8x8(), Arch::simba_big_buffers()] {
+        let cfg = if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+        println!("\ncampaign on {arch} ...");
+        let outcome = run_campaign(&arch, &suites, &cfg);
+        let (gh, gc) = figures::fig6_report(&outcome, &format!("fig9_{}.csv", arch.name()));
+        println!("Fig. 9 summary [{}]: hybrid {gh:.2}x, cosa {gc:.2}x", arch.name());
+    }
+
+    println!("\nall experiments done in {:.1?}; CSVs in results/", started.elapsed());
+}

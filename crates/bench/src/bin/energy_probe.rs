@@ -1,0 +1,31 @@
+//! Per-level energy comparison: CoSA vs energy-selected random (dev tool).
+use cosa_core::CosaScheduler;
+use cosa_mappers::{RandomMapper, SearchLimits};
+use cosa_model::CostModel;
+use cosa_spec::{Arch, DataTensor};
+
+fn main() {
+    let arch = Arch::simba_baseline();
+    let layer = cosa_spec::workloads::find_layer("1_56_64_64_1").unwrap();
+    let model = CostModel::new(&arch);
+    let rnd = RandomMapper::new(42)
+        .search_by(&arch, &layer, &SearchLimits::paper(), |e| e.energy_pj)
+        .best
+        .unwrap();
+    let cosa = CosaScheduler::new(&arch).schedule(&layer).unwrap().schedule;
+    for (name, s) in [("random-by-energy", &rnd), ("cosa", &cosa)] {
+        let e = model.evaluate(&layer, s).unwrap();
+        println!("== {name}: total {:.1} uJ, latency {:.0}", e.energy_pj / 1e6, e.latency_cycles);
+        for (i, lvl) in arch.levels().iter().enumerate() {
+            println!(
+                "  {:10} {:>14.0} B  -> {:>10.1} uJ",
+                lvl.name,
+                e.level_traffic[i].total(),
+                e.level_traffic[i].total() * lvl.energy_per_byte / 1e6
+            );
+        }
+        for v in DataTensor::ALL {
+            println!("  inner {v}: {:>14} elems", e.analysis.inner_access_elements[v.index()]);
+        }
+    }
+}

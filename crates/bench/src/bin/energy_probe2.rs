@@ -1,0 +1,27 @@
+//! Trace per-(level,tensor) fill stats of the suspicious random schedule.
+use cosa_mappers::{RandomMapper, SearchLimits};
+use cosa_model::CostModel;
+use cosa_spec::{Arch, DataTensor};
+
+fn main() {
+    let arch = Arch::simba_baseline();
+    let layer = cosa_spec::workloads::find_layer("1_56_64_64_1").unwrap();
+    let model = CostModel::new(&arch);
+    let rnd = RandomMapper::new(42)
+        .search_by(&arch, &layer, &SearchLimits::paper(), |e| e.energy_pj)
+        .best
+        .unwrap();
+    println!("{}", rnd.render(&arch));
+    let e = model.evaluate(&layer, &rnd).unwrap();
+    for v in DataTensor::ALL {
+        for lvl in 0..arch.num_levels() {
+            if let Some(s) = e.analysis.get(lvl, v) {
+                println!(
+                    "{v} L{lvl} tile={} fills={} distinct={} inst={} uni={} parent={:?} partial={}",
+                    s.tile_elements, s.fills, s.distinct, s.instances,
+                    s.relevant_spatial_to_parent, s.parent, s.partial_above
+                );
+            }
+        }
+    }
+}

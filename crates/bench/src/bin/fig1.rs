@@ -1,0 +1,47 @@
+//! **Fig. 1**: execution-latency histogram of 40 K valid scheduling choices
+//! for a ResNet-50 layer (R=S=3, P=Q=14, C=K=256) on the baseline spatial
+//! accelerator.
+//!
+//! The paper's observations to reproduce: a wide latency spread (best ≈
+//! 7.2× better than worst) and visible clustering.
+
+use cosa_bench::write_csv;
+use cosa_mappers::sample_valid_schedules;
+use cosa_spec::{Arch, Layer};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let target = if quick { 2_000 } else { 40_000 };
+
+    let arch = Arch::simba_baseline();
+    // Sec. II-A's motivating layer: 3x3, 256 channels, 14x14 output.
+    let layer = Layer::conv("resnet_3x3_256", 3, 3, 14, 14, 256, 256, 1, 1, 1);
+    let samples = sample_valid_schedules(&arch, &layer, target, 60 * target as u64, 0xF16_1);
+
+    let latencies: Vec<f64> = samples.iter().map(|s| s.latency_cycles / 1.0e6).collect();
+    let best = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
+    let worst = latencies.iter().cloned().fold(0.0, f64::max);
+
+    // Histogram over MCycles, binned like the figure (0..3+).
+    let bins = 30usize;
+    let hi = 3.0f64;
+    let mut counts = vec![0usize; bins + 1];
+    for l in &latencies {
+        let idx = ((l / hi) * bins as f64) as usize;
+        counts[idx.min(bins)] += 1;
+    }
+
+    println!("Fig. 1 — latency histogram of {} valid schedules", latencies.len());
+    println!("layer {layer}");
+    println!("best {best:.3} MCycles, worst {worst:.3} MCycles, spread {:.1}x", worst / best);
+    let peak = counts.iter().copied().max().unwrap_or(1) as f64;
+    let mut rows = Vec::new();
+    for (i, c) in counts.iter().enumerate() {
+        let lo = hi * i as f64 / bins as f64;
+        let label = if i == bins { format!("{hi:.1}+") } else { format!("{lo:.1}") };
+        println!("{label:>5} MC | {:5} {}", c, cosa_bench::report::bar(*c as f64, 60.0 / peak));
+        rows.push(format!("{label},{c}"));
+    }
+    let path = write_csv("fig1_histogram.csv", "mcycles_bin,count", &rows);
+    println!("wrote {}", path.display());
+}

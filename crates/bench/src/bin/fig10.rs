@@ -1,0 +1,22 @@
+//! **Fig. 10**: speedup relative to Random search measured on the
+//! cycle-level NoC simulator (the communication-sensitive platform).
+//!
+//! Paper headline: geomean 3.3× (CoSA) and only 1.3× (Hybrid) over Random
+//! — CoSA 2.5× over Hybrid, because the mappers' internal analytical model
+//! does not see NoC congestion, while CoSA's communication-driven
+//! objective does.
+
+use cosa_bench::{campaign::CampaignConfig, figures, parse_flags, run_campaign, selected_suites};
+use cosa_spec::Arch;
+
+fn main() {
+    let (quick, suite) = parse_flags();
+    let arch = Arch::simba_baseline();
+    let mut cfg =
+        if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+    cfg.with_noc = true;
+    let suites = selected_suites(quick, &suite);
+    println!("Fig. 10 — NoC-simulator campaign on {arch} ...");
+    let outcome = run_campaign(&arch, &suites, &cfg);
+    figures::fig10_report(&outcome);
+}

@@ -1,0 +1,105 @@
+//! **Fig. 4**: impact of the spatial mapping choice for a convolution with
+//! R=S=1, P=Q=16, C=256, K=1024 on a 16-PE array.
+//!
+//! A factor 4 each of P, C and K is split between spatial and temporal
+//! mapping in all 23 ways whose spatial product fits 16 PEs; everything
+//! else is held fixed. The paper observes a ~4.3× spread driven purely by
+//! the different multicast/unicast/reduction traffic, with a mixed mapping
+//! (`s:P2C4K2`) winning over pure data or model parallelism.
+
+use cosa_bench::write_csv;
+use cosa_noc::NocSimulator;
+use cosa_spec::{primes::factorize, Arch, Dim, Layer, Loop, Schedule};
+
+/// Build the schedule for one `(sp, sc, sk)` spatial split of the three
+/// factor-4 tiles.
+fn schedule_for_split(arch: &Arch, sp: u64, sc: u64, sk: u64) -> Schedule {
+    let noc = arch.noc_level();
+    let mut s = Schedule::new(arch.num_levels());
+    // Fixed intra-PE structure: 64 MAC lanes on C8 × K8, a C4 tile in the
+    // weight buffer, a Q4 tile in the accumulation buffer.
+    for _ in 0..3 {
+        s.push(0, Loop::spatial(Dim::C, 2));
+        s.push(0, Loop::spatial(Dim::K, 2));
+    }
+    for p in factorize(4) {
+        s.push(2, Loop::temporal(Dim::C, p));
+    }
+    for p in factorize(4) {
+        s.push(1, Loop::temporal(Dim::Q, p));
+    }
+    // The spatially-mapped factors of the figure.
+    for (d, b) in [(Dim::P, sp), (Dim::C, sc), (Dim::K, sk)] {
+        for f in factorize(b) {
+            s.push(noc, Loop::spatial(d, f));
+        }
+    }
+    // Their temporal complements at the NoC level (order K, C, P outer→in).
+    for (d, b) in [(Dim::K, 4 / sk), (Dim::C, 4 / sc), (Dim::P, 4 / sp)] {
+        for f in factorize(b) {
+            s.push(noc, Loop::temporal(d, f));
+        }
+    }
+    // Leftovers stream from DRAM.
+    for (d, b) in [(Dim::K, 32), (Dim::C, 2), (Dim::Q, 4), (Dim::P, 4)] {
+        for f in factorize(b) {
+            s.push(arch.dram_level(), Loop::temporal(d, f));
+        }
+    }
+    s
+}
+
+fn main() {
+    let arch = Arch::simba_baseline();
+    let layer = Layer::conv("fig4", 1, 1, 16, 16, 256, 1024, 1, 1, 1);
+    let sim = NocSimulator::new(&arch);
+
+    let mut splits = Vec::new();
+    for sp in [1u64, 2, 4] {
+        for sc in [1u64, 2, 4] {
+            for sk in [1u64, 2, 4] {
+                if sp * sc * sk <= 16 {
+                    splits.push((sp, sc, sk));
+                }
+            }
+        }
+    }
+    assert_eq!(splits.len(), 23, "the figure enumerates 23 feasible splits");
+
+    println!("Fig. 4 — spatial-mapping impact for {layer}");
+    let mut results = Vec::new();
+    for (sp, sc, sk) in splits {
+        let s = schedule_for_split(&arch, sp, sc, sk);
+        s.validate(&layer, &arch).expect("fig4 schedules fit the baseline");
+        let report = sim.simulate(&layer, &s).expect("valid");
+        let label = format!(
+            "s:{}{}{} t:{}{}{}",
+            fmt_factor('P', sp),
+            fmt_factor('C', sc),
+            fmt_factor('K', sk),
+            fmt_factor('P', 4 / sp),
+            fmt_factor('C', 4 / sc),
+            fmt_factor('K', 4 / sk),
+        );
+        results.push((label, report.total_cycles / 1.0e6));
+    }
+    results.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let worst = results.first().map(|r| r.1).unwrap_or(0.0);
+    let best = results.last().map(|r| r.1).unwrap_or(1.0);
+    let mut rows = Vec::new();
+    for (label, mc) in &results {
+        println!("{label:24} {mc:.3} MCycles {}", cosa_bench::report::bar(*mc, 60.0 / worst));
+        rows.push(format!("{label},{mc:.6}"));
+    }
+    println!("spread worst/best = {:.2}x (paper: ~4.3x)", worst / best);
+    let path = write_csv("fig4_spatial.csv", "mapping,noc_mcycles", &rows);
+    println!("wrote {}", path.display());
+}
+
+fn fmt_factor(d: char, b: u64) -> String {
+    if b > 1 {
+        format!("{d}{b}")
+    } else {
+        String::new()
+    }
+}

@@ -1,0 +1,19 @@
+//! **Fig. 6**: speedup of Hybrid- and CoSA-generated schedules relative to
+//! Random search on the baseline 4×4 architecture, per layer of the four
+//! DNN workloads, evaluated on the Timeloop-like analytical model.
+//!
+//! Paper headline: geomean 5.2× (CoSA) and 3.5× (Hybrid) over Random —
+//! CoSA 1.5× over Hybrid.
+
+use cosa_bench::{campaign::CampaignConfig, figures, parse_flags, run_campaign, selected_suites};
+use cosa_spec::Arch;
+
+fn main() {
+    let (quick, suite) = parse_flags();
+    let arch = Arch::simba_baseline();
+    let cfg = if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+    let suites = selected_suites(quick, &suite);
+    println!("Fig. 6 — scheduling {} suites on {arch} ...", suites.len());
+    let outcome = run_campaign(&arch, &suites, &cfg);
+    figures::fig6_report(&outcome, "fig6_model_speedup.csv");
+}

@@ -1,0 +1,31 @@
+//! **Fig. 9**: CoSA's generality across hardware: (a) an 8×8-PE array with
+//! doubled bandwidth, (b) 2× local buffers with an 8× global buffer.
+//! Geomean speedups vs Random on the analytical model per architecture.
+//!
+//! Paper headlines: (a) CoSA 4.4× / Hybrid 4.0×; (b) CoSA 5.7× / Hybrid
+//! 4.1×.
+
+use cosa_bench::{campaign::CampaignConfig, figures, parse_flags, run_campaign, selected_suites};
+use cosa_spec::Arch;
+
+fn main() {
+    let (quick, suite) = parse_flags();
+    let which: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+    let mut archs: Vec<Arch> = Vec::new();
+    if which.is_empty() || which.iter().any(|w| w == "pe8x8") {
+        archs.push(Arch::simba_8x8());
+    }
+    if which.is_empty() || which.iter().any(|w| w == "bigbuf") {
+        archs.push(Arch::simba_big_buffers());
+    }
+    let suites = selected_suites(quick, &suite);
+    for arch in archs {
+        let cfg = if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+        println!("\nFig. 9 — campaign on {arch} ...");
+        let outcome = run_campaign(&arch, &suites, &cfg);
+        let (gh, gc) =
+            figures::fig6_report(&outcome, &format!("fig9_{}.csv", arch.name()));
+        println!("Fig. 9 summary [{}]: hybrid {gh:.2}x, cosa {gc:.2}x", arch.name());
+    }
+    println!("(paper Fig. 9a: hybrid 4.0x / cosa 4.4x; Fig. 9b: hybrid 4.1x / cosa 5.7x)");
+}

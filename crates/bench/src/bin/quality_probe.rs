@@ -1,0 +1,53 @@
+//! Quick CoSA-vs-baselines quality probe (not a paper experiment).
+use cosa_core::CosaScheduler;
+use cosa_mappers::{HybridConfig, HybridMapper, RandomMapper, SearchLimits};
+use cosa_model::CostModel;
+use cosa_spec::{workloads, Arch};
+use std::time::Instant;
+
+fn main() {
+    let arch = Arch::simba_baseline();
+    let model = CostModel::new(&arch);
+    let scheduler = CosaScheduler::new(&arch);
+    let names = [
+        "3_7_512_512_1",
+        "1_56_64_64_1",
+        "3_13_256_256_1",
+        "7_112_3_64_2",
+        "1_1_4096_1000_1",
+        "3_480_1_16_1",
+    ];
+    println!("{:20} {:>12} {:>12} {:>12}  speedup-vs-random / vs-hybrid", "layer", "random", "hybrid", "cosa");
+    for name in names {
+        let layer = workloads::find_layer(name)
+            .or_else(|| cosa_spec::Layer::parse_paper_name(name).ok())
+            .unwrap();
+        let rnd = RandomMapper::new(42).search(&arch, &layer, &SearchLimits::paper());
+        let hyb = HybridMapper::new(HybridConfig {
+            threads: 8,
+            termination_window: 250,
+            ..HybridConfig::paper()
+        })
+        .search(&arch, &layer);
+        let t = Instant::now();
+        let cosa = scheduler.schedule(&layer);
+        let cosa_time = t.elapsed();
+        let cosa_lat = cosa
+            .as_ref()
+            .ok()
+            .and_then(|r| model.evaluate(&layer, &r.schedule).ok())
+            .map(|e| e.latency_cycles)
+            .unwrap_or(f64::INFINITY);
+        println!(
+            "{name:20} {:>12.0} {:>12.0} {:>12.0}  {:>5.2}x / {:>5.2}x   (cosa {:?}, hybrid {:?}, {} evals)",
+            rnd.best_latency,
+            hyb.best_latency,
+            cosa_lat,
+            rnd.best_latency / cosa_lat,
+            hyb.best_latency / cosa_lat,
+            cosa_time,
+            hyb.elapsed,
+            hyb.evaluations,
+        );
+    }
+}

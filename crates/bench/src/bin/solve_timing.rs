@@ -1,0 +1,33 @@
+//! Quick per-layer CoSA solve-time probe (not a paper experiment).
+use cosa_core::CosaScheduler;
+use cosa_spec::{workloads, Arch};
+use std::time::Instant;
+
+fn main() {
+    let arch = Arch::simba_baseline();
+    let scheduler = CosaScheduler::new(&arch);
+    for name in [
+        "3_7_512_512_1",
+        "1_1_4096_4096_1",
+        "7_112_3_64_2",
+        "3_13_256_256_1",
+        "1_7_1024_2048_2",
+        "11_55_3_64_4",
+        "3_480_1_16_1",
+    ] {
+        let layer = workloads::find_layer(name)
+            .or_else(|| cosa_spec::Layer::parse_paper_name(name).ok())
+            .unwrap();
+        let t = Instant::now();
+        match scheduler.schedule(&layer) {
+            Ok(res) => println!(
+                "{name:20} {:>8.2?}  nodes={:<6} iters={:<8} obj={:.2}",
+                t.elapsed(),
+                res.stats.nodes,
+                res.stats.simplex_iters,
+                res.milp_objective
+            ),
+            Err(e) => println!("{name:20} {:>8.2?}  FAILED: {e}", t.elapsed()),
+        }
+    }
+}

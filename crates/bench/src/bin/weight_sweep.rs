@@ -1,0 +1,51 @@
+//! Objective-weight sensitivity probe (development tool, not a paper
+//! experiment): schedules a probe set under candidate weights and reports
+//! model latency.
+use cosa_core::{CosaScheduler, ObjectiveWeights};
+use cosa_model::CostModel;
+use cosa_spec::Arch;
+
+fn main() {
+    let arch = Arch::simba_baseline();
+    let model = CostModel::new(&arch);
+    let names = [
+        "3_7_512_512_1",
+        "1_56_64_64_1",
+        "7_112_3_64_2",
+        "1_1_4096_1000_1",
+        "3_480_1_16_1",
+    ];
+    let candidates = [
+        (1.0, 1.5, 1.0),
+        (1.0, 2.5, 1.0),
+        (1.0, 4.0, 1.0),
+        (0.5, 4.0, 1.0),
+        (1.0, 4.0, 0.5),
+        (2.0, 4.0, 1.0),
+    ];
+    println!("{:18} {}", "weights", names.join("  "));
+    for (wu, wc, wt) in candidates {
+        let weights = ObjectiveWeights { w_util: wu, w_comp: wc, w_traf: wt };
+        let mut opts = cosa_milp::SolveOptions::default();
+        opts.gap_tol = 0.03;
+        opts.time_limit = Some(std::time::Duration::from_secs(6));
+        let scheduler = CosaScheduler::with_weights(&arch, weights).with_solve_options(opts);
+        let mut row = format!("({wu:.1},{wc:.1},{wt:.1})  ");
+        let mut geo = 0.0;
+        for name in names {
+            let layer = cosa_spec::workloads::find_layer(name)
+                .or_else(|| cosa_spec::Layer::parse_paper_name(name).ok())
+                .unwrap();
+            let lat = scheduler
+                .schedule(&layer)
+                .ok()
+                .and_then(|r| model.evaluate(&layer, &r.schedule).ok())
+                .map(|e| e.latency_cycles)
+                .unwrap_or(f64::INFINITY);
+            geo += lat.ln();
+            row.push_str(&format!("{lat:>12.0}  "));
+        }
+        row.push_str(&format!("geo={:.0}", (geo / names.len() as f64).exp()));
+        println!("{row}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Small reporting helpers: geometric means, CSV output, bar rendering.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Geometric mean of strictly positive values (ignores non-finite entries).
+///
+/// ```
+/// let g = cosa_bench::geomean([1.0, 4.0].into_iter());
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v.is_finite() && v > 0.0 {
+            sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+/// Write rows as CSV under `results/` (creating the directory), returning
+/// the path.
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiment harness code treats an unwritable
+/// results directory as fatal.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBuf {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for row in rows {
+        writeln!(f, "{row}").expect("write row");
+    }
+    path
+}
+
+/// A crude textual bar for terminal figures.
+pub fn bar(value: f64, scale: f64) -> String {
+    let n = ((value * scale).round().max(0.0) as usize).min(80);
+    "#".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean([2.0, 8.0].into_iter()) - 4.0).abs() < 1e-12);
+        assert!(geomean(std::iter::empty()).is_nan());
+        // Non-finite values are ignored.
+        assert!((geomean([2.0, f64::INFINITY, 8.0].into_iter()) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bar_is_bounded() {
+        assert_eq!(bar(2.0, 10.0).len(), 20);
+        assert_eq!(bar(1e9, 10.0).len(), 80);
+        assert_eq!(bar(-1.0, 10.0).len(), 0);
+    }
+}

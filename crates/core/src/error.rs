@@ -1,0 +1,58 @@
+//! Error type for the CoSA scheduler.
+
+use std::fmt;
+
+/// Errors from building or solving the CoSA program.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CosaError {
+    /// The underlying MILP solver failed (infeasible programs indicate a
+    /// layer that cannot fit the architecture at all).
+    Solver(cosa_milp::MilpError),
+    /// The extracted schedule failed validation — a bug guard; the
+    /// formulation is constructed to be conservative w.r.t. the model.
+    Extraction(cosa_spec::SpecError),
+}
+
+impl fmt::Display for CosaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CosaError::Solver(e) => write!(f, "MILP solver failed: {e}"),
+            CosaError::Extraction(e) => write!(f, "extracted schedule invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CosaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CosaError::Solver(e) => Some(e),
+            CosaError::Extraction(e) => Some(e),
+        }
+    }
+}
+
+impl From<cosa_milp::MilpError> for CosaError {
+    fn from(e: cosa_milp::MilpError) -> Self {
+        CosaError::Solver(e)
+    }
+}
+
+impl From<cosa_spec::SpecError> for CosaError {
+    fn from(e: cosa_spec::SpecError) -> Self {
+        CosaError::Extraction(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        use std::error::Error;
+        let e = CosaError::from(cosa_milp::MilpError::Infeasible);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("infeasible"));
+    }
+}

@@ -1,0 +1,267 @@
+//! CoSA objective functions (Sec. III-D) and their evaluation on concrete
+//! schedules.
+//!
+//! All terms live in the log domain, which is what makes the products of
+//! loop bounds linear in the MILP (Eq. 2). The same terms can be evaluated
+//! directly on any [`Schedule`] — that is how the Fig. 8 objective breakdown
+//! compares CoSA against the baseline schedulers.
+
+use cosa_spec::{Arch, DataTensor, Layer, Schedule};
+
+/// User-selected weights `wU, wC, wT` of the overall objective (Eq. 12):
+/// `Ô = −wU·Û + wC·Ĉ + wT·T̂`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectiveWeights {
+    /// Weight of the (maximized) buffer-utilization objective `Û` (Eq. 5).
+    pub w_util: f64,
+    /// Weight of the compute objective `Ĉ` (Eq. 6).
+    pub w_comp: f64,
+    /// Weight of the traffic objective `T̂` (Eq. 11).
+    pub w_traf: f64,
+}
+
+impl Default for ObjectiveWeights {
+    /// Defaults in the spirit of Sec. III-D.4 and the Fig. 8 breakdown,
+    /// where the (maximized) utilization term dominates the total and
+    /// traffic carries the same importance as compute. The compute weight
+    /// is raised slightly above traffic so that spatially mapping a factor
+    /// (−wC in compute, +≤2·wT in unicast traffic, +wU in utilization) is
+    /// strictly preferred over leaving PEs idle.
+    fn default() -> Self {
+        ObjectiveWeights { w_util: 1.0, w_comp: 1.5, w_traf: 1.0 }
+    }
+}
+
+impl ObjectiveWeights {
+    /// Calibrate the weights for `arch` with a micro-benchmark, as the paper
+    /// does when moving to a new architecture (Sec. V-B.4): a small grid of
+    /// candidate weights is scored by scheduling a few probe layers and
+    /// evaluating the resulting latency on the analytical model.
+    pub fn calibrated(arch: &Arch) -> ObjectiveWeights {
+        use cosa_model::CostModel;
+        let probes = [
+            Layer::conv("probe_conv", 3, 3, 14, 14, 64, 64, 1, 1, 1),
+            Layer::conv("probe_wide", 1, 1, 7, 7, 256, 256, 1, 1, 1),
+        ];
+        let model = CostModel::new(arch);
+        let candidates = [
+            ObjectiveWeights::default(),
+            ObjectiveWeights { w_util: 1.0, w_comp: 1.0, w_traf: 1.0 },
+            ObjectiveWeights { w_util: 1.0, w_comp: 4.0, w_traf: 0.5 },
+            ObjectiveWeights { w_util: 2.0, w_comp: 4.0, w_traf: 1.0 },
+            ObjectiveWeights { w_util: 1.0, w_comp: 2.5, w_traf: 1.0 },
+        ];
+        let mut best = ObjectiveWeights::default();
+        let mut best_score = f64::INFINITY;
+        for cand in candidates {
+            let scheduler = crate::CosaScheduler::with_weights(arch, cand);
+            let mut score = 0.0;
+            let mut ok = true;
+            for layer in &probes {
+                match scheduler.schedule(layer) {
+                    Ok(res) => match model.evaluate(layer, &res.schedule) {
+                        Ok(eval) => score += eval.latency_cycles.ln(),
+                        Err(_) => ok = false,
+                    },
+                    Err(_) => ok = false,
+                }
+            }
+            if ok && score < best_score {
+                best_score = score;
+                best = cand;
+            }
+        }
+        best
+    }
+}
+
+/// The value of each objective term for one schedule (the Fig. 8 breakdown).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectiveBreakdown {
+    /// `Û`: summed log buffer utilization over levels and tensors (Eq. 5).
+    pub util: f64,
+    /// `Ĉ`: log of the product of all temporal factors (Eq. 6).
+    pub comp: f64,
+    /// `T̂`: summed log traffic (data size + link + iterations, Eq. 11).
+    pub traf: f64,
+    /// The weights used.
+    pub weights: ObjectiveWeights,
+}
+
+impl ObjectiveBreakdown {
+    /// `−wU·Û` as plotted in Fig. 8 (a *reward*, negated in the total).
+    pub fn weighted_util(&self) -> f64 {
+        self.weights.w_util * self.util
+    }
+
+    /// `wC·Ĉ`.
+    pub fn weighted_comp(&self) -> f64 {
+        self.weights.w_comp * self.comp
+    }
+
+    /// `wT·T̂`.
+    pub fn weighted_traf(&self) -> f64 {
+        self.weights.w_traf * self.traf
+    }
+
+    /// The overall objective `Ô` of Eq. 12 (smaller is better).
+    pub fn total(&self) -> f64 {
+        -self.weighted_util() + self.weighted_comp() + self.weighted_traf()
+    }
+}
+
+/// Evaluate the CoSA objective terms on a concrete schedule.
+///
+/// This mirrors the MILP formulation exactly (including the conservative
+/// input-halo constant), so the value of a CoSA-produced schedule matches
+/// the solver's objective, and baseline schedules can be scored on the same
+/// scale (Fig. 8).
+pub fn breakdown(
+    layer: &Layer,
+    arch: &Arch,
+    schedule: &Schedule,
+    weights: ObjectiveWeights,
+) -> ObjectiveBreakdown {
+    let noc = arch.noc_level();
+
+    // Û (Eq. 5): log utilization summed over buffer levels and tensors.
+    let mut util = 0.0;
+    for (level, lvl) in arch.levels().iter().enumerate() {
+        if level == arch.dram_level() {
+            continue;
+        }
+        let tile = schedule.stored_tile(level);
+        for v in DataTensor::ALL {
+            if lvl.stores(v) {
+                let mut u = (arch.precision(v) as f64).ln();
+                for d in cosa_spec::Dim::ALL {
+                    if v.relevant_to(d) {
+                        u += (tile[d] as f64).ln();
+                    }
+                }
+                if v == DataTensor::Inputs {
+                    u += (layer.stride_w() as f64).ln() + (layer.stride_h() as f64).ln();
+                }
+                util += u;
+            }
+        }
+    }
+
+    // Ĉ (Eq. 6): all temporal factors.
+    let comp = (schedule.temporal_product() as f64).ln();
+
+    // T̂ (Eq. 7, 8, 10, 11) per tensor.
+    let mut traf = 0.0;
+    for v in DataTensor::ALL {
+        // D_v: per-transfer data size — every factor below the NoC level.
+        let below = schedule.tile_below(noc);
+        let mut d_v = 0.0;
+        for d in cosa_spec::Dim::ALL {
+            if v.relevant_to(d) {
+                d_v += (below[d] as f64).ln();
+            }
+        }
+        // L_v: relevant spatial factors at the NoC level (unicast span).
+        let mut l_v = 0.0;
+        for lp in &schedule.levels()[noc].loops {
+            if lp.spatial && v.relevant_to(lp.dim) {
+                l_v += (lp.bound as f64).ln();
+            }
+        }
+        // T_v: temporal NoC iterations with reuse — a loop contributes once
+        // a relevant loop exists at or inside its position (Eq. 9–10).
+        let mut t_v = 0.0;
+        let mut seen_relevant = false;
+        for lp in schedule.levels()[noc].loops.iter().rev() {
+            // innermost → outermost
+            if lp.spatial {
+                continue;
+            }
+            if v.relevant_to(lp.dim) {
+                seen_relevant = true;
+            }
+            if seen_relevant {
+                t_v += (lp.bound as f64).ln();
+            }
+        }
+        traf += d_v + l_v + t_v;
+    }
+
+    ObjectiveBreakdown { util, comp, traf, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosa_spec::{Arch, Dim, Loop};
+
+    fn layer() -> Layer {
+        Layer::conv("t", 1, 1, 4, 1, 4, 4, 1, 1, 1)
+    }
+
+    #[test]
+    fn comp_counts_all_temporal_factors() {
+        let arch = Arch::simba_baseline();
+        let l = layer();
+        let mut s = Schedule::new(arch.num_levels());
+        for (d, b) in [(Dim::P, 4), (Dim::C, 4), (Dim::K, 4)] {
+            s.push(arch.dram_level(), Loop::temporal(d, b));
+        }
+        let b = breakdown(&l, &arch, &s, ObjectiveWeights::default());
+        assert!((b.comp - (64f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spatial_mapping_lowers_comp() {
+        let arch = Arch::simba_baseline();
+        let l = layer();
+        let mut seq = Schedule::new(arch.num_levels());
+        let mut par = Schedule::new(arch.num_levels());
+        for (d, b) in [(Dim::P, 4), (Dim::C, 4)] {
+            seq.push(arch.dram_level(), Loop::temporal(d, b));
+            par.push(arch.dram_level(), Loop::temporal(d, b));
+        }
+        seq.push(arch.dram_level(), Loop::temporal(Dim::K, 4));
+        par.push(arch.noc_level(), Loop::spatial(Dim::K, 4));
+        let b_seq = breakdown(&l, &arch, &seq, ObjectiveWeights::default());
+        let b_par = breakdown(&l, &arch, &par, ObjectiveWeights::default());
+        assert!(b_par.comp < b_seq.comp);
+    }
+
+    #[test]
+    fn permutation_changes_traffic_term() {
+        // At the NoC level: [K=4 inner, P=2 outer] vs [P=2 inner, K=4 outer].
+        // Every conv dimension is relevant to exactly two tensors, so equal
+        // bounds would make the totals coincide; with unequal bounds the
+        // reuse structure shows: placing the irrelevant-to-W loop P inside K
+        // lets weights be reused across P iterations.
+        let arch = Arch::simba_baseline();
+        let l = Layer::conv("t", 1, 1, 2, 1, 4, 4, 1, 1, 1);
+        let noc = arch.noc_level();
+        let mk = |inner: (Dim, u64), outer: (Dim, u64)| {
+            let mut s = Schedule::new(arch.num_levels());
+            s.push(noc, Loop::temporal(outer.0, outer.1));
+            s.push(noc, Loop::temporal(inner.0, inner.1)); // pushed last = inner
+            s.push(arch.dram_level(), Loop::temporal(Dim::C, 4));
+            s
+        };
+        let k_inner = mk((Dim::K, 4), (Dim::P, 2));
+        let p_inner = mk((Dim::P, 2), (Dim::K, 4));
+        let w = ObjectiveWeights::default();
+        let t_k_inner = breakdown(&l, &arch, &k_inner, w).traf;
+        let t_p_inner = breakdown(&l, &arch, &p_inner, w).traf;
+        // k_inner: T_W = ln(4·2), T_IA = ln 2, T_OA = ln 8 → Σ = ln 128.
+        // p_inner: T_W = ln 4,   T_IA = ln 8, T_OA = ln 8 → Σ = ln 256.
+        assert!(
+            t_p_inner > t_k_inner + 1e-9,
+            "permutation must affect traffic ({t_k_inner} vs {t_p_inner})"
+        );
+    }
+
+    #[test]
+    fn total_combines_terms() {
+        let w = ObjectiveWeights { w_util: 0.5, w_comp: 2.0, w_traf: 3.0 };
+        let b = ObjectiveBreakdown { util: 1.0, comp: 2.0, traf: 3.0, weights: w };
+        assert!((b.total() - (-0.5 + 4.0 + 9.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! A K80-shaped GPU described in the spatial-accelerator template.
+
+use cosa_spec::{Arch, MemLevel, NocParams};
+
+/// An NVIDIA-K80-like GPU (Sec. V-D): 13 SMX / 2496 CUDA cores, 1.5 MB L2,
+/// 48 KB shared memory and 64 KB registers per thread block, at most 1024
+/// threads per block.
+///
+/// The memory hierarchy maps onto the CoSA template as
+/// `Registers (per thread) → Shared (per block) → L2 (chip) → Global`:
+///
+/// * spatial fanout 1024 at the shared-memory level = the thread block
+///   (the paper's "product of all three thread group sizes ≤ 1024");
+/// * spatial fanout 26 at the L2 level = concurrently resident blocks
+///   (two per SMX), which is also the "mesh" the grid distributes over;
+/// * capacities encode the 48 KB shared / 64 KB register budgets.
+///
+/// ```
+/// use cosa_gpu::k80;
+/// let gpu = k80();
+/// assert_eq!(gpu.num_pes(), 26);           // concurrent thread blocks
+/// assert_eq!(gpu.macs_per_pe(), 1024);     // threads per block
+/// ```
+pub fn k80() -> Arch {
+    let levels = vec![
+        MemLevel {
+            // Per-thread registers: 64 KB per block / 1024 threads ≈ 64 B
+            // of accumulator + operand space each (fp32).
+            name: "Registers".into(),
+            capacity: [Some(32), Some(32), Some(128)],
+            spatial_fanout: 1,
+            bandwidth: 8192.0,
+            energy_per_byte: 0.1,
+        },
+        MemLevel {
+            // 48 KB shared memory per block, software managed: stage
+            // weights and inputs; partial sums live in registers.
+            name: "Shared".into(),
+            capacity: [Some(20 * 1024), Some(20 * 1024), Some(8 * 1024)],
+            spatial_fanout: 1024,
+            bandwidth: 4096.0,
+            energy_per_byte: 0.5,
+        },
+        MemLevel {
+            // 1.5 MB L2 shared by all SMXs.
+            name: "L2".into(),
+            capacity: [Some(512 * 1024), Some(512 * 1024), Some(512 * 1024)],
+            spatial_fanout: 26,
+            bandwidth: 1024.0,
+            energy_per_byte: 2.0,
+        },
+        MemLevel {
+            name: "Global".into(),
+            capacity: [Some(u64::MAX), Some(u64::MAX), Some(u64::MAX)],
+            spatial_fanout: 1,
+            // ~240 GB/s at ~0.82 GHz ≈ 290 B/cycle.
+            bandwidth: 290.0,
+            energy_per_byte: 60.0,
+        },
+    ];
+    Arch::custom(
+        "k80",
+        levels,
+        2, // the grid distributes at the L2 boundary
+        1024,
+        [4, 4, 4], // fp32
+        1.0,
+        NocParams {
+            mesh_x: 26,
+            mesh_y: 1,
+            flit_bytes: 32,
+            router_latency: 1,
+            link_latency: 1,
+            buffer_depth: 8,
+            multicast: true,
+            dram_latency: 300,
+            dram_bandwidth: 290.0,
+        },
+    )
+    .expect("K80 description is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosa_spec::{DataTensor, Dim, Layer, Loop, Schedule};
+
+    #[test]
+    fn k80_is_valid_arch() {
+        let gpu = k80();
+        assert_eq!(gpu.num_levels(), 4);
+        assert_eq!(gpu.noc_level(), 2);
+        assert!(gpu.levels()[1].stores(DataTensor::Inputs));
+    }
+
+    #[test]
+    fn thread_block_limit_enforced() {
+        // 2048 threads in one block must be rejected.
+        let gpu = k80();
+        let layer = Layer::matmul("m", 2048, 1, 1);
+        let mut s = Schedule::new(gpu.num_levels());
+        for p in layer.prime_factors(Dim::C) {
+            s.push(1, Loop::spatial(Dim::C, p));
+        }
+        assert!(!s.is_valid(&layer, &gpu));
+    }
+
+    #[test]
+    fn cosa_schedules_on_k80() {
+        let gpu = k80();
+        let layer = Layer::conv("c", 3, 3, 8, 8, 16, 32, 1, 1, 1);
+        let res = cosa_core::CosaScheduler::new(&gpu).schedule(&layer).unwrap();
+        assert!(res.schedule.is_valid(&layer, &gpu));
+        // Thread-level parallelism should be exploited.
+        let threads: u64 = s_product(&res.schedule, 1);
+        assert!(threads > 1, "no threads mapped: {threads}");
+    }
+
+    fn s_product(s: &Schedule, level: usize) -> u64 {
+        s.levels()[level].loops.iter().filter(|l| l.spatial).map(|l| l.bound).product()
+    }
+}

@@ -1,0 +1,46 @@
+//! # cosa-gpu
+//!
+//! The GPU case study of Sec. V-D: CoSA retargeted to an NVIDIA-K80-like
+//! GPU, compared against a TVM-style iterative tuner.
+//!
+//! The paper expresses CUDA scheduling with the *same* formulation used for
+//! spatial accelerators: thread groups become spatial levels with size
+//! constraints (≤ 1024 threads per block), shared memory and registers
+//! become buffer-capacity constraints, and the compute objective is
+//! discounted by thread-level parallelism. This crate does exactly that by
+//! describing the GPU as a [`cosa_spec::Arch`]:
+//!
+//! | GPU resource | Arch level | constraint |
+//! |---|---|---|
+//! | per-thread registers | level 0 | capacity per tensor |
+//! | shared memory (48 KB/block) | level 1, fanout 1024 (threads) | Eq. 1–2 / Eq. 4 |
+//! | L2 (1.5 MB) | level 2, fanout = concurrent blocks | Eq. 4 |
+//! | global memory | level 3 (DRAM) | bandwidth |
+//!
+//! Both CoSA-GPU and the [`TvmTuner`] baseline are evaluated on the same
+//! analytical GPU latency model ([`cosa_model::CostModel`] over the K80
+//! arch), standing in for silicon measurements — so Fig. 11's *relative*
+//! comparison (CoSA one-shot ≈ tuned TVM at a tiny fraction of the tuning
+//! time) is preserved.
+//!
+//! # Example
+//!
+//! ```
+//! use cosa_gpu::{k80, TvmTuner, TunerConfig};
+//! use cosa_spec::Layer;
+//!
+//! let gpu = k80();
+//! let layer = Layer::matmul("fc", 256, 128, 4);
+//! let out = TvmTuner::new(TunerConfig { trials: 10, ..TunerConfig::default() })
+//!     .tune(&gpu, &layer);
+//! assert!(out.best.is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod k80;
+mod tuner;
+
+pub use k80::k80;
+pub use tuner::{TunerConfig, TunerOutcome, TvmTuner};

@@ -1,0 +1,292 @@
+//! The Timeloop-Hybrid-style baseline mapper (Sec. IV-B).
+//!
+//! Strategy, following the paper's description of Timeloop's hybrid search:
+//! each thread repeatedly (1) draws a random tiling factorization, (2)
+//! prunes superfluous permutations, and (3) linearly explores the pruned
+//! permutation subspace of that factorization, evaluating every valid
+//! mapping on the analytical model. A thread self-terminates after visiting
+//! a run of consecutive valid-yet-suboptimal mappings (default 500, the
+//! Timeloop default the paper keeps). The mapper returns the best schedule
+//! across all threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use cosa_model::CostModel;
+use cosa_spec::{Arch, Dim, Layer, Loop, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SearchOutcome;
+
+/// Configuration of the hybrid mapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridConfig {
+    /// Independent search threads (paper: 32).
+    pub threads: usize,
+    /// A thread stops after this many consecutive valid mappings that do
+    /// not improve its best (paper keeps Timeloop's default of 500).
+    pub termination_window: u64,
+    /// Cap on permutations explored per factorization (keeps the linear
+    /// scan bounded on permutation-rich levels).
+    pub perms_per_factorization: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HybridConfig {
+    /// The paper's configuration (32 threads, window 500).
+    pub fn paper() -> HybridConfig {
+        HybridConfig {
+            threads: 32,
+            termination_window: 500,
+            perms_per_factorization: 64,
+            seed: 0xC05A,
+        }
+    }
+
+    /// A reduced configuration for tests and examples.
+    pub fn quick() -> HybridConfig {
+        HybridConfig {
+            threads: 4,
+            termination_window: 60,
+            perms_per_factorization: 16,
+            seed: 0xC05A,
+        }
+    }
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig::paper()
+    }
+}
+
+/// The Timeloop-Hybrid-style mapper.
+///
+/// ```
+/// use cosa_spec::{Arch, Layer};
+/// use cosa_mappers::{HybridMapper, HybridConfig};
+///
+/// let arch = Arch::simba_baseline();
+/// let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+/// let out = HybridMapper::new(HybridConfig::quick()).search(&arch, &layer);
+/// assert!(out.best.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridMapper {
+    config: HybridConfig,
+}
+
+impl HybridMapper {
+    /// A mapper with the given configuration.
+    pub fn new(config: HybridConfig) -> HybridMapper {
+        HybridMapper { config }
+    }
+
+    /// Search optimizing model latency.
+    pub fn search(&self, arch: &Arch, layer: &Layer) -> SearchOutcome {
+        self.search_by(arch, layer, |e| e.latency_cycles)
+    }
+
+    /// Search optimizing an arbitrary model metric (Fig. 7 optimizes
+    /// energy).
+    pub fn search_by(
+        &self,
+        arch: &Arch,
+        layer: &Layer,
+        metric: impl Fn(&cosa_model::Evaluation) -> f64 + Sync,
+    ) -> SearchOutcome {
+        let start = Instant::now();
+        let samples = AtomicU64::new(0);
+        let evaluations = AtomicU64::new(0);
+        let best: Mutex<Option<(f64, f64, f64, Schedule)>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for t in 0..self.config.threads {
+                let samples = &samples;
+                let evaluations = &evaluations;
+                let best = &best;
+                let metric = &metric;
+                let config = self.config;
+                scope.spawn(move || {
+                    let model = CostModel::new(arch);
+                    let mut rng = StdRng::seed_from_u64(
+                        config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
+                    );
+                    let mut thread_best = f64::INFINITY;
+                    let mut stale = 0u64;
+                    while stale < config.termination_window {
+                        let factorization = random_factorization(layer, arch, &mut rng);
+                        samples.fetch_add(1, Ordering::Relaxed);
+                        for schedule in
+                            permutation_scan(&factorization, config.perms_per_factorization)
+                        {
+                            if stale >= config.termination_window {
+                                break;
+                            }
+                            let Ok(eval) = model.evaluate(layer, &schedule) else {
+                                continue;
+                            };
+                            evaluations.fetch_add(1, Ordering::Relaxed);
+                            let m = metric(&eval);
+                            if m < thread_best {
+                                thread_best = m;
+                                stale = 0;
+                                let mut guard = best.lock().expect("no poisoned threads");
+                                let replace = match &*guard {
+                                    None => true,
+                                    Some((gm, _, _, _)) => m < *gm,
+                                };
+                                if replace {
+                                    *guard = Some((
+                                        m,
+                                        eval.latency_cycles,
+                                        eval.energy_pj,
+                                        schedule,
+                                    ));
+                                }
+                            } else {
+                                stale += 1;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut out = SearchOutcome::empty();
+        out.samples = samples.load(Ordering::Relaxed);
+        out.evaluations = evaluations.load(Ordering::Relaxed);
+        if let Some((_, lat, en, s)) = best.into_inner().expect("no poisoned threads") {
+            out.best_latency = lat;
+            out.best_energy = en;
+            out.best = Some(s);
+        }
+        out.elapsed = start.elapsed();
+        out
+    }
+}
+
+/// A tiling factorization: per level, the multiset of `(dim, prime, spatial)`
+/// factors, before permutation is chosen.
+type Factorization = Vec<Vec<Loop>>;
+
+fn random_factorization(layer: &Layer, arch: &Arch, rng: &mut StdRng) -> Factorization {
+    let levels = arch.num_levels();
+    let mut per_level: Factorization = vec![Vec::new(); levels];
+    for d in Dim::ALL {
+        for p in layer.prime_factors(d) {
+            let level = rng.gen_range(0..levels);
+            let spatial = arch.spatial_fanout(level) > 1 && rng.gen_bool(0.5);
+            per_level[level].push(Loop { dim: d, bound: p, spatial });
+        }
+    }
+    per_level
+}
+
+/// Linearly enumerate permutations of a factorization, pruned: loops of the
+/// same dimension stay adjacent (reordering them is superfluous — it never
+/// changes any reuse boundary), and each level cycles through rotations of
+/// its dimension order, combined level-by-level up to `cap` schedules.
+fn permutation_scan(factorization: &Factorization, cap: usize) -> Vec<Schedule> {
+    let levels = factorization.len();
+    // Distinct dims per level.
+    let dims_per_level: Vec<Vec<Dim>> = factorization
+        .iter()
+        .map(|loops| {
+            let mut dims = Vec::new();
+            for l in loops {
+                if !l.spatial && !dims.contains(&l.dim) {
+                    dims.push(l.dim);
+                }
+            }
+            dims
+        })
+        .collect();
+    let variants: Vec<usize> =
+        dims_per_level.iter().map(|d| d.len().max(1)).collect();
+    let total: usize = variants.iter().product::<usize>().min(cap);
+
+    let mut out = Vec::with_capacity(total);
+    for idx in 0..total {
+        let mut schedule = Schedule::new(levels);
+        let mut rem = idx;
+        for (level, loops) in factorization.iter().enumerate() {
+            let rot = rem % variants[level];
+            rem /= variants[level];
+            // Spatial loops outermost.
+            for l in loops.iter().filter(|l| l.spatial) {
+                schedule.push(level, *l);
+            }
+            // Temporal: rotate the dimension order by `rot`.
+            let dims = &dims_per_level[level];
+            for k in 0..dims.len() {
+                let d = dims[(k + rot) % dims.len()];
+                for l in loops.iter().filter(|l| !l.spatial && l.dim == d) {
+                    schedule.push(level, *l);
+                }
+            }
+        }
+        out.push(schedule);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_finds_schedule() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+        let out = HybridMapper::new(HybridConfig::quick()).search(&arch, &layer);
+        let best = out.best.expect("hybrid should find a schedule");
+        assert!(best.is_valid(&layer, &arch));
+        assert!(out.evaluations > 0);
+    }
+
+    #[test]
+    fn hybrid_beats_or_matches_single_random_sample() {
+        use crate::{RandomMapper, SearchLimits};
+        let arch = Arch::simba_baseline();
+        let layer = Layer::conv("t", 3, 3, 8, 8, 32, 32, 1, 1, 1);
+        let hybrid = HybridMapper::new(HybridConfig::quick()).search(&arch, &layer);
+        let single = RandomMapper::new(77).search(
+            &arch,
+            &layer,
+            &SearchLimits { valid_target: 1, max_samples: 20_000 },
+        );
+        assert!(
+            hybrid.best_latency <= single.best_latency * 1.01,
+            "hybrid {} vs single random {}",
+            hybrid.best_latency,
+            single.best_latency
+        );
+    }
+
+    #[test]
+    fn permutation_scan_keeps_factors() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::conv("t", 3, 3, 4, 4, 4, 4, 1, 1, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = random_factorization(&layer, &arch, &mut rng);
+        for s in permutation_scan(&f, 32) {
+            let prod = s.dim_products();
+            for d in Dim::ALL {
+                assert_eq!(prod[d], layer.dim(d), "dim {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_scan_respects_cap() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::parse_paper_name("3_28_128_128_2").unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let f = random_factorization(&layer, &arch, &mut rng);
+        assert!(permutation_scan(&f, 8).len() <= 8);
+    }
+}

@@ -1,0 +1,78 @@
+//! # cosa-mappers
+//!
+//! Baseline schedulers the paper compares CoSA against (Sec. IV-B):
+//!
+//! * [`RandomMapper`] — uniform random sampling of the prime-factor
+//!   allocation space, keeping the best of the first few *valid* schedules
+//!   (the paper keeps the best of 5 valid schedules out of ~20 K samples);
+//! * [`HybridMapper`] — a Timeloop-hybrid-style mapper: random tiling
+//!   factorizations, each followed by a linear scan of a pruned permutation
+//!   subspace, with per-thread self-termination after a run of consecutive
+//!   valid-but-suboptimal mappings (the paper uses 32 threads and a
+//!   termination window of 500);
+//! * [`sample_valid_schedules`] — the valid-schedule sampler behind the
+//!   Fig. 1 latency histogram.
+//!
+//! Both mappers score candidates on the [`cosa_model::CostModel`] — exactly
+//! the position Timeloop's internal analytical model occupies in the paper,
+//! which is why their schedules can underperform on the NoC simulator
+//! (Fig. 10) while looking good to themselves.
+//!
+//! # Example
+//!
+//! ```
+//! use cosa_spec::{Arch, Layer};
+//! use cosa_mappers::{RandomMapper, SearchLimits};
+//!
+//! let arch = Arch::simba_baseline();
+//! let layer = Layer::parse_paper_name("3_13_192_384_1")?;
+//! let mapper = RandomMapper::new(42);
+//! let out = mapper.search(&arch, &layer, &SearchLimits::quick());
+//! let best = out.best.expect("random search finds a valid schedule");
+//! assert!(best.is_valid(&layer, &arch));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hybrid;
+mod random;
+mod sampling;
+
+pub use hybrid::{HybridConfig, HybridMapper};
+pub use random::{RandomMapper, SearchLimits};
+pub use sampling::{sample_valid_schedules, SampledSchedule};
+
+use cosa_spec::Schedule;
+use std::time::Duration;
+
+/// Outcome of a baseline search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best valid schedule found (by model latency), if any.
+    pub best: Option<Schedule>,
+    /// Model latency of `best` in cycles.
+    pub best_latency: f64,
+    /// Model energy of `best` in pJ.
+    pub best_energy: f64,
+    /// Schedules sampled (valid or not).
+    pub samples: u64,
+    /// Valid schedules evaluated on the model.
+    pub evaluations: u64,
+    /// Wall-clock search time.
+    pub elapsed: Duration,
+}
+
+impl SearchOutcome {
+    pub(crate) fn empty() -> SearchOutcome {
+        SearchOutcome {
+            best: None,
+            best_latency: f64::INFINITY,
+            best_energy: f64::INFINITY,
+            samples: 0,
+            evaluations: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+}

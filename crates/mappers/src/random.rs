@@ -1,0 +1,131 @@
+//! The Random baseline scheduler (Sec. IV-B): draw random points of the
+//! scheduling space, keep the best of the first few valid ones.
+
+use std::time::Instant;
+
+use cosa_model::CostModel;
+use cosa_spec::{Arch, Layer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::sampling::{random_schedule, try_evaluate};
+use crate::SearchOutcome;
+
+/// Sampling budget for a random search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchLimits {
+    /// Stop after this many *valid* schedules have been evaluated.
+    pub valid_target: u64,
+    /// Give up after this many raw samples.
+    pub max_samples: u64,
+}
+
+impl SearchLimits {
+    /// The paper's setting: best of 5 valid schedules, drawn from a 20 K
+    /// sample budget (Table VI).
+    pub fn paper() -> SearchLimits {
+        SearchLimits { valid_target: 5, max_samples: 20_000 }
+    }
+
+    /// A smaller budget for tests and examples.
+    pub fn quick() -> SearchLimits {
+        SearchLimits { valid_target: 5, max_samples: 3_000 }
+    }
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits::paper()
+    }
+}
+
+/// The Random search baseline.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct RandomMapper {
+    seed: u64,
+}
+
+impl RandomMapper {
+    /// A mapper drawing from the given seed (searches are reproducible).
+    pub fn new(seed: u64) -> RandomMapper {
+        RandomMapper { seed }
+    }
+
+    /// Run the search: sample schedules uniformly, evaluate the valid ones
+    /// on the analytical model, return the best by latency.
+    pub fn search(&self, arch: &Arch, layer: &Layer, limits: &SearchLimits) -> SearchOutcome {
+        self.search_by(arch, layer, limits, |eval| eval.latency_cycles)
+    }
+
+    /// Run the search optimizing an arbitrary model metric (Fig. 7 uses
+    /// energy instead of latency).
+    pub fn search_by(
+        &self,
+        arch: &Arch,
+        layer: &Layer,
+        limits: &SearchLimits,
+        metric: impl Fn(&cosa_model::Evaluation) -> f64,
+    ) -> SearchOutcome {
+        let start = Instant::now();
+        let model = CostModel::new(arch);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = SearchOutcome::empty();
+        let mut best_metric = f64::INFINITY;
+        while out.evaluations < limits.valid_target && out.samples < limits.max_samples {
+            out.samples += 1;
+            let schedule = random_schedule(layer, arch, &mut rng);
+            if let Some(eval) = try_evaluate(&model, layer, &schedule) {
+                out.evaluations += 1;
+                let m = metric(&eval);
+                if m < best_metric {
+                    best_metric = m;
+                    out.best_latency = eval.latency_cycles;
+                    out.best_energy = eval.energy_pj;
+                    out.best = Some(schedule);
+                }
+            }
+        }
+        out.elapsed = start.elapsed();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_valid_schedule_on_easy_layer() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+        let out = RandomMapper::new(11).search(&arch, &layer, &SearchLimits::quick());
+        let best = out.best.expect("should find a valid schedule");
+        assert!(best.is_valid(&layer, &arch));
+        assert!(out.best_latency.is_finite());
+        assert!(out.samples >= out.evaluations);
+    }
+
+    #[test]
+    fn respects_sample_budget() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::parse_paper_name("3_7_512_512_1").unwrap();
+        let limits = SearchLimits { valid_target: 1_000, max_samples: 500 };
+        let out = RandomMapper::new(1).search(&arch, &layer, &limits);
+        assert!(out.samples <= 500);
+    }
+
+    #[test]
+    fn energy_metric_changes_choice_possibly() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+        let limits = SearchLimits { valid_target: 10, max_samples: 20_000 };
+        let by_lat = RandomMapper::new(2).search(&arch, &layer, &limits);
+        let by_energy =
+            RandomMapper::new(2).search_by(&arch, &layer, &limits, |e| e.energy_pj);
+        // Same sample stream; the energy-selected schedule can not have
+        // higher energy than the latency-selected one.
+        assert!(by_energy.best_energy <= by_lat.best_energy + 1e-6);
+    }
+}

@@ -1,0 +1,156 @@
+//! Random schedule sampling shared by the baseline mappers and the Fig. 1
+//! histogram.
+
+use cosa_model::{CostModel, Evaluation};
+use cosa_spec::{Arch, Dim, Layer, Loop, Schedule};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A sampled valid schedule with its model evaluation.
+#[derive(Debug, Clone)]
+pub struct SampledSchedule {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// Model latency in cycles.
+    pub latency_cycles: f64,
+    /// Model energy in pJ.
+    pub energy_pj: f64,
+}
+
+/// Draw one uniformly random point of the prime-factor allocation space:
+/// every factor gets a random memory level and (where the level has spatial
+/// fanout) a random spatial/temporal mapping; temporal loops are shuffled
+/// within each level.
+pub(crate) fn random_schedule(layer: &Layer, arch: &Arch, rng: &mut StdRng) -> Schedule {
+    let levels = arch.num_levels();
+    let mut schedule = Schedule::new(levels);
+    let mut per_level: Vec<Vec<Loop>> = vec![Vec::new(); levels];
+    for d in Dim::ALL {
+        for p in layer.prime_factors(d) {
+            let level = rng.gen_range(0..levels);
+            let spatial = arch.spatial_fanout(level) > 1 && rng.gen_bool(0.5);
+            per_level[level].push(Loop { dim: d, bound: p, spatial });
+        }
+    }
+    for (level, mut loops) in per_level.into_iter().enumerate() {
+        loops.shuffle(rng);
+        // Spatial loops outermost (position is cost-neutral; this keeps the
+        // rendering tidy), temporal order as shuffled.
+        loops.sort_by_key(|l| !l.spatial);
+        for lp in loops {
+            schedule.push(level, lp);
+        }
+    }
+    schedule
+}
+
+/// Sample until `target` *valid* schedules are found (or `max_samples`
+/// points have been drawn), returning each valid schedule with its model
+/// evaluation. This is the sampler behind Fig. 1.
+///
+/// ```
+/// use cosa_spec::{Arch, Layer};
+/// use cosa_mappers::sample_valid_schedules;
+///
+/// let arch = Arch::simba_baseline();
+/// let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+/// let found = sample_valid_schedules(&arch, &layer, 20, 100_000, 7);
+/// assert!(!found.is_empty());
+/// ```
+pub fn sample_valid_schedules(
+    arch: &Arch,
+    layer: &Layer,
+    target: usize,
+    max_samples: u64,
+    seed: u64,
+) -> Vec<SampledSchedule> {
+    let model = CostModel::new(arch);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut drawn = 0u64;
+    while out.len() < target && drawn < max_samples {
+        drawn += 1;
+        let schedule = random_schedule(layer, arch, &mut rng);
+        if let Ok(eval) = model.evaluate(layer, &schedule) {
+            out.push(SampledSchedule {
+                schedule,
+                latency_cycles: eval.latency_cycles,
+                energy_pj: eval.energy_pj,
+            });
+        }
+    }
+    out
+}
+
+/// Evaluate a schedule, returning `None` when invalid — the hot path of all
+/// baseline searches.
+pub(crate) fn try_evaluate(
+    model: &CostModel,
+    layer: &Layer,
+    schedule: &Schedule,
+) -> Option<Evaluation> {
+    model.evaluate(layer, schedule).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_schedules_cover_layer() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = random_schedule(&layer, &arch, &mut rng);
+            // Completeness always holds by construction; validity may not.
+            let prod = s.dim_products();
+            for d in Dim::ALL {
+                assert_eq!(prod[d], layer.dim(d));
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_finds_valid_schedules() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+        let found = sample_valid_schedules(&arch, &layer, 10, 50_000, 3);
+        assert!(!found.is_empty());
+        for s in &found {
+            assert!(s.schedule.is_valid(&layer, &arch));
+            assert!(s.latency_cycles > 0.0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::conv("t", 1, 1, 4, 4, 16, 16, 1, 1, 1);
+        let a = sample_valid_schedules(&arch, &layer, 5, 20_000, 9);
+        let b = sample_valid_schedules(&arch, &layer, 5, 20_000, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.schedule, y.schedule);
+        }
+    }
+
+    #[test]
+    fn many_samples_are_invalid() {
+        // Sec. II-A observes that a large share of random tilings violate
+        // buffer capacities (about half under the paper's sampling); assert
+        // a substantial invalid fraction under ours.
+        let arch = Arch::simba_baseline();
+        let layer = Layer::parse_paper_name("3_13_256_256_1").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut invalid = 0;
+        for _ in 0..200 {
+            let s = random_schedule(&layer, &arch, &mut rng);
+            if !s.is_valid(&layer, &arch) {
+                invalid += 1;
+            }
+        }
+        assert!(invalid > 40, "only {invalid}/200 invalid");
+    }
+}

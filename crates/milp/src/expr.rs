@@ -1,0 +1,346 @@
+//! Linear expressions over model variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A handle to a decision variable in a [`crate::Model`].
+///
+/// `Var`s are cheap indices; they are only meaningful with the model that
+/// created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The variable's index within its model (stable across solves).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A linear expression `Σ coeff·var + constant`.
+///
+/// Built with ordinary arithmetic:
+///
+/// ```
+/// use cosa_milp::{Model, Sense};
+/// let mut m = Model::new(Sense::Minimize);
+/// let x = m.add_binary("x");
+/// let y = m.add_binary("y");
+/// let e = 2.0 * x - y + 1.0;
+/// assert_eq!(e.coeff(x), 2.0);
+/// assert_eq!(e.coeff(y), -1.0);
+/// assert_eq!(e.constant(), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: BTreeMap<usize, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant_expr(c: f64) -> LinExpr {
+        LinExpr { terms: BTreeMap::new(), constant: c }
+    }
+
+    /// Sum of `vars`, each with coefficient 1.
+    pub fn sum<I: IntoIterator<Item = Var>>(vars: I) -> LinExpr {
+        let mut e = LinExpr::new();
+        for v in vars {
+            e.add_term(v, 1.0);
+        }
+        e
+    }
+
+    /// Add `coeff·var` to the expression (accumulating with any existing
+    /// term for the same variable).
+    pub fn add_term(&mut self, var: Var, coeff: f64) -> &mut Self {
+        let entry = self.terms.entry(var.0).or_insert(0.0);
+        *entry += coeff;
+        if entry.abs() < 1e-300 {
+            self.terms.remove(&var.0);
+        }
+        self
+    }
+
+    /// The coefficient of `var` (0 if absent).
+    pub fn coeff(&self, var: Var) -> f64 {
+        self.terms.get(&var.0).copied().unwrap_or(0.0)
+    }
+
+    /// The constant term.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterate over `(variable index, coefficient)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.terms.iter().map(|(i, c)| (*i, *c))
+    }
+
+    /// Number of variables with nonzero coefficients.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` if the expression has no variable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluate the expression given a dense assignment of variable values.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant + self.iter().map(|(i, c)| c * values[i]).sum::<f64>()
+    }
+
+    /// Largest variable index referenced, if any.
+    pub(crate) fn max_index(&self) -> Option<usize> {
+        self.terms.keys().next_back().copied()
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, c) in self.iter() {
+            if first {
+                write!(f, "{c}·x{i}")?;
+                first = false;
+            } else if c < 0.0 {
+                write!(f, " - {}·x{i}", -c)?;
+            } else {
+                write!(f, " + {c}·x{i}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant != 0.0 {
+            if self.constant < 0.0 {
+                write!(f, " - {}", -self.constant)?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> LinExpr {
+        let mut e = LinExpr::new();
+        e.add_term(v, 1.0);
+        e
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> LinExpr {
+        LinExpr::constant_expr(c)
+    }
+}
+
+// --- operator overloads -------------------------------------------------
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (i, c) in rhs.iter() {
+            self.add_term(Var(i), c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (i, c) in rhs.iter() {
+            self.add_term(Var(i), c);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        *self += -rhs;
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: f64) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.constant *= k;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, e: LinExpr) -> LinExpr {
+        e * self
+    }
+}
+
+macro_rules! impl_var_ops {
+    () => {
+        impl Add<Var> for Var {
+            type Output = LinExpr;
+            fn add(self, rhs: Var) -> LinExpr {
+                LinExpr::from(self) + LinExpr::from(rhs)
+            }
+        }
+        impl Add<LinExpr> for Var {
+            type Output = LinExpr;
+            fn add(self, rhs: LinExpr) -> LinExpr {
+                LinExpr::from(self) + rhs
+            }
+        }
+        impl Add<Var> for LinExpr {
+            type Output = LinExpr;
+            fn add(self, rhs: Var) -> LinExpr {
+                self + LinExpr::from(rhs)
+            }
+        }
+        impl Add<f64> for LinExpr {
+            type Output = LinExpr;
+            fn add(mut self, rhs: f64) -> LinExpr {
+                self.constant += rhs;
+                self
+            }
+        }
+        impl Add<f64> for Var {
+            type Output = LinExpr;
+            fn add(self, rhs: f64) -> LinExpr {
+                LinExpr::from(self) + rhs
+            }
+        }
+        impl Sub<Var> for Var {
+            type Output = LinExpr;
+            fn sub(self, rhs: Var) -> LinExpr {
+                LinExpr::from(self) - LinExpr::from(rhs)
+            }
+        }
+        impl Sub<Var> for LinExpr {
+            type Output = LinExpr;
+            fn sub(self, rhs: Var) -> LinExpr {
+                self - LinExpr::from(rhs)
+            }
+        }
+        impl Sub<LinExpr> for Var {
+            type Output = LinExpr;
+            fn sub(self, rhs: LinExpr) -> LinExpr {
+                LinExpr::from(self) - rhs
+            }
+        }
+        impl Sub<f64> for LinExpr {
+            type Output = LinExpr;
+            fn sub(mut self, rhs: f64) -> LinExpr {
+                self.constant -= rhs;
+                self
+            }
+        }
+        impl Mul<Var> for f64 {
+            type Output = LinExpr;
+            fn mul(self, v: Var) -> LinExpr {
+                let mut e = LinExpr::new();
+                e.add_term(v, self);
+                e
+            }
+        }
+        impl Neg for Var {
+            type Output = LinExpr;
+            fn neg(self) -> LinExpr {
+                -LinExpr::from(self)
+            }
+        }
+    };
+}
+impl_var_ops!();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn build_and_eval() {
+        let e = 2.0 * v(0) + 3.0 * v(1) - v(0) + 5.0;
+        assert_eq!(e.coeff(v(0)), 1.0);
+        assert_eq!(e.coeff(v(1)), 3.0);
+        assert_eq!(e.eval(&[2.0, 4.0]), 2.0 + 12.0 + 5.0);
+    }
+
+    #[test]
+    fn cancelling_terms_vanish() {
+        let e = v(3) - v(3);
+        assert!(e.is_empty());
+        assert_eq!(e.coeff(v(3)), 0.0);
+    }
+
+    #[test]
+    fn sum_helper() {
+        let e = LinExpr::sum([v(0), v(1), v(2)]);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.eval(&[1.0, 1.0, 1.0]), 3.0);
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let e = (v(0) + v(1) + 1.0) * 3.0;
+        assert_eq!(e.coeff(v(0)), 3.0);
+        assert_eq!(e.constant(), 3.0);
+    }
+
+    #[test]
+    fn neg_flips_everything() {
+        let e = -(2.0 * v(0) + 1.0);
+        assert_eq!(e.coeff(v(0)), -2.0);
+        assert_eq!(e.constant(), -1.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = 2.0 * v(0) - 1.5 * v(2) + 4.0;
+        let s = e.to_string();
+        assert!(s.contains("x0"));
+        assert!(s.contains("x2"));
+        assert!(s.contains('4'));
+    }
+
+    #[test]
+    fn display_constant_only() {
+        assert_eq!(LinExpr::constant_expr(7.0).to_string(), "7");
+    }
+}

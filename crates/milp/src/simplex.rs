@@ -1,0 +1,870 @@
+//! Bounded-variable revised primal simplex with a dense maintained basis
+//! inverse.
+//!
+//! The LP is solved in *computational form*: `minimize c'x` subject to
+//! `A·x + s = b` with variable bounds `l ≤ x ≤ u`, where one slack `s_i` per
+//! row encodes the constraint sense through its bounds
+//! (`≤` → `s ∈ [0, ∞)`, `≥` → `s ∈ (−∞, 0]`, `=` → `s ∈ [0, 0]`).
+//!
+//! A two-phase start with implicit artificial columns finds an initial
+//! feasible basis; phase 2 then optimizes the true costs. Dantzig pricing is
+//! used with a fallback to Bland's rule when the objective stalls, which
+//! guarantees termination. The basis inverse is maintained with product-form
+//! eta updates and periodically refactorized to bound numerical drift.
+
+use crate::error::MilpError;
+use crate::model::{Cmp, Model, Sense};
+
+/// Feasibility/optimality tolerance.
+const TOL: f64 = 1e-7;
+/// Pivot magnitude below which a column is considered numerically zero.
+const PIVOT_TOL: f64 = 1e-9;
+/// Refactorize the basis inverse every this many eta updates.
+const REFACTOR_EVERY: usize = 64;
+/// Switch to Bland's rule after this many iterations without improvement.
+const STALL_LIMIT: usize = 256;
+
+/// Outcome of one LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// An optimal basic solution was found.
+    Optimal(LpSolution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below (in minimize form).
+    Unbounded,
+}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Objective value (in minimize form, excluding any constant term).
+    pub objective: f64,
+    /// Values of the structural variables.
+    pub x: Vec<f64>,
+    /// Simplex iterations used (both phases).
+    pub iterations: usize,
+}
+
+/// A prepared LP: the model's constraint matrix in computational form with
+/// sparse columns, reusable across branch-and-bound nodes with different
+/// variable bounds.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Number of structural variables.
+    n: usize,
+    /// Number of rows (constraints).
+    m: usize,
+    /// Sparse structural + slack columns: `cols[j]` lists `(row, coeff)`.
+    cols: Vec<Vec<(u32, f64)>>,
+    /// Phase-2 costs for structural variables (minimize form).
+    costs: Vec<f64>,
+    /// Right-hand sides.
+    b: Vec<f64>,
+    /// Lower bounds for structural + slack variables.
+    lb: Vec<f64>,
+    /// Upper bounds for structural + slack variables.
+    ub: Vec<f64>,
+    /// +1.0 if the model was a maximization (to restore the sign).
+    flip: f64,
+}
+
+impl LpProblem {
+    /// Build the computational form of `model`'s LP relaxation.
+    pub fn from_model(model: &Model) -> LpProblem {
+        let n = model.num_vars();
+        let m = model.num_constraints();
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n + m];
+        let mut b = Vec::with_capacity(m);
+        let mut lb = vec![0.0; n + m];
+        let mut ub = vec![0.0; n + m];
+
+        for (j, lbub) in (0..n).map(|j| (j, model.var_bounds(crate::Var(j)))) {
+            lb[j] = lbub.0;
+            ub[j] = lbub.1;
+        }
+        for (i, c) in model.constraints().iter().enumerate() {
+            for (j, a) in c.expr.iter() {
+                cols[j].push((i as u32, a));
+            }
+            let s = n + i;
+            cols[s].push((i as u32, 1.0));
+            let (slb, sub) = match c.cmp {
+                Cmp::Le => (0.0, f64::INFINITY),
+                Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+                Cmp::Eq => (0.0, 0.0),
+            };
+            lb[s] = slb;
+            ub[s] = sub;
+            b.push(c.rhs);
+        }
+
+        let flip = match model.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let mut costs = vec![0.0; n];
+        for (j, c) in model.objective().iter() {
+            costs[j] = flip * c;
+        }
+        LpProblem { n, m, cols, costs, b, lb, ub, flip }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.m
+    }
+
+    /// Solve with the stored bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilpError::Numerical`] if the iteration budget is exhausted
+    /// or the basis becomes singular.
+    pub fn solve(&self, max_iters: usize) -> Result<LpResult, MilpError> {
+        self.solve_with_bounds(None, max_iters)
+    }
+
+    /// Solve with per-node overrides of the *structural* variable bounds
+    /// (used by branch-and-bound). `overrides` must have length
+    /// [`LpProblem::num_vars`] when provided.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilpError::Numerical`] on iteration exhaustion or a
+    /// singular basis.
+    pub fn solve_with_bounds(
+        &self,
+        overrides: Option<(&[f64], &[f64])>,
+        max_iters: usize,
+    ) -> Result<LpResult, MilpError> {
+        let mut lb = self.lb.clone();
+        let mut ub = self.ub.clone();
+        if let Some((olb, oub)) = overrides {
+            debug_assert_eq!(olb.len(), self.n);
+            lb[..self.n].copy_from_slice(olb);
+            ub[..self.n].copy_from_slice(oub);
+        }
+        for j in 0..self.n {
+            if lb[j] > ub[j] + TOL {
+                return Ok(LpResult::Infeasible);
+            }
+        }
+        let mut state = SimplexState::new(self, lb, ub);
+        state.run(max_iters).map(|r| match r {
+            RawResult::Optimal => {
+                // `costs` are in minimize form; report the minimize-form
+                // value (branch-and-bound works in that form and restores
+                // the caller's sense at the end).
+                let min_obj = (0..self.n).map(|j| self.costs[j] * state.x[j]).sum::<f64>();
+                LpResult::Optimal(LpSolution {
+                    objective: min_obj,
+                    x: state.x[..self.n].to_vec(),
+                    iterations: state.iterations,
+                })
+            }
+            RawResult::Infeasible => LpResult::Infeasible,
+            RawResult::Unbounded => LpResult::Unbounded,
+        })
+    }
+
+    /// −1 if the original model was a maximization, +1 otherwise.
+    pub fn sense_flip(&self) -> f64 {
+        self.flip
+    }
+}
+
+enum RawResult {
+    Optimal,
+    Infeasible,
+    Unbounded,
+}
+
+/// Nonbasic status of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NbStatus {
+    AtLower,
+    AtUpper,
+    /// Free variable resting at zero.
+    Free,
+}
+
+struct SimplexState<'a> {
+    prob: &'a LpProblem,
+    m: usize,
+    /// Total real columns (structural + slack).
+    ncols: usize,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    /// Current value per real column.
+    x: Vec<f64>,
+    /// Column index in basis per row; `usize::MAX - i` encodes artificial i.
+    basis: Vec<usize>,
+    /// Row occupied by a basic column, `None` if nonbasic.
+    basic_row: Vec<Option<u32>>,
+    /// Status of nonbasic columns.
+    nb_status: Vec<NbStatus>,
+    /// Dense row-major basis inverse (m×m).
+    binv: Vec<f64>,
+    /// Signs of the implicit artificial columns (`±e_i`).
+    art_sign: Vec<f64>,
+    /// Artificial values (basic artificials only, tracked via basis).
+    art_value: Vec<f64>,
+    /// Whether artificial i is still allowed to be nonzero (phase 1).
+    art_open: Vec<bool>,
+    iterations: usize,
+    updates_since_refactor: usize,
+}
+
+const ART_BASE: usize = usize::MAX / 2;
+
+impl<'a> SimplexState<'a> {
+    fn new(prob: &'a LpProblem, lb: Vec<f64>, ub: Vec<f64>) -> SimplexState<'a> {
+        let m = prob.m;
+        let ncols = prob.n + prob.m;
+        // Rest every real column at a finite bound (preferring lower).
+        let mut x = vec![0.0; ncols];
+        let mut nb_status = vec![NbStatus::AtLower; ncols];
+        for j in 0..ncols {
+            if lb[j].is_finite() {
+                x[j] = lb[j];
+                nb_status[j] = NbStatus::AtLower;
+            } else if ub[j].is_finite() {
+                x[j] = ub[j];
+                nb_status[j] = NbStatus::AtUpper;
+            } else {
+                x[j] = 0.0;
+                nb_status[j] = NbStatus::Free;
+            }
+        }
+        // Residual r = b − A·x determines artificial signs and values.
+        let mut r = prob.b.clone();
+        for (j, x_j) in x.iter().enumerate() {
+            if *x_j != 0.0 {
+                for &(i, a) in &prob.cols[j] {
+                    r[i as usize] -= a * x_j;
+                }
+            }
+        }
+        let mut art_sign = vec![1.0; m];
+        let mut art_value = vec![0.0; m];
+        let mut basis = Vec::with_capacity(m);
+        let mut binv = vec![0.0; m * m];
+        for i in 0..m {
+            art_sign[i] = if r[i] >= 0.0 { 1.0 } else { -1.0 };
+            art_value[i] = r[i].abs();
+            basis.push(ART_BASE + i);
+            // B = diag(art_sign) → B⁻¹ = diag(art_sign).
+            binv[i * m + i] = art_sign[i];
+        }
+        SimplexState {
+            prob,
+            m,
+            ncols,
+            lb,
+            ub,
+            x,
+            basis,
+            basic_row: vec![None; ncols],
+            nb_status,
+            binv,
+            art_sign,
+            art_value,
+            art_open: vec![true; m],
+            iterations: 0,
+            updates_since_refactor: 0,
+        }
+    }
+
+    #[inline]
+    fn is_artificial(col: usize) -> bool {
+        col >= ART_BASE
+    }
+
+    /// Cost of a column under the current phase.
+    fn cost(&self, col: usize, phase1: bool) -> f64 {
+        if Self::is_artificial(col) {
+            if phase1 {
+                1.0
+            } else {
+                0.0
+            }
+        } else if phase1 {
+            0.0
+        } else if col < self.prob.n {
+            self.prob.costs[col]
+        } else {
+            0.0
+        }
+    }
+
+    /// Basic value of the column in basis position `i`.
+    fn basic_value(&self, i: usize) -> f64 {
+        let col = self.basis[i];
+        if Self::is_artificial(col) {
+            self.art_value[col - ART_BASE]
+        } else {
+            self.x[col]
+        }
+    }
+
+    fn set_basic_value(&mut self, i: usize, v: f64) {
+        let col = self.basis[i];
+        if Self::is_artificial(col) {
+            self.art_value[col - ART_BASE] = v;
+        } else {
+            self.x[col] = v;
+        }
+    }
+
+    fn bounds_of(&self, col: usize) -> (f64, f64) {
+        if Self::is_artificial(col) {
+            let i = col - ART_BASE;
+            if self.art_open[i] {
+                (0.0, f64::INFINITY)
+            } else {
+                (0.0, 0.0)
+            }
+        } else {
+            (self.lb[col], self.ub[col])
+        }
+    }
+
+    /// `y = c_B^T · B⁻¹` for the current phase.
+    fn btran(&self, phase1: bool) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (i, &col) in self.basis.iter().enumerate() {
+            let cb = self.cost(col, phase1);
+            if cb != 0.0 {
+                let row = &self.binv[i * m..(i + 1) * m];
+                for (yk, bk) in y.iter_mut().zip(row) {
+                    *yk += cb * bk;
+                }
+            }
+        }
+        y
+    }
+
+    /// `w = B⁻¹ · A_q` for a real column `q`.
+    fn ftran(&self, q: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0; m];
+        for &(i, a) in &self.prob.cols[q] {
+            let i = i as usize;
+            // column of binv: binv[:, i]
+            for k in 0..m {
+                w[k] += self.binv[k * m + i] * a;
+            }
+        }
+        w
+    }
+
+    /// Reduced cost of real column `q`.
+    fn reduced_cost(&self, q: usize, y: &[f64], phase1: bool) -> f64 {
+        let mut d = self.cost(q, phase1);
+        for &(i, a) in &self.prob.cols[q] {
+            d -= y[i as usize] * a;
+        }
+        d
+    }
+
+    fn run(&mut self, max_iters: usize) -> Result<RawResult, MilpError> {
+        // Phase 1: minimize the sum of artificials.
+        let need_phase1 = self.art_value.iter().any(|v| *v > TOL);
+        if need_phase1 {
+            self.optimize(true, max_iters)?;
+            let infeas: f64 = (0..self.m)
+                .filter(|&i| Self::is_artificial(self.basis[i]))
+                .map(|i| self.basic_value(i))
+                .sum();
+            if infeas > 1e-6 {
+                return Ok(RawResult::Infeasible);
+            }
+            // Clamp residual artificials to zero for phase 2.
+            for i in 0..self.m {
+                self.art_open[i] = false;
+                if Self::is_artificial(self.basis[i]) {
+                    let v = self.basic_value(i);
+                    if v.abs() <= 1e-6 {
+                        self.set_basic_value(i, 0.0);
+                    }
+                }
+            }
+        } else {
+            for i in 0..self.m {
+                self.art_open[i] = false;
+            }
+        }
+        // Phase 2.
+        match self.optimize(false, max_iters)? {
+            Phase2::Optimal => Ok(RawResult::Optimal),
+            Phase2::Unbounded => Ok(RawResult::Unbounded),
+        }
+    }
+
+    fn objective_now(&self, phase1: bool) -> f64 {
+        let mut obj = 0.0;
+        for j in 0..self.ncols {
+            let c = self.cost(j, phase1);
+            if c != 0.0 {
+                obj += c * self.x[j];
+            }
+        }
+        if phase1 {
+            obj += self.art_value.iter().sum::<f64>();
+        }
+        obj
+    }
+
+    fn optimize(&mut self, phase1: bool, max_iters: usize) -> Result<Phase2, MilpError> {
+        let mut stall = 0usize;
+        let mut last_obj = f64::INFINITY;
+        loop {
+            self.iterations += 1;
+            if self.iterations > max_iters {
+                return Err(MilpError::Numerical(format!(
+                    "simplex iteration limit {max_iters} exceeded"
+                )));
+            }
+            if self.updates_since_refactor >= REFACTOR_EVERY {
+                self.refactorize()?;
+            }
+            let bland = stall >= STALL_LIMIT;
+            let y = self.btran(phase1);
+
+            // Pricing: pick the entering column.
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, d, dir)
+            for q in 0..self.ncols {
+                if self.basic_row[q].is_some() {
+                    continue;
+                }
+                let (l, u) = self.bounds_of(q);
+                if l == u {
+                    continue; // fixed
+                }
+                let d = self.reduced_cost(q, &y, phase1);
+                let (attractive, dir) = match self.nb_status[q] {
+                    NbStatus::AtLower => (d < -TOL, 1.0),
+                    NbStatus::AtUpper => (d > TOL, -1.0),
+                    NbStatus::Free => (d.abs() > TOL, if d < 0.0 { 1.0 } else { -1.0 }),
+                };
+                if attractive {
+                    if bland {
+                        entering = Some((q, d, dir));
+                        break;
+                    }
+                    match entering {
+                        Some((_, dbest, _)) if d.abs() <= dbest.abs() => {}
+                        _ => entering = Some((q, d, dir)),
+                    }
+                }
+            }
+            let Some((q, _dq, dir)) = entering else {
+                return Ok(Phase2::Optimal);
+            };
+
+            // Ratio test: how far can the entering column move?
+            let w = self.ftran(q);
+            let (lq, uq) = self.bounds_of(q);
+            // Candidate 1: the entering variable flips to its other bound.
+            let mut t_limit = if lq.is_finite() && uq.is_finite() {
+                uq - lq
+            } else {
+                f64::INFINITY
+            };
+            // Candidate 2: some basic variable hits one of its bounds.
+            let mut leaving: Option<(usize, f64)> = None; // (basis pos, bound hit)
+            for i in 0..self.m {
+                let rate = -dir * w[i];
+                if rate.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let (lbi, ubi) = self.bounds_of(self.basis[i]);
+                let xi = self.basic_value(i);
+                let (t_i, hit) = if rate > 0.0 {
+                    if !ubi.is_finite() {
+                        continue;
+                    }
+                    (((ubi - xi) / rate).max(0.0), ubi)
+                } else {
+                    if !lbi.is_finite() {
+                        continue;
+                    }
+                    (((lbi - xi) / rate).max(0.0), lbi)
+                };
+                if t_i < t_limit - 1e-12 {
+                    t_limit = t_i;
+                    leaving = Some((i, hit));
+                } else if (t_i - t_limit).abs() <= 1e-12 {
+                    // Tie: prefer the larger pivot magnitude for stability.
+                    let take = match leaving {
+                        Some((pos, _)) => w[i].abs() > w[pos].abs(),
+                        None => true,
+                    };
+                    if take {
+                        t_limit = t_limit.min(t_i);
+                        leaving = Some((i, hit));
+                    }
+                }
+            }
+
+            if t_limit.is_infinite() {
+                return if phase1 {
+                    Err(MilpError::Numerical("phase-1 subproblem unbounded".into()))
+                } else {
+                    Ok(Phase2::Unbounded)
+                };
+            }
+            let t = t_limit.max(0.0);
+
+            // Apply the step to basic variables.
+            for i in 0..self.m {
+                if w[i].abs() > PIVOT_TOL && t > 0.0 {
+                    let v = self.basic_value(i) - dir * t * w[i];
+                    self.set_basic_value(i, v);
+                }
+            }
+
+            match leaving {
+                None => {
+                    // Bound flip: q jumps to its other bound.
+                    self.x[q] += dir * t;
+                    self.nb_status[q] = match self.nb_status[q] {
+                        NbStatus::AtLower => NbStatus::AtUpper,
+                        NbStatus::AtUpper => NbStatus::AtLower,
+                        NbStatus::Free => NbStatus::Free,
+                    };
+                }
+                Some((r, hit)) => {
+                    let alpha = w[r];
+                    if alpha.abs() <= PIVOT_TOL {
+                        return Err(MilpError::Numerical("zero pivot".into()));
+                    }
+                    // Entering value.
+                    let new_q = self.x[q] + dir * t;
+                    // Leaving column exits at the bound it hit.
+                    let out_col = self.basis[r];
+                    if Self::is_artificial(out_col) {
+                        self.art_value[out_col - ART_BASE] = hit;
+                    } else {
+                        self.x[out_col] = hit;
+                        let (lbo, ubo) = self.bounds_of(out_col);
+                        self.nb_status[out_col] = if (hit - lbo).abs() <= (hit - ubo).abs() {
+                            NbStatus::AtLower
+                        } else {
+                            NbStatus::AtUpper
+                        };
+                        self.basic_row[out_col] = None;
+                    }
+                    // Eta update of binv: row r scaled, others eliminated.
+                    let m = self.m;
+                    let pivot_row: Vec<f64> =
+                        self.binv[r * m..(r + 1) * m].iter().map(|v| v / alpha).collect();
+                    for i in 0..m {
+                        if i == r {
+                            continue;
+                        }
+                        let factor = w[i];
+                        if factor.abs() > 1e-300 {
+                            for k in 0..m {
+                                self.binv[i * m + k] -= factor * pivot_row[k];
+                            }
+                        }
+                    }
+                    self.binv[r * m..(r + 1) * m].copy_from_slice(&pivot_row);
+                    self.basis[r] = q;
+                    self.basic_row[q] = Some(r as u32);
+                    self.x[q] = new_q;
+                    self.updates_since_refactor += 1;
+                }
+            }
+
+            // Stall detection for Bland fallback.
+            let obj = self.objective_now(phase1);
+            if obj < last_obj - 1e-10 {
+                stall = 0;
+                last_obj = obj;
+            } else {
+                stall += 1;
+            }
+            if phase1 {
+                // Early exit: all artificials at zero.
+                let infeas: f64 = self
+                    .basis
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| Self::is_artificial(**c))
+                    .map(|(i, _)| self.basic_value(i))
+                    .sum();
+                if infeas <= TOL / 10.0 {
+                    return Ok(Phase2::Optimal);
+                }
+            }
+        }
+    }
+
+    /// Rebuild `binv` from scratch and recompute basic values.
+    fn refactorize(&mut self) -> Result<(), MilpError> {
+        let m = self.m;
+        // Assemble B column-wise into a dense matrix (row-major mat[m][m]).
+        let mut mat = vec![0.0; m * m];
+        for (pos, &col) in self.basis.iter().enumerate() {
+            if Self::is_artificial(col) {
+                let i = col - ART_BASE;
+                mat[i * m + pos] = self.art_sign[i];
+            } else {
+                for &(i, a) in &self.prob.cols[col] {
+                    mat[i as usize * m + pos] = a;
+                }
+            }
+        }
+        let inv = invert(&mat, m)
+            .ok_or_else(|| MilpError::Numerical("singular basis during refactorization".into()))?;
+        self.binv = inv;
+        self.updates_since_refactor = 0;
+
+        // Recompute basic values: x_B = B⁻¹ (b − N x_N).
+        let mut rhs = self.prob.b.clone();
+        for j in 0..self.ncols {
+            if self.basic_row[j].is_none() && self.x[j] != 0.0 {
+                for &(i, a) in &self.prob.cols[j] {
+                    rhs[i as usize] -= a * self.x[j];
+                }
+            }
+        }
+        for pos in 0..m {
+            let mut v = 0.0;
+            for k in 0..m {
+                v += self.binv[pos * m + k] * rhs[k];
+            }
+            self.set_basic_value(pos, v);
+        }
+        Ok(())
+    }
+}
+
+enum Phase2 {
+    Optimal,
+    Unbounded,
+}
+
+/// Dense Gauss–Jordan inversion with partial pivoting. Returns `None` if the
+/// matrix is singular.
+fn invert(mat: &[f64], n: usize) -> Option<Vec<f64>> {
+    let mut a = mat.to_vec();
+    let mut inv = vec![0.0; n * n];
+    for i in 0..n {
+        inv[i * n + i] = 1.0;
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let mut best = col;
+        let mut best_val = a[col * n + col].abs();
+        for r in col + 1..n {
+            let v = a[r * n + col].abs();
+            if v > best_val {
+                best = r;
+                best_val = v;
+            }
+        }
+        if best_val < 1e-12 {
+            return None;
+        }
+        if best != col {
+            for k in 0..n {
+                a.swap(col * n + k, best * n + k);
+                inv.swap(col * n + k, best * n + k);
+            }
+        }
+        let pivot = a[col * n + col];
+        for k in 0..n {
+            a[col * n + k] /= pivot;
+            inv[col * n + k] /= pivot;
+        }
+        for r in 0..n {
+            if r != col {
+                let f = a[r * n + col];
+                if f != 0.0 {
+                    for k in 0..n {
+                        a[r * n + k] -= f * a[col * n + k];
+                        inv[r * n + k] -= f * inv[col * n + k];
+                    }
+                }
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model, Sense};
+
+    fn lp(model: &Model) -> LpResult {
+        LpProblem::from_model(model).solve(10_000).expect("no numerical failure")
+    }
+
+    #[test]
+    fn simple_2d_max() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, 0 <= x,y <= 10
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_constraint(x + y, Cmp::Le, 4.0);
+        m.add_constraint(x + 3.0 * y, Cmp::Le, 6.0);
+        m.set_objective(3.0 * x + 2.0 * y);
+        match lp(&m) {
+            LpResult::Optimal(sol) => {
+                // optimum at (4, 0) → minimize-form objective is -12
+                assert!((sol.objective - (-12.0)).abs() < 1e-6, "{}", sol.objective);
+                assert!((sol.x[0] - 4.0).abs() < 1e-6);
+                assert!(sol.x[1].abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 3, x - y = 0 → x = y = 1, obj 2
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 100.0);
+        let y = m.add_continuous("y", 0.0, 100.0);
+        m.add_constraint(x + 2.0 * y, Cmp::Eq, 3.0);
+        m.add_constraint(x - y, Cmp::Eq, 0.0);
+        m.set_objective(x + y);
+        match lp(&m) {
+            LpResult::Optimal(sol) => {
+                assert!((sol.objective - 2.0).abs() < 1e-6);
+                assert!((sol.x[0] - 1.0).abs() < 1e-6);
+                assert!((sol.x[1] - 1.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.add_constraint(crate::LinExpr::from(x), Cmp::Ge, 2.0);
+        m.set_objective(crate::LinExpr::from(x));
+        assert_eq!(lp(&m), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.add_constraint(crate::LinExpr::from(x), Cmp::Ge, 0.0);
+        m.set_objective(crate::LinExpr::from(x));
+        assert_eq!(lp(&m), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x s.t. x >= -5 → x = -5.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", -5.0, 5.0);
+        m.add_constraint(LinExprOf(x), Cmp::Le, 5.0);
+        m.set_objective(LinExprOf(x));
+        match lp(&m) {
+            LpResult::Optimal(sol) => assert!((sol.x[0] + 5.0).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[allow(non_snake_case)]
+    fn LinExprOf(v: crate::Var) -> crate::LinExpr {
+        crate::LinExpr::from(v)
+    }
+
+    #[test]
+    fn ge_constraints_work() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 1 → x=9? obj: prefer x
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 2.0, f64::INFINITY);
+        let y = m.add_continuous("y", 1.0, f64::INFINITY);
+        m.add_constraint(x + y, Cmp::Ge, 10.0);
+        m.set_objective(2.0 * x + 3.0 * y);
+        match lp(&m) {
+            LpResult::Optimal(sol) => {
+                assert!((sol.objective - (2.0 * 9.0 + 3.0 * 1.0)).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Klee-Minty-ish degenerate structure still terminates.
+        let mut m = Model::new(Sense::Maximize);
+        let n = 8;
+        let xs: Vec<_> = (0..n).map(|i| m.add_continuous(format!("x{i}"), 0.0, 1e6)).collect();
+        for i in 0..n {
+            let mut e = crate::LinExpr::new();
+            for (j, xj) in xs.iter().enumerate().take(i) {
+                e.add_term(*xj, 2.0 * f64::powi(2.0, (i - j) as i32));
+                let _ = j;
+            }
+            e.add_term(xs[i], 1.0);
+            m.add_constraint(e, Cmp::Le, f64::powi(5.0, i as i32 + 1));
+        }
+        let mut obj = crate::LinExpr::new();
+        for (j, xj) in xs.iter().enumerate() {
+            obj.add_term(*xj, f64::powi(2.0, (n - 1 - j) as i32));
+        }
+        m.set_objective(obj);
+        match lp(&m) {
+            LpResult::Optimal(sol) => {
+                let expect = f64::powi(5.0, n as i32);
+                assert!((sol.objective + expect).abs() / expect < 1e-6, "{}", sol.objective);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bound_flips_reach_optimum() {
+        // max x + y with x,y in [1,3] and x + y <= 100: both at upper bound.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous("x", 1.0, 3.0);
+        let y = m.add_continuous("y", 1.0, 3.0);
+        m.add_constraint(x + y, Cmp::Le, 100.0);
+        m.set_objective(x + y);
+        match lp(&m) {
+            LpResult::Optimal(sol) => {
+                assert!((sol.x[0] - 3.0).abs() < 1e-6);
+                assert!((sol.x[1] - 3.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn solution_satisfies_model() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous("x", 0.0, 4.0);
+        let y = m.add_continuous("y", 0.0, 4.0);
+        let z = m.add_continuous("z", 0.0, 4.0);
+        m.add_constraint(x + y + z, Cmp::Ge, 6.0);
+        m.add_constraint(x - y, Cmp::Le, 1.0);
+        m.add_constraint(2.0 * y + z, Cmp::Eq, 7.0);
+        m.set_objective(x + 2.0 * y + 3.0 * z);
+        match lp(&m) {
+            LpResult::Optimal(sol) => {
+                let mut vals = sol.x.clone();
+                vals.resize(m.num_vars(), 0.0);
+                assert!(m.is_feasible(&vals, 1e-6), "LP solution infeasible: {vals:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based verification of the MILP solver against brute force.
+//!
+//! Small random integer programs are solved both by `cosa-milp` and by
+//! exhaustive enumeration of the integer grid; the solver must agree on
+//! feasibility and on the optimal objective, and any solution it reports
+//! must satisfy the model.
+
+use cosa_milp::{Cmp, LinExpr, Model, MilpError, Sense};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomIp {
+    num_vars: usize,
+    ub: i64,
+    coeffs: Vec<Vec<i64>>, // per-constraint coefficients
+    rhs: Vec<i64>,
+    cmps: Vec<u8>,
+    obj: Vec<i64>,
+    maximize: bool,
+}
+
+fn random_ip() -> impl Strategy<Value = RandomIp> {
+    (2usize..=4, 1i64..=3, 1usize..=3, any::<bool>()).prop_flat_map(
+        |(num_vars, ub, num_cons, maximize)| {
+            let coeffs = prop::collection::vec(
+                prop::collection::vec(-4i64..=4, num_vars),
+                num_cons,
+            );
+            let rhs = prop::collection::vec(-6i64..=12, num_cons);
+            let cmps = prop::collection::vec(0u8..=2, num_cons);
+            let obj = prop::collection::vec(-5i64..=5, num_vars);
+            (coeffs, rhs, cmps, obj).prop_map(move |(coeffs, rhs, cmps, obj)| RandomIp {
+                num_vars,
+                ub,
+                coeffs,
+                rhs,
+                cmps,
+                obj,
+                maximize,
+            })
+        },
+    )
+}
+
+/// Brute-force optimum over the integer grid `[0, ub]^n`, or `None` if
+/// infeasible.
+fn brute_force(ip: &RandomIp) -> Option<i64> {
+    let mut best: Option<i64> = None;
+    let n = ip.num_vars;
+    let base = (ip.ub + 1) as usize;
+    let total = base.pow(n as u32);
+    for idx in 0..total {
+        let mut x = vec![0i64; n];
+        let mut rem = idx;
+        for xi in x.iter_mut() {
+            *xi = (rem % base) as i64;
+            rem /= base;
+        }
+        let ok = ip.coeffs.iter().zip(&ip.rhs).zip(&ip.cmps).all(|((row, rhs), cmp)| {
+            let lhs: i64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+            match cmp {
+                0 => lhs <= *rhs,
+                1 => lhs >= *rhs,
+                _ => lhs == *rhs,
+            }
+        });
+        if ok {
+            let val: i64 = ip.obj.iter().zip(&x).map(|(a, b)| a * b).sum();
+            best = Some(match best {
+                None => val,
+                Some(b) if ip.maximize => b.max(val),
+                Some(b) => b.min(val),
+            });
+        }
+    }
+    best
+}
+
+fn build_model(ip: &RandomIp) -> Model {
+    let sense = if ip.maximize { Sense::Maximize } else { Sense::Minimize };
+    let mut m = Model::new(sense);
+    let vars: Vec<_> =
+        (0..ip.num_vars).map(|i| m.add_integer(format!("x{i}"), 0.0, ip.ub as f64)).collect();
+    for ((row, rhs), cmp) in ip.coeffs.iter().zip(&ip.rhs).zip(&ip.cmps) {
+        let mut e = LinExpr::new();
+        for (v, a) in vars.iter().zip(row) {
+            e.add_term(*v, *a as f64);
+        }
+        let cmp = match cmp {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        m.add_constraint(e, cmp, *rhs as f64);
+    }
+    let mut obj = LinExpr::new();
+    for (v, a) in vars.iter().zip(&ip.obj) {
+        obj.add_term(*v, *a as f64);
+    }
+    m.set_objective(obj);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_matches_brute_force(ip in random_ip()) {
+        let expected = brute_force(&ip);
+        let model = build_model(&ip);
+        match (model.solve(), expected) {
+            (Ok(sol), Some(best)) => {
+                prop_assert!(
+                    (sol.objective() - best as f64).abs() < 1e-6,
+                    "solver found {} but brute force found {best}",
+                    sol.objective()
+                );
+                prop_assert!(model.is_feasible(sol.values(), 1e-6));
+            }
+            (Err(MilpError::Infeasible), None) => {}
+            (got, want) => {
+                prop_assert!(false, "solver {got:?} vs brute force {want:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_integer_optimum(ip in random_ip()) {
+        // The LP relaxation must never be worse than the integer optimum.
+        if let Some(best) = brute_force(&ip) {
+            let model = build_model(&ip);
+            let lp = cosa_milp::simplex::LpProblem::from_model(&model);
+            if let Ok(cosa_milp::simplex::LpResult::Optimal(sol)) = lp.solve(20_000) {
+                // LP objective is minimize-form; convert.
+                let lp_obj = lp.sense_flip() * sol.objective;
+                if ip.maximize {
+                    prop_assert!(lp_obj >= best as f64 - 1e-6, "lp {lp_obj} < int {best}");
+                } else {
+                    prop_assert!(lp_obj <= best as f64 + 1e-6, "lp {lp_obj} > int {best}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Loop-nest analysis: per-level, per-tensor tile/fill/instance statistics.
+
+use cosa_spec::{Arch, DataTensor, Layer, Schedule};
+
+/// Derived statistics for one `(memory level, tensor)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorLevelStats {
+    /// Elements of the tensor resident in one instance of this level
+    /// (exact input halo applied).
+    pub tile_elements: u64,
+    /// How many times one instance's tile is (re)loaded over the whole layer,
+    /// accounting for inter-tile reuse: only a tensor-relevant temporal loop
+    /// above this level forces a reload.
+    pub fills: u64,
+    /// Number of *distinct* tiles one instance observes (product of relevant
+    /// temporal loop bounds above). `fills − distinct` counts re-fetches of
+    /// previously seen tiles (for outputs: partial-sum read-backs).
+    pub distinct: u64,
+    /// Physical instances of this level (product of all spatial loop bounds
+    /// strictly above it).
+    pub instances: u64,
+    /// Index of the next level above that stores this tensor (its traffic
+    /// parent), or `None` for the top level.
+    pub parent: Option<usize>,
+    /// Product of tensor-relevant spatial bounds at levels in
+    /// `(level, parent]` — the unicast fan-out between parent and child.
+    /// The irrelevant remainder is multicast (weights) or reduction
+    /// (outputs), which does not multiply parent-side accesses.
+    pub relevant_spatial_to_parent: u64,
+    /// For outputs: `true` while reduction loops (over tensor-irrelevant
+    /// dimensions `R, S, C`) still exist above this level, i.e. tiles
+    /// leaving the level are 24-bit partial sums. Once reduction is
+    /// complete they quantize to the activation precision.
+    pub partial_above: bool,
+}
+
+/// Full analysis of a schedule against a layer and architecture: the access
+/// statistics of every stored `(level, tensor)` pair plus global counts.
+#[derive(Debug, Clone)]
+pub struct NestAnalysis {
+    /// `stats[level][tensor]`, `None` when the tensor bypasses the level.
+    pub stats: Vec<[Option<TensorLevelStats>; DataTensor::COUNT]>,
+    /// Product of every temporal loop bound (per-PE sequential iterations).
+    pub compute_cycles: u64,
+    /// Total MAC operations of the layer.
+    pub total_macs: u64,
+    /// For each tensor, its innermost stored level.
+    pub innermost_level: [usize; DataTensor::COUNT],
+    /// For each tensor, bytes consumed from its innermost level per whole
+    /// layer (MAC-feeding traffic, after spatial multicast reuse below that
+    /// level).
+    pub inner_access_elements: [u64; DataTensor::COUNT],
+}
+
+impl NestAnalysis {
+    /// Analyze `schedule` (assumed validated) for `layer` on `arch`.
+    pub fn new(layer: &Layer, arch: &Arch, schedule: &Schedule) -> NestAnalysis {
+        let num_levels = arch.num_levels();
+        let flat = schedule.flat_loops(); // outermost-first
+        let compute_cycles: u64 =
+            flat.iter().filter(|(_, l)| !l.spatial).map(|(_, l)| l.bound).product();
+
+        let mut stats: Vec<[Option<TensorLevelStats>; 3]> = vec![[None, None, None]; num_levels];
+        let mut innermost_level = [usize::MAX; 3];
+        let mut inner_access_elements = [0u64; 3];
+
+        for v in DataTensor::ALL {
+            let stored: Vec<usize> =
+                (0..num_levels).filter(|&i| arch.levels()[i].stores(v)).collect();
+            debug_assert!(!stored.is_empty(), "DRAM stores everything");
+            innermost_level[v.index()] = stored[0];
+
+            for (si, &level) in stored.iter().enumerate() {
+                let parent = stored.get(si + 1).copied();
+
+                // Temporal loops above `level`, innermost-first for the
+                // trailing-irrelevant-run scan.
+                let mut all_above: u64 = 1;
+                let mut relevant_above: u64 = 1;
+                for (lvl, lp) in &flat {
+                    if *lvl > level && !lp.spatial {
+                        all_above *= lp.bound;
+                        if v.relevant_to(lp.dim) {
+                            relevant_above *= lp.bound;
+                        }
+                    }
+                }
+                // Scan from the innermost loop above this level outward,
+                // multiplying irrelevant bounds until the first relevant one:
+                // those iterations reuse the resident tile.
+                let mut reuse_run: u64 = 1;
+                for (lvl, lp) in flat.iter().rev() {
+                    if *lvl <= level || lp.spatial {
+                        continue;
+                    }
+                    if v.relevant_to(lp.dim) {
+                        break;
+                    }
+                    reuse_run *= lp.bound;
+                }
+                let fills = all_above / reuse_run;
+
+                let mut instances: u64 = 1;
+                for (lvl, lp) in &flat {
+                    if *lvl > level && lp.spatial {
+                        instances *= lp.bound;
+                    }
+                }
+                let mut relevant_spatial_to_parent: u64 = 1;
+                if let Some(p) = parent {
+                    for (lvl, lp) in &flat {
+                        if *lvl > level && *lvl <= p && lp.spatial && v.relevant_to(lp.dim) {
+                            relevant_spatial_to_parent *= lp.bound;
+                        }
+                    }
+                }
+
+                let tile = schedule.stored_tile(level);
+                let tile_elements = v.tile_elements(&tile, layer);
+
+                let partial_above = flat
+                    .iter()
+                    .any(|(lvl, lp)| *lvl > level && !v.relevant_to(lp.dim) && lp.bound > 1);
+
+                stats[level][v.index()] = Some(TensorLevelStats {
+                    tile_elements,
+                    fills,
+                    distinct: relevant_above,
+                    instances,
+                    parent,
+                    relevant_spatial_to_parent,
+                    partial_above,
+                });
+            }
+
+            // MAC-feeding accesses from the innermost stored level: per
+            // compute cycle, each group of spatially-parallel units below
+            // that level consumes one element per *relevant* spatial lane
+            // (irrelevant lanes share the same element — spatial reuse).
+            let inner = innermost_level[v.index()];
+            let mut irrelevant_spatial_below: u64 = 1;
+            for (lvl, lp) in &flat {
+                if *lvl <= inner && lp.spatial && !v.relevant_to(lp.dim) {
+                    irrelevant_spatial_below *= lp.bound;
+                }
+            }
+            inner_access_elements[v.index()] = layer.macs() / irrelevant_spatial_below;
+        }
+
+        NestAnalysis {
+            stats,
+            compute_cycles,
+            total_macs: layer.macs(),
+            innermost_level,
+            inner_access_elements,
+        }
+    }
+
+    /// Statistics for `(level, tensor)` if the tensor is stored there.
+    pub fn get(&self, level: usize, v: DataTensor) -> Option<&TensorLevelStats> {
+        self.stats[level][v.index()].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosa_spec::{Arch, Dim, Loop};
+
+    fn arch() -> Arch {
+        Arch::simba_baseline()
+    }
+
+    /// Layer with K=4, C=4, P=4 only; easy to reason about.
+    fn small_layer() -> Layer {
+        Layer::conv("small", 1, 1, 4, 1, 4, 4, 1, 1, 1)
+    }
+
+    #[test]
+    fn dram_streaming_counts() {
+        // All loops at DRAM level, order (outer→inner): K, C, P.
+        let layer = small_layer();
+        let arch = arch();
+        let mut s = Schedule::new(arch.num_levels());
+        for (d, b) in [(Dim::K, 4), (Dim::C, 4), (Dim::P, 4)] {
+            s.push(arch.dram_level(), Loop::temporal(d, b));
+        }
+        let a = NestAnalysis::new(&layer, &arch, &s);
+        assert_eq!(a.compute_cycles, 64);
+
+        // Weight tile at WeightBuf (level 2) = 1 element; fills: loops above
+        // are K,C,P with P innermost and irrelevant to W → reuse run 4,
+        // fills = 64/4 = 16 = K*C (every weight fetched once per... K*C
+        // distinct weights, P reused).
+        let w = a.get(2, DataTensor::Weights).unwrap();
+        assert_eq!(w.tile_elements, 1);
+        assert_eq!(w.fills, 16);
+        assert_eq!(w.distinct, 16);
+
+        // Output tile at AccBuf (level 1): loops above K,C,P; innermost
+        // relevant is P (relevant) → no reuse run; fills = 64. Distinct
+        // output points = K*P = 16, so 48 of those fills are partial-sum
+        // revisits (C advances above P).
+        let o = a.get(1, DataTensor::Outputs).unwrap();
+        assert_eq!(o.fills, 64);
+        assert_eq!(o.distinct, 16);
+
+        // Inputs at InputBuf (level 3): innermost loop P relevant → fills 64,
+        // distinct = C*P = 16 (K above revisits inputs).
+        let i = a.get(3, DataTensor::Inputs).unwrap();
+        assert_eq!(i.fills, 64);
+        assert_eq!(i.distinct, 16);
+    }
+
+    #[test]
+    fn permutation_changes_weight_fills() {
+        // Same loops, P outermost instead of innermost: K,C adjacent to the
+        // weight buffer are relevant → weights refetched every iteration.
+        let layer = small_layer();
+        let arch = arch();
+        let mut s = Schedule::new(arch.num_levels());
+        for (d, b) in [(Dim::P, 4), (Dim::K, 4), (Dim::C, 4)] {
+            s.push(arch.dram_level(), Loop::temporal(d, b));
+        }
+        let a = NestAnalysis::new(&layer, &arch, &s);
+        let w = a.get(2, DataTensor::Weights).unwrap();
+        assert_eq!(w.fills, 64); // no trailing irrelevant run
+        assert_eq!(w.distinct, 16); // but only 16 distinct tiles exist
+    }
+
+    #[test]
+    fn spatial_mapping_sets_instances_and_unicast() {
+        // K=4 spatial at the NoC level: 4 PEs each with distinct weights
+        // (unicast) and the same inputs (multicast).
+        let layer = small_layer();
+        let arch = arch();
+        let mut s = Schedule::new(arch.num_levels());
+        s.push(arch.noc_level(), Loop::spatial(Dim::K, 4));
+        for (d, b) in [(Dim::C, 4), (Dim::P, 4)] {
+            s.push(arch.dram_level(), Loop::temporal(d, b));
+        }
+        let a = NestAnalysis::new(&layer, &arch, &s);
+        let w = a.get(2, DataTensor::Weights).unwrap();
+        assert_eq!(w.instances, 4);
+        // W's parent is DRAM (level 5); K spatial at level 4 is within
+        // (2, 5] and relevant → unicast ×4.
+        assert_eq!(w.relevant_spatial_to_parent, 4);
+
+        let i = a.get(3, DataTensor::Inputs).unwrap();
+        assert_eq!(i.instances, 4);
+        // K irrelevant to inputs → multicast; no relevant spatial.
+        assert_eq!(i.relevant_spatial_to_parent, 1);
+    }
+
+    #[test]
+    fn inner_access_spatial_reuse() {
+        // C=4 spatial at the register boundary: weights per lane are
+        // distinct (C relevant to W) but the output update is shared...
+        // rather: outputs irrelevant to C → 4 lanes reduce into one OA
+        // element: OA inner accesses divided by 4.
+        let layer = small_layer();
+        let arch = arch();
+        let mut s = Schedule::new(arch.num_levels());
+        s.push(0, Loop::spatial(Dim::C, 4));
+        for (d, b) in [(Dim::K, 4), (Dim::P, 4)] {
+            s.push(arch.dram_level(), Loop::temporal(d, b));
+        }
+        let a = NestAnalysis::new(&layer, &arch, &s);
+        assert_eq!(a.total_macs, 64);
+        assert_eq!(a.inner_access_elements[DataTensor::Weights.index()], 64);
+        assert_eq!(a.inner_access_elements[DataTensor::Outputs.index()], 16);
+    }
+
+    #[test]
+    fn instances_exclude_spatial_at_own_level() {
+        let layer = small_layer();
+        let arch = arch();
+        let mut s = Schedule::new(arch.num_levels());
+        s.push(arch.noc_level(), Loop::spatial(Dim::K, 4));
+        s.push(arch.dram_level(), Loop::temporal(Dim::C, 4));
+        s.push(arch.dram_level(), Loop::temporal(Dim::P, 4));
+        let a = NestAnalysis::new(&layer, &arch, &s);
+        // The global buffer itself is a single instance; the spatial loop at
+        // its level multiplies the instances of levels below only.
+        let gb = a.get(arch.noc_level(), DataTensor::Inputs).unwrap();
+        assert_eq!(gb.instances, 1);
+        let ib = a.get(3, DataTensor::Inputs).unwrap();
+        assert_eq!(ib.instances, 4);
+    }
+}

@@ -1,0 +1,49 @@
+//! # cosa-model
+//!
+//! A Timeloop-like analytical performance and energy model for spatial DNN
+//! accelerators (the first evaluation platform of the paper, Sec. IV-A).
+//!
+//! Given a [`cosa_spec::Schedule`], a [`cosa_spec::Layer`] and a
+//! [`cosa_spec::Arch`], the model derives, per memory level and data tensor:
+//!
+//! * **tile sizes** (with the exact input halo),
+//! * **fill counts** with inter-tile reuse — a tile is re-fetched only when
+//!   a tensor-relevant temporal loop above it advances (the same
+//!   innermost-relevant rule the CoSA traffic objective encodes in Eq. 9–10),
+//! * **spatial instance counts** and multicast/unicast/reduction factors
+//!   derived from the dimension–tensor relevance matrix `A` (Fig. 5),
+//! * total access **bytes** per level, from which it reports:
+//!   - `compute_cycles` — the product of all temporal loop bounds,
+//!   - `latency_cycles` — `max(compute, per-level bytes / bandwidth)`
+//!     assuming perfect double buffering, exactly as Timeloop reports,
+//!   - `energy_pj` — Σ accesses × energy/access plus MAC energy.
+//!
+//! # Example
+//!
+//! ```
+//! use cosa_spec::{Arch, Layer, Schedule, Loop, Dim};
+//! use cosa_model::CostModel;
+//!
+//! let layer = Layer::parse_paper_name("3_7_512_512_1")?;
+//! let arch = Arch::simba_baseline();
+//! // A naive schedule: everything streamed from DRAM.
+//! let mut s = Schedule::new(arch.num_levels());
+//! for d in Dim::ALL {
+//!     for p in layer.prime_factors(d) {
+//!         s.push(arch.dram_level(), Loop::temporal(d, p));
+//!     }
+//! }
+//! let model = CostModel::new(&arch);
+//! let eval = model.evaluate(&layer, &s)?;
+//! assert_eq!(eval.compute_cycles, layer.macs());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod analysis;
+mod cost;
+
+pub use analysis::{NestAnalysis, TensorLevelStats};
+pub use cost::{CostModel, Evaluation, LevelTraffic};

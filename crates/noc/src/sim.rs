@@ -1,0 +1,290 @@
+//! Layer-latency composition: per-type flit simulations + exact counts.
+
+use std::collections::HashMap;
+
+use cosa_spec::{Arch, DataTensor, Layer, Schedule, SpecError};
+
+use crate::mesh::{MeshConfig, MeshSim, PacketSpec};
+use crate::traffic::TrafficPlan;
+
+/// Timing of one iteration class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeTiming {
+    /// Occurrences over the layer.
+    pub count: f64,
+    /// Cycle-accurate NoC transfer time of the class's packet set.
+    pub noc_cycles: u64,
+    /// DRAM service time for the class (bandwidth + first-access latency).
+    pub dram_cycles: f64,
+    /// Tensors re-sent downstream.
+    pub resend: [bool; DataTensor::COUNT],
+}
+
+/// The NoC simulator's verdict on one schedule.
+#[derive(Debug, Clone)]
+pub struct NocReport {
+    /// End-to-end layer latency in cycles.
+    pub total_cycles: f64,
+    /// Total sequential compute cycles (product of temporal bounds).
+    pub compute_cycles: u64,
+    /// Σ per-iteration `max(compute, NoC)` — the PE/NoC pipeline bound.
+    pub pipeline_cycles: f64,
+    /// Total DRAM service cycles — the memory-stream bound.
+    pub dram_cycles: f64,
+    /// Per-class timings.
+    pub types: Vec<TypeTiming>,
+    /// PEs with work mapped to them.
+    pub pes_used: usize,
+}
+
+impl NocReport {
+    /// `true` when the layer is limited by communication rather than
+    /// compute (the schedules Fig. 10 punishes).
+    pub fn communication_bound(&self) -> bool {
+        self.total_cycles > 1.05 * self.compute_cycles as f64
+    }
+}
+
+/// Cycle-level NoC evaluation platform (Sec. IV-A).
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct NocSimulator {
+    arch: Arch,
+}
+
+impl NocSimulator {
+    /// A simulator for `arch`.
+    pub fn new(arch: &Arch) -> NocSimulator {
+        NocSimulator { arch: arch.clone() }
+    }
+
+    /// Validate and simulate `schedule`, returning the latency report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidSchedule`] for schedules that do not fit
+    /// the architecture.
+    pub fn simulate(&self, layer: &Layer, schedule: &Schedule) -> Result<NocReport, SpecError> {
+        schedule.validate(layer, &self.arch)?;
+        Ok(self.simulate_unchecked(layer, schedule))
+    }
+
+    /// Simulate without validity checks.
+    pub fn simulate_unchecked(&self, layer: &Layer, schedule: &Schedule) -> NocReport {
+        let plan = TrafficPlan::build(layer, &self.arch, schedule);
+        let cfg = MeshConfig::from_noc(self.arch.noc());
+        let dram_bw = self.arch.noc().dram_bandwidth;
+        let dram_lat = self.arch.noc().dram_latency as f64;
+
+        // Per-class flit simulation, memoized on the transfer-set shape.
+        let mut cache: HashMap<(bool, bool, bool, bool, bool), u64> = HashMap::new();
+        let mut types = Vec::with_capacity(plan.types.len());
+        let mut pipeline = 0.0f64;
+        let mut dram_total = 0.0f64;
+        for t in &plan.types {
+            let key = (
+                t.resend[0],
+                t.resend[1],
+                t.resend[2],
+                t.oa_readback,
+                t.oa_writeback,
+            );
+            let noc_cycles = *cache.entry(key).or_insert_with(|| {
+                let mut packets: Vec<PacketSpec> = Vec::new();
+                for v in DataTensor::ALL {
+                    if t.resend[v.index()] && v != DataTensor::Outputs {
+                        packets.extend_from_slice(&plan.down_packets[v.index()]);
+                    }
+                }
+                if t.oa_readback {
+                    packets.extend_from_slice(&plan.down_packets[DataTensor::Outputs.index()]);
+                }
+                if t.oa_writeback {
+                    packets.extend_from_slice(&plan.up_packets);
+                }
+                if packets.is_empty() {
+                    0
+                } else {
+                    MeshSim::new(cfg).run(&packets)
+                }
+            });
+            let dram_cycles = if t.dram_bytes > 0.0 {
+                dram_lat + t.dram_bytes / dram_bw
+            } else {
+                0.0
+            };
+            pipeline += t.count * (plan.compute_per_iter as f64).max(noc_cycles as f64);
+            dram_total += t.count * dram_cycles;
+            types.push(TypeTiming {
+                count: t.count,
+                noc_cycles,
+                dram_cycles,
+                resend: t.resend,
+            });
+        }
+
+        // Iterations without any transfer still take their compute time.
+        let total_iters = plan.total_iterations();
+        let counted: f64 = plan.types.iter().map(|t| t.count).sum();
+        debug_assert!((total_iters - counted).abs() < 1e-6);
+
+        // Double buffering overlaps the NoC stream of iteration t+1 with
+        // the compute of iteration t, and the DRAM stream with both; the
+        // layer is bound by the slowest of the two pipelines, plus one
+        // final output drain.
+        let drain = types
+            .iter()
+            .filter(|t| t.resend[DataTensor::Outputs.index()])
+            .map(|t| t.noc_cycles as f64)
+            .fold(0.0, f64::max);
+        let total_cycles = pipeline.max(dram_total) + drain;
+
+        NocReport {
+            total_cycles,
+            compute_cycles: schedule.temporal_product(),
+            pipeline_cycles: pipeline,
+            dram_cycles: dram_total,
+            types,
+            pes_used: plan.pes_used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosa_spec::{Dim, Loop};
+
+    fn arch() -> Arch {
+        Arch::simba_baseline()
+    }
+
+    /// Sequential all-DRAM schedule.
+    fn naive(layer: &Layer, arch: &Arch) -> Schedule {
+        let mut s = Schedule::new(arch.num_levels());
+        for d in Dim::ALL {
+            for p in layer.prime_factors(d) {
+                s.push(arch.dram_level(), Loop::temporal(d, p));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn latency_at_least_compute() {
+        let arch = arch();
+        let layer = Layer::conv("t", 3, 3, 8, 8, 8, 8, 1, 1, 1);
+        let s = naive(&layer, &arch);
+        let report = NocSimulator::new(&arch).simulate(&layer, &s).unwrap();
+        assert!(report.total_cycles >= report.compute_cycles as f64 * 0.99);
+        assert_eq!(report.compute_cycles, layer.macs());
+    }
+
+    #[test]
+    fn spatial_schedule_is_faster() {
+        let arch = arch();
+        let layer = Layer::conv("t", 1, 1, 8, 8, 16, 16, 1, 1, 1);
+        let sim = NocSimulator::new(&arch);
+
+        let seq = naive(&layer, &arch);
+        let report_seq = sim.simulate(&layer, &seq).unwrap();
+
+        let mut par = Schedule::new(arch.num_levels());
+        par.push(arch.noc_level(), Loop::spatial(Dim::K, 16));
+        // Keep weight/input tiles inside PE buffers: C below the NoC.
+        for d in [Dim::C] {
+            for p in layer.prime_factors(d) {
+                par.push(2, Loop::temporal(d, p));
+            }
+        }
+        for d in [Dim::P, Dim::Q] {
+            for p in layer.prime_factors(d) {
+                par.push(arch.noc_level(), Loop::temporal(d, p));
+            }
+        }
+        let report_par = sim.simulate(&layer, &par).unwrap();
+        assert!(
+            report_par.total_cycles * 4.0 < report_seq.total_cycles,
+            "parallel {} vs sequential {}",
+            report_par.total_cycles,
+            report_seq.total_cycles
+        );
+    }
+
+    #[test]
+    fn permutation_affects_noc_latency() {
+        // Two schedules differing only in the NoC-level loop order: the
+        // weight-reusing order (irrelevant P innermost) must not be slower.
+        let arch = arch();
+        let layer = Layer::conv("t", 1, 1, 16, 1, 64, 16, 1, 1, 1);
+        let sim = NocSimulator::new(&arch);
+        let build = |p_inner: bool| {
+            let mut s = Schedule::new(arch.num_levels());
+            s.push(arch.noc_level(), Loop::spatial(Dim::K, 16));
+            let loops =
+                if p_inner { [(Dim::C, 64), (Dim::P, 16)] } else { [(Dim::P, 16), (Dim::C, 64)] };
+            for (d, b) in loops {
+                for f in cosa_spec::primes::factorize(b) {
+                    s.push(arch.noc_level(), Loop::temporal(d, f));
+                }
+            }
+            s
+        };
+        let p_inner = sim.simulate(&layer, &build(true)).unwrap();
+        let c_inner = sim.simulate(&layer, &build(false)).unwrap();
+        assert!(
+            p_inner.total_cycles <= c_inner.total_cycles,
+            "P-inner {} vs C-inner {}",
+            p_inner.total_cycles,
+            c_inner.total_cycles
+        );
+    }
+
+    #[test]
+    fn fc_layers_are_memory_bound() {
+        // A fully-connected layer: huge weights, tiny activations — DRAM
+        // streaming dominates any schedule (Sec. V-C's observation).
+        let arch = arch();
+        let layer = Layer::matmul("fc", 2048, 1000, 1);
+        let mut s = Schedule::new(arch.num_levels());
+        // Use the MAC vector (C across 64 lanes) and 8 PEs (K): compute
+        // shrinks to 4000 cycles while 2 MB of weights stream from DRAM.
+        for _ in 0..6 {
+            s.push(0, Loop::spatial(Dim::C, 2));
+        }
+        for _ in 0..5 {
+            s.push(1, Loop::temporal(Dim::C, 2));
+        }
+        s.push(arch.noc_level(), Loop::spatial(Dim::K, 8));
+        for p in cosa_spec::primes::factorize(125) {
+            s.push(arch.noc_level(), Loop::temporal(Dim::K, p));
+        }
+        let report = NocSimulator::new(&arch).simulate(&layer, &s).unwrap();
+        assert!(report.dram_cycles > report.compute_cycles as f64);
+        assert!(report.communication_bound());
+    }
+
+    #[test]
+    fn report_types_cover_all_iterations() {
+        let arch = arch();
+        let layer = Layer::conv("t", 3, 3, 4, 4, 8, 8, 1, 1, 1);
+        let mut s = naive(&layer, &arch);
+        // Move some loops to the NoC level for a multi-type plan.
+        let dram = arch.dram_level();
+        let moved: Vec<Loop> = s.level_mut(dram).loops.drain(..4).collect();
+        for lp in moved {
+            s.push(arch.noc_level(), lp);
+        }
+        let report = NocSimulator::new(&arch).simulate(&layer, &s).unwrap();
+        let sum: f64 = report.types.iter().map(|t| t.count).sum();
+        let expect: u64 = s.levels()[arch.noc_level()]
+            .loops
+            .iter()
+            .chain(&s.levels()[dram].loops)
+            .filter(|l| !l.spatial)
+            .map(|l| l.bound)
+            .product();
+        assert!((sum - expect as f64).abs() < 1e-6, "{sum} vs {expect}");
+    }
+}

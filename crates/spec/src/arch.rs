@@ -1,0 +1,537 @@
+//! Spatial-accelerator architecture templates (Fig. 2, Table V).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::tensor::DataTensor;
+use crate::SpecError;
+
+/// One level of the software-managed memory hierarchy.
+///
+/// `capacity[v]` encodes both the paper's memory-level-to-tensor matrix `B`
+/// (Table IV, right) and the per-tensor capacity bound `M_{I,v}` of Eq. 2:
+/// `None` means tensor `v` bypasses this level, `Some(bytes)` means it may be
+/// buffered here within the given budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemLevel {
+    /// Human-readable name (`Register`, `AccBuf`, ...).
+    pub name: String,
+    /// Per-tensor byte capacity; `None` = the tensor bypasses this level.
+    pub capacity: [Option<u64>; DataTensor::COUNT],
+    /// Spatial fanout at this level's boundary: how many parallel child
+    /// instances a loop mapped `spatial` here may be distributed across
+    /// (1 = no spatial mapping allowed at this level).
+    pub spatial_fanout: u64,
+    /// Read/write bandwidth in bytes per cycle, for the analytical
+    /// double-buffered latency bound.
+    pub bandwidth: f64,
+    /// Access energy in pJ per byte, for the Timeloop-style energy model.
+    pub energy_per_byte: f64,
+}
+
+impl MemLevel {
+    /// `true` iff tensor `v` may be stored at this level (the `B` matrix).
+    #[inline]
+    pub fn stores(&self, v: DataTensor) -> bool {
+        self.capacity[v.index()].is_some()
+    }
+
+    /// Capacity in bytes for tensor `v`, or `None` if bypassed.
+    #[inline]
+    pub fn capacity_for(&self, v: DataTensor) -> Option<u64> {
+        self.capacity[v.index()]
+    }
+
+    /// Total capacity across stored tensors, in bytes (saturating, since
+    /// DRAM capacity is modelled as `u64::MAX` per tensor).
+    pub fn total_capacity(&self) -> u64 {
+        self.capacity
+            .iter()
+            .flatten()
+            .fold(0u64, |acc, c| acc.saturating_add(*c))
+    }
+}
+
+/// Network-on-chip and DRAM parameters (Table V, *Network* column, plus the
+/// DRAMSim2-like main-memory model of Sec. IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocParams {
+    /// Mesh width (PE columns).
+    pub mesh_x: usize,
+    /// Mesh height (PE rows).
+    pub mesh_y: usize,
+    /// Flit size in bytes (paper: 64 b = 8 B).
+    pub flit_bytes: u64,
+    /// Router pipeline latency per hop, in cycles.
+    pub router_latency: u64,
+    /// Link traversal latency, in cycles.
+    pub link_latency: u64,
+    /// Per-input-port buffer depth, in flits.
+    pub buffer_depth: usize,
+    /// Whether routers replicate flits for multicast requests.
+    pub multicast: bool,
+    /// DRAM first-word access latency in cycles.
+    pub dram_latency: u64,
+    /// DRAM sustained bandwidth in bytes per cycle.
+    pub dram_bandwidth: f64,
+}
+
+impl NocParams {
+    /// Total number of processing elements in the mesh.
+    pub fn num_pes(&self) -> usize {
+        self.mesh_x * self.mesh_y
+    }
+}
+
+/// A spatial DNN accelerator: a PE array on a 2-D mesh NoC with a multi-level
+/// software-managed memory hierarchy (the architecture template of Fig. 2).
+///
+/// Levels are ordered innermost first: index 0 is the per-MAC register file,
+/// the last index is DRAM. [`Arch::noc_level`] marks the level whose boundary
+/// is the PE-array NoC (the global buffer in the baseline).
+///
+/// # Example
+///
+/// ```
+/// use cosa_spec::{Arch, DataTensor};
+/// let arch = Arch::simba_baseline();
+/// assert_eq!(arch.num_pes(), 16);
+/// assert_eq!(arch.levels().len(), 6);
+/// // The global buffer stores activations but not weights (Table IV).
+/// let gb = &arch.levels()[arch.noc_level()];
+/// assert!(gb.stores(DataTensor::Inputs));
+/// assert!(!gb.stores(DataTensor::Weights));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Arch {
+    name: String,
+    levels: Vec<MemLevel>,
+    noc_level: usize,
+    macs_per_pe: u64,
+    precision: [u64; DataTensor::COUNT],
+    mac_energy_pj: f64,
+    noc: NocParams,
+}
+
+impl Arch {
+    /// Construct a fully custom architecture (used e.g. for the GPU case
+    /// study of Sec. V-D, which maps CUDA thread hierarchies onto the same
+    /// level/fanout template).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::BadArch`] when the configuration is
+    /// inconsistent (see [`Arch::validate`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn custom(
+        name: impl Into<String>,
+        levels: Vec<MemLevel>,
+        noc_level: usize,
+        macs_per_pe: u64,
+        precision: [u64; DataTensor::COUNT],
+        mac_energy_pj: f64,
+        noc: NocParams,
+    ) -> Result<Arch, SpecError> {
+        let arch = Arch {
+            name: name.into(),
+            levels,
+            noc_level,
+            macs_per_pe,
+            precision,
+            mac_energy_pj,
+            noc,
+        };
+        arch.validate()?;
+        Ok(arch)
+    }
+
+    /// The baseline Simba-like accelerator of Table V:
+    /// 4×4 PEs, 64 MACs/PE, 64 B registers, 3 KB accumulation buffer,
+    /// 32 KB weight buffer, 8 KB input buffer per PE, a 128 KB shared global
+    /// buffer, 8-bit weights/inputs and 24-bit partial sums.
+    pub fn simba_baseline() -> Arch {
+        ArchBuilder::new("simba-4x4").build().expect("baseline arch is valid")
+    }
+
+    /// The Fig. 9a variant: an 8×8 PE array with on-chip and DRAM bandwidth
+    /// doubled.
+    pub fn simba_8x8() -> Arch {
+        ArchBuilder::new("simba-8x8")
+            .mesh(8, 8)
+            .bandwidth_scale(2.0)
+            .build()
+            .expect("8x8 arch is valid")
+    }
+
+    /// The Fig. 9b variant: local buffers doubled and the global buffer 8×
+    /// larger.
+    pub fn simba_big_buffers() -> Arch {
+        ArchBuilder::new("simba-bigbuf")
+            .local_buffer_scale(2)
+            .global_buffer_scale(8)
+            .build()
+            .expect("big-buffer arch is valid")
+    }
+
+    /// Architecture name for reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Memory levels, innermost (registers) first, DRAM last.
+    pub fn levels(&self) -> &[MemLevel] {
+        &self.levels
+    }
+
+    /// Index of the level whose lower boundary is the PE-array NoC
+    /// (the global buffer in the baseline).
+    pub fn noc_level(&self) -> usize {
+        self.noc_level
+    }
+
+    /// Index of the DRAM level (always the outermost).
+    pub fn dram_level(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Number of memory levels including DRAM.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total PEs in the mesh.
+    pub fn num_pes(&self) -> usize {
+        self.noc.num_pes()
+    }
+
+    /// MAC units per PE.
+    pub fn macs_per_pe(&self) -> u64 {
+        self.macs_per_pe
+    }
+
+    /// Datatype size in bytes for tensor `v`
+    /// (baseline: 1 B weights/inputs, 3 B partial sums).
+    pub fn precision(&self, v: DataTensor) -> u64 {
+        self.precision[v.index()]
+    }
+
+    /// Energy per MAC operation in pJ.
+    pub fn mac_energy_pj(&self) -> f64 {
+        self.mac_energy_pj
+    }
+
+    /// NoC and DRAM parameters.
+    pub fn noc(&self) -> &NocParams {
+        &self.noc
+    }
+
+    /// Spatial fanout at level `i` (1 if no spatial mapping is possible).
+    pub fn spatial_fanout(&self, level: usize) -> u64 {
+        self.levels[level].spatial_fanout
+    }
+
+    /// Validate internal consistency; called by [`ArchBuilder::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::BadArch`] if the hierarchy is empty, the NoC
+    /// level is out of range or its fanout disagrees with the mesh, or DRAM
+    /// does not store all tensors.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.levels.len() < 2 {
+            return Err(SpecError::BadArch("need at least one buffer plus DRAM".into()));
+        }
+        if self.noc_level >= self.levels.len() {
+            return Err(SpecError::BadArch("NoC level out of range".into()));
+        }
+        let dram = self.levels.last().expect("nonempty");
+        for v in DataTensor::ALL {
+            if !dram.stores(v) {
+                return Err(SpecError::BadArch(format!("DRAM must store {v}")));
+            }
+        }
+        let noc_fanout = self.levels[self.noc_level].spatial_fanout;
+        if noc_fanout != self.noc.num_pes() as u64 {
+            return Err(SpecError::BadArch(format!(
+                "NoC-level fanout {noc_fanout} != mesh size {}",
+                self.noc.num_pes()
+            )));
+        }
+        for lvl in &self.levels {
+            if lvl.spatial_fanout == 0 {
+                return Err(SpecError::BadArch(format!("level {} has fanout 0", lvl.name)));
+            }
+            if lvl.bandwidth <= 0.0 {
+                return Err(SpecError::BadArch(format!("level {} has no bandwidth", lvl.name)));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}x{} PEs, {} MACs/PE, {} levels)",
+            self.name,
+            self.noc.mesh_x,
+            self.noc.mesh_y,
+            self.macs_per_pe,
+            self.levels.len()
+        )
+    }
+}
+
+/// Builder for [`Arch`] starting from the Table V baseline, with the scaling
+/// knobs used by the Fig. 9 case studies.
+///
+/// # Example
+///
+/// ```
+/// use cosa_spec::ArchBuilder;
+/// let arch = ArchBuilder::new("wide")
+///     .mesh(8, 4)
+///     .global_buffer_scale(2)
+///     .build()?;
+/// assert_eq!(arch.num_pes(), 32);
+/// # Ok::<(), cosa_spec::SpecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArchBuilder {
+    name: String,
+    mesh_x: usize,
+    mesh_y: usize,
+    macs_per_pe: u64,
+    register_bytes: u64,
+    acc_buf_bytes: u64,
+    weight_buf_bytes: u64,
+    input_buf_bytes: u64,
+    global_buf_bytes: u64,
+    bandwidth_scale: f64,
+    precision: [u64; 3],
+}
+
+impl ArchBuilder {
+    /// Start from the Table V baseline with the given architecture name.
+    pub fn new(name: impl Into<String>) -> ArchBuilder {
+        ArchBuilder {
+            name: name.into(),
+            mesh_x: 4,
+            mesh_y: 4,
+            macs_per_pe: 64,
+            register_bytes: 64,
+            acc_buf_bytes: 3 * 1024,
+            weight_buf_bytes: 32 * 1024,
+            input_buf_bytes: 8 * 1024,
+            global_buf_bytes: 128 * 1024,
+            bandwidth_scale: 1.0,
+            precision: [1, 1, 3],
+        }
+    }
+
+    /// Set the PE mesh dimensions.
+    pub fn mesh(mut self, x: usize, y: usize) -> Self {
+        self.mesh_x = x;
+        self.mesh_y = y;
+        self
+    }
+
+    /// Set the number of MAC units per PE.
+    pub fn macs_per_pe(mut self, macs: u64) -> Self {
+        self.macs_per_pe = macs;
+        self
+    }
+
+    /// Multiply all local (per-PE) buffer capacities by `factor`.
+    pub fn local_buffer_scale(mut self, factor: u64) -> Self {
+        self.register_bytes *= factor;
+        self.acc_buf_bytes *= factor;
+        self.weight_buf_bytes *= factor;
+        self.input_buf_bytes *= factor;
+        self
+    }
+
+    /// Multiply the global buffer capacity by `factor`.
+    pub fn global_buffer_scale(mut self, factor: u64) -> Self {
+        self.global_buf_bytes *= factor;
+        self
+    }
+
+    /// Multiply on-chip and DRAM bandwidth by `factor`
+    /// (Fig. 9a doubles bandwidth when quadrupling the PE count).
+    pub fn bandwidth_scale(mut self, factor: f64) -> Self {
+        self.bandwidth_scale *= factor;
+        self
+    }
+
+    /// Set datatype sizes in bytes for `[weights, inputs, outputs]`.
+    pub fn precision(mut self, bytes: [u64; 3]) -> Self {
+        self.precision = bytes;
+        self
+    }
+
+    /// Build and validate the architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::BadArch`] when the configuration is inconsistent
+    /// (see [`Arch::validate`]).
+    pub fn build(self) -> Result<Arch, SpecError> {
+        let bw = self.bandwidth_scale;
+        let num_pes = (self.mesh_x * self.mesh_y) as u64;
+        let levels = vec![
+            MemLevel {
+                name: "Register".into(),
+                capacity: [Some(self.register_bytes), None, None],
+                spatial_fanout: self.macs_per_pe,
+                bandwidth: 128.0 * bw,
+                energy_per_byte: 0.2,
+            },
+            MemLevel {
+                name: "AccBuf".into(),
+                capacity: [None, None, Some(self.acc_buf_bytes)],
+                spatial_fanout: 1,
+                // Vector-wide banked accumulation port: one 24-bit
+                // read-modify-write per MAC lane per cycle (Simba's
+                // distributed accumulation buffers).
+                bandwidth: 6.0 * self.macs_per_pe as f64 * bw,
+                energy_per_byte: 1.0,
+            },
+            MemLevel {
+                name: "WeightBuf".into(),
+                capacity: [Some(self.weight_buf_bytes), None, None],
+                spatial_fanout: 1,
+                bandwidth: 64.0 * bw,
+                energy_per_byte: 1.2,
+            },
+            MemLevel {
+                name: "InputBuf".into(),
+                capacity: [None, Some(self.input_buf_bytes), None],
+                spatial_fanout: 1,
+                bandwidth: 64.0 * bw,
+                energy_per_byte: 1.0,
+            },
+            MemLevel {
+                name: "GlobalBuf".into(),
+                // The 128 KB shared global buffer holds input and output
+                // activations (Table IV); split the budget evenly.
+                capacity: [
+                    None,
+                    Some(self.global_buf_bytes / 2),
+                    Some(self.global_buf_bytes / 2),
+                ],
+                spatial_fanout: num_pes,
+                bandwidth: 32.0 * bw,
+                energy_per_byte: 3.0,
+            },
+            MemLevel {
+                name: "DRAM".into(),
+                capacity: [Some(u64::MAX), Some(u64::MAX), Some(u64::MAX)],
+                spatial_fanout: 1,
+                bandwidth: 16.0 * bw,
+                energy_per_byte: 100.0,
+            },
+        ];
+        let arch = Arch {
+            name: self.name,
+            levels,
+            noc_level: 4,
+            macs_per_pe: self.macs_per_pe,
+            precision: self.precision,
+            mac_energy_pj: 0.5,
+            noc: NocParams {
+                mesh_x: self.mesh_x,
+                mesh_y: self.mesh_y,
+                flit_bytes: 8,
+                router_latency: 2,
+                link_latency: 1,
+                buffer_depth: 8,
+                multicast: true,
+                dram_latency: 60,
+                dram_bandwidth: 16.0 * bw,
+            },
+        };
+        arch.validate()?;
+        Ok(arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_v() {
+        let a = Arch::simba_baseline();
+        assert_eq!(a.num_pes(), 16);
+        assert_eq!(a.macs_per_pe(), 64);
+        let names: Vec<&str> = a.levels().iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["Register", "AccBuf", "WeightBuf", "InputBuf", "GlobalBuf", "DRAM"]
+        );
+        assert_eq!(a.levels()[0].capacity_for(DataTensor::Weights), Some(64));
+        assert_eq!(a.levels()[1].capacity_for(DataTensor::Outputs), Some(3 * 1024));
+        assert_eq!(a.levels()[2].capacity_for(DataTensor::Weights), Some(32 * 1024));
+        assert_eq!(a.levels()[3].capacity_for(DataTensor::Inputs), Some(8 * 1024));
+        assert_eq!(a.levels()[4].total_capacity(), 128 * 1024);
+        assert_eq!(a.precision(DataTensor::Outputs), 3);
+        assert_eq!(a.noc().flit_bytes, 8);
+    }
+
+    #[test]
+    fn b_matrix_matches_table_iv() {
+        use DataTensor::*;
+        let a = Arch::simba_baseline();
+        let expect: [(usize, [bool; 3]); 6] = [
+            (0, [true, false, false]),  // Register: W
+            (1, [false, false, true]),  // AccBuf: OA
+            (2, [true, false, false]),  // WeightBuf: W
+            (3, [false, true, false]),  // InputBuf: IA
+            (4, [false, true, true]),   // GlobalBuf: IA, OA
+            (5, [true, true, true]),    // DRAM: all
+        ];
+        for (i, row) in expect {
+            for (vi, v) in [Weights, Inputs, Outputs].iter().enumerate() {
+                assert_eq!(a.levels()[i].stores(*v), row[vi], "B[{i}][{v}]");
+            }
+        }
+    }
+
+    #[test]
+    fn variant_8x8_scales_bandwidth() {
+        let base = Arch::simba_baseline();
+        let big = Arch::simba_8x8();
+        assert_eq!(big.num_pes(), 64);
+        assert_eq!(big.spatial_fanout(big.noc_level()), 64);
+        assert!((big.noc().dram_bandwidth - 2.0 * base.noc().dram_bandwidth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variant_bigbuf_scales_capacities() {
+        let base = Arch::simba_baseline();
+        let big = Arch::simba_big_buffers();
+        assert_eq!(
+            big.levels()[4].total_capacity(),
+            8 * base.levels()[4].total_capacity()
+        );
+        assert_eq!(
+            big.levels()[3].capacity_for(DataTensor::Inputs),
+            Some(2 * 8 * 1024)
+        );
+        assert_eq!(big.num_pes(), base.num_pes());
+    }
+
+    #[test]
+    fn builder_rejects_zero_mesh() {
+        // A 0x4 mesh gives a NoC fanout of 0 which must be rejected.
+        assert!(ArchBuilder::new("bad").mesh(0, 4).build().is_err());
+    }
+
+    #[test]
+    fn display_mentions_mesh() {
+        let a = Arch::simba_baseline();
+        assert!(a.to_string().contains("4x4"));
+    }
+}

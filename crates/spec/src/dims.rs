@@ -1,0 +1,198 @@
+//! The seven loop dimensions of the CoSA target workload.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::SpecError;
+
+/// A loop dimension of the 7-deep nested loop targeted by CoSA
+/// (Sec. III-A.1).
+///
+/// * `R`, `S` — convolution kernel width and height,
+/// * `P`, `Q` — output width and height,
+/// * `C` — input channels,
+/// * `K` — output channels,
+/// * `N` — batch size.
+///
+/// Matrix multiplication `[N×C] · [C×K]` is expressed with
+/// `R = S = P = Q = 1`.
+///
+/// ```
+/// use cosa_spec::Dim;
+/// assert_eq!(Dim::ALL.len(), 7);
+/// assert_eq!(Dim::C.index(), 4);
+/// assert_eq!("K".parse::<Dim>().unwrap(), Dim::K);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dim {
+    /// Kernel width.
+    R,
+    /// Kernel height.
+    S,
+    /// Output width.
+    P,
+    /// Output height.
+    Q,
+    /// Input channels.
+    C,
+    /// Output channels.
+    K,
+    /// Batch size.
+    N,
+}
+
+impl Dim {
+    /// All seven dimensions in the paper's canonical order
+    /// `R, S, P, Q, C, K, N`.
+    pub const ALL: [Dim; 7] = [Dim::R, Dim::S, Dim::P, Dim::Q, Dim::C, Dim::K, Dim::N];
+
+    /// Number of dimensions.
+    pub const COUNT: usize = 7;
+
+    /// Index of this dimension within [`Dim::ALL`].
+    ///
+    /// ```
+    /// use cosa_spec::Dim;
+    /// assert_eq!(Dim::R.index(), 0);
+    /// assert_eq!(Dim::N.index(), 6);
+    /// ```
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The dimension at position `index` of [`Dim::ALL`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 7`.
+    #[inline]
+    pub const fn from_index(index: usize) -> Dim {
+        Dim::ALL[index]
+    }
+
+    /// Single-letter name used in schedule listings (lowercase, as in
+    /// Listing 1 of the paper: `q2`, `p1`, `c0`, ...).
+    pub const fn letter(self) -> char {
+        match self {
+            Dim::R => 'r',
+            Dim::S => 's',
+            Dim::P => 'p',
+            Dim::Q => 'q',
+            Dim::C => 'c',
+            Dim::K => 'k',
+            Dim::N => 'n',
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.letter().to_ascii_uppercase();
+        write!(f, "{c}")
+    }
+}
+
+impl FromStr for Dim {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "R" | "r" => Ok(Dim::R),
+            "S" | "s" => Ok(Dim::S),
+            "P" | "p" => Ok(Dim::P),
+            "Q" | "q" => Ok(Dim::Q),
+            "C" | "c" => Ok(Dim::C),
+            "K" | "k" => Ok(Dim::K),
+            "N" | "n" => Ok(Dim::N),
+            other => Err(SpecError::UnknownDim(other.to_string())),
+        }
+    }
+}
+
+/// A fixed-size table indexed by [`Dim`], used for per-dimension data such as
+/// tile bounds.
+///
+/// ```
+/// use cosa_spec::Dim;
+/// use cosa_spec::primes::factorize;
+/// let mut bounds = cosa_spec::DimMap::filled(1u64);
+/// bounds[Dim::C] = 256;
+/// assert_eq!(bounds[Dim::C], 256);
+/// assert_eq!(bounds[Dim::K], 1);
+/// assert_eq!(factorize(bounds[Dim::C]), vec![2; 8]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimMap<T>(pub [T; Dim::COUNT]);
+
+impl<T: Copy> DimMap<T> {
+    /// A map with every entry set to `value`.
+    pub fn filled(value: T) -> Self {
+        DimMap([value; Dim::COUNT])
+    }
+}
+
+impl<T> DimMap<T> {
+    /// Iterate over `(Dim, &T)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Dim, &T)> {
+        Dim::ALL.iter().copied().zip(self.0.iter())
+    }
+}
+
+impl<T> std::ops::Index<Dim> for DimMap<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, d: Dim) -> &T {
+        &self.0[d.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<Dim> for DimMap<T> {
+    #[inline]
+    fn index_mut(&mut self, d: Dim) -> &mut T {
+        &mut self.0[d.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_order_matches_paper() {
+        let letters: String = Dim::ALL.iter().map(|d| d.letter()).collect();
+        assert_eq!(letters, "rspqckn");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for (i, d) in Dim::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(Dim::from_index(i), *d);
+        }
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for d in Dim::ALL {
+            let s = d.to_string();
+            assert_eq!(s.parse::<Dim>().unwrap(), d);
+            assert_eq!(s.to_lowercase().parse::<Dim>().unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("X".parse::<Dim>().is_err());
+        assert!("".parse::<Dim>().is_err());
+    }
+
+    #[test]
+    fn dim_map_indexing() {
+        let mut m = DimMap::filled(0u32);
+        m[Dim::Q] = 9;
+        assert_eq!(m[Dim::Q], 9);
+        assert_eq!(m.iter().filter(|(_, v)| **v == 0).count(), 6);
+    }
+}

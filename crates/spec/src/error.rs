@@ -1,0 +1,55 @@
+//! Error type for specification parsing and validation.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating problem / architecture
+/// specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// A dimension letter outside `R,S,P,Q,C,K,N` was encountered.
+    UnknownDim(String),
+    /// A paper-style layer name (`R_P_C_K_Stride`) could not be parsed.
+    BadLayerName(String),
+    /// A layer dimension was zero.
+    ZeroDim(&'static str),
+    /// An architecture was internally inconsistent (e.g. no DRAM level).
+    BadArch(String),
+    /// A schedule failed validation against a layer or architecture.
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownDim(s) => write!(f, "unknown dimension `{s}`"),
+            SpecError::BadLayerName(s) => {
+                write!(f, "layer name `{s}` does not match R_P_C_K_Stride")
+            }
+            SpecError::ZeroDim(d) => write!(f, "layer dimension {d} must be nonzero"),
+            SpecError::BadArch(s) => write!(f, "inconsistent architecture: {s}"),
+            SpecError::InvalidSchedule(s) => write!(f, "invalid schedule: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = SpecError::UnknownDim("Z".into());
+        let msg = e.to_string();
+        assert!(!msg.is_empty());
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpecError>();
+    }
+}

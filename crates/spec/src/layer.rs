@@ -1,0 +1,284 @@
+//! DNN layer specification.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::dims::{Dim, DimMap};
+use crate::primes::factorize;
+use crate::SpecError;
+
+/// A DNN layer: the seven loop bounds of the paper's target workload plus
+/// convolution strides (Fig. 2).
+///
+/// The convolution computes, for each output point `(p, q, k, n)`, the dot
+/// product over a `R × S × C` window of inputs and weights. The input plane
+/// size is derived: `W = (P-1)·stride_w + R`, `H = (Q-1)·stride_h + S`.
+///
+/// # Example
+///
+/// ```
+/// use cosa_spec::{Layer, Dim};
+/// let l = Layer::conv("example", 3, 3, 14, 14, 256, 256, 1, 1, 1);
+/// assert_eq!(l.input_width(), 16);
+/// assert_eq!(l.macs(), 3 * 3 * 14 * 14 * 256 * 256);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    name: String,
+    bounds: DimMap<u64>,
+    stride_w: u64,
+    stride_h: u64,
+}
+
+impl Layer {
+    /// Construct a convolution layer from explicit bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound or stride is zero; use [`Layer::try_new`] for a
+    /// fallible constructor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        name: impl Into<String>,
+        r: u64,
+        s: u64,
+        p: u64,
+        q: u64,
+        c: u64,
+        k: u64,
+        n: u64,
+        stride_w: u64,
+        stride_h: u64,
+    ) -> Layer {
+        Layer::try_new(name, [r, s, p, q, c, k, n], stride_w, stride_h)
+            .expect("layer bounds must be nonzero")
+    }
+
+    /// Construct a matrix multiplication `[N×C] · [C×K]` (a fully-connected
+    /// layer): `R = S = P = Q = 1`.
+    ///
+    /// ```
+    /// use cosa_spec::{Layer, Dim};
+    /// let fc = Layer::matmul("fc", 4096, 1000, 1);
+    /// assert_eq!(fc.dim(Dim::R), 1);
+    /// assert_eq!(fc.dim(Dim::K), 1000);
+    /// ```
+    pub fn matmul(name: impl Into<String>, c: u64, k: u64, n: u64) -> Layer {
+        Layer::conv(name, 1, 1, 1, 1, c, k, n, 1, 1)
+    }
+
+    /// Fallible constructor from the seven bounds in canonical
+    /// `[R, S, P, Q, C, K, N]` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::ZeroDim`] if any bound or stride is zero.
+    pub fn try_new(
+        name: impl Into<String>,
+        bounds: [u64; 7],
+        stride_w: u64,
+        stride_h: u64,
+    ) -> Result<Layer, SpecError> {
+        const NAMES: [&str; 7] = ["R", "S", "P", "Q", "C", "K", "N"];
+        for (i, b) in bounds.iter().enumerate() {
+            if *b == 0 {
+                return Err(SpecError::ZeroDim(NAMES[i]));
+            }
+        }
+        if stride_w == 0 || stride_h == 0 {
+            return Err(SpecError::ZeroDim("stride"));
+        }
+        Ok(Layer {
+            name: name.into(),
+            bounds: DimMap(bounds),
+            stride_w,
+            stride_h,
+        })
+    }
+
+    /// Parse the paper's `R_P_C_K_Stride` naming convention (Fig. 6 x-axis
+    /// labels), where `S = R`, `Q = P` and `N = 1`.
+    ///
+    /// ```
+    /// use cosa_spec::{Layer, Dim};
+    /// let l = Layer::parse_paper_name("7_112_3_64_2")?;
+    /// assert_eq!(l.dim(Dim::R), 7);
+    /// assert_eq!(l.dim(Dim::Q), 112);
+    /// assert_eq!(l.stride_w(), 2);
+    /// # Ok::<(), cosa_spec::SpecError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::BadLayerName`] if the string does not consist of
+    /// five `_`-separated positive integers.
+    pub fn parse_paper_name(name: &str) -> Result<Layer, SpecError> {
+        let parts: Vec<u64> = name
+            .split('_')
+            .map(|t| t.parse::<u64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| SpecError::BadLayerName(name.to_string()))?;
+        let [r, p, c, k, stride] = parts[..] else {
+            return Err(SpecError::BadLayerName(name.to_string()));
+        };
+        Layer::try_new(name, [r, r, p, p, c, k, 1], stride, stride)
+    }
+
+    /// The layer's name (typically the paper's `R_P_C_K_Stride` label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The loop bound of dimension `d`.
+    #[inline]
+    pub fn dim(&self, d: Dim) -> u64 {
+        self.bounds[d]
+    }
+
+    /// All seven bounds in canonical order.
+    pub fn bounds(&self) -> &DimMap<u64> {
+        &self.bounds
+    }
+
+    /// Horizontal convolution stride.
+    pub fn stride_w(&self) -> u64 {
+        self.stride_w
+    }
+
+    /// Vertical convolution stride.
+    pub fn stride_h(&self) -> u64 {
+        self.stride_h
+    }
+
+    /// Derived input width `W = (P-1)·stride_w + R`.
+    pub fn input_width(&self) -> u64 {
+        (self.dim(Dim::P) - 1) * self.stride_w + self.dim(Dim::R)
+    }
+
+    /// Derived input height `H = (Q-1)·stride_h + S`.
+    pub fn input_height(&self) -> u64 {
+        (self.dim(Dim::Q) - 1) * self.stride_h + self.dim(Dim::S)
+    }
+
+    /// Total multiply-accumulate operations: the product of all seven bounds.
+    pub fn macs(&self) -> u64 {
+        Dim::ALL.iter().map(|&d| self.dim(d)).product()
+    }
+
+    /// Prime factors of the bound of dimension `d`, ascending.
+    pub fn prime_factors(&self, d: Dim) -> Vec<u64> {
+        factorize(self.dim(d))
+    }
+
+    /// All `(dim, prime)` factor instances of the layer, flattened in
+    /// canonical dimension order. This is the index set `(j, n)` of the
+    /// paper's binary matrix `X` (Table III).
+    ///
+    /// ```
+    /// use cosa_spec::{Layer, Dim};
+    /// let l = Layer::conv("t", 3, 1, 1, 1, 1, 4, 3, 1, 1);
+    /// assert_eq!(
+    ///     l.factor_instances(),
+    ///     vec![(Dim::R, 3), (Dim::K, 2), (Dim::K, 2), (Dim::N, 3)],
+    /// );
+    /// ```
+    pub fn factor_instances(&self) -> Vec<(Dim, u64)> {
+        let mut out = Vec::new();
+        for d in Dim::ALL {
+            for p in self.prime_factors(d) {
+                out.push((d, p));
+            }
+        }
+        out
+    }
+
+    /// Number of elements of each data tensor (weights, inputs, outputs).
+    pub fn tensor_elements(&self) -> crate::TensorSizes {
+        crate::tensor::TensorSizes::of_layer(self)
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [R={} S={} P={} Q={} C={} K={} N={} stride={}x{}]",
+            self.name,
+            self.dim(Dim::R),
+            self.dim(Dim::S),
+            self.dim(Dim::P),
+            self.dim(Dim::Q),
+            self.dim(Dim::C),
+            self.dim(Dim::K),
+            self.dim(Dim::N),
+            self.stride_w,
+            self.stride_h,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_name_fields() {
+        let l = Layer::parse_paper_name("11_55_3_64_4").unwrap();
+        assert_eq!(l.dim(Dim::R), 11);
+        assert_eq!(l.dim(Dim::S), 11);
+        assert_eq!(l.dim(Dim::P), 55);
+        assert_eq!(l.dim(Dim::Q), 55);
+        assert_eq!(l.dim(Dim::C), 3);
+        assert_eq!(l.dim(Dim::K), 64);
+        assert_eq!(l.dim(Dim::N), 1);
+        assert_eq!(l.stride_w(), 4);
+        // AlexNet conv1: input 227x227.
+        assert_eq!(l.input_width(), 227);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Layer::parse_paper_name("3_13_192").is_err());
+        assert!(Layer::parse_paper_name("a_b_c_d_e").is_err());
+        assert!(Layer::parse_paper_name("3_13_192_384_0").is_err());
+        assert!(Layer::parse_paper_name("").is_err());
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert_eq!(
+            Layer::try_new("z", [1, 1, 0, 1, 1, 1, 1], 1, 1),
+            Err(SpecError::ZeroDim("P"))
+        );
+    }
+
+    #[test]
+    fn matmul_shape() {
+        let fc = Layer::matmul("fc6", 9216, 4096, 1);
+        assert_eq!(fc.macs(), 9216 * 4096);
+        assert_eq!(fc.input_width(), 1);
+    }
+
+    #[test]
+    fn factor_instances_cover_all_macs() {
+        let l = Layer::parse_paper_name("3_28_128_128_2").unwrap();
+        let product: u64 = l.factor_instances().iter().map(|(_, p)| p).product();
+        assert_eq!(product, l.macs());
+    }
+
+    #[test]
+    fn motivating_example_factor_count() {
+        // Sec. II-A: 3x3 conv, 256 in/out channels, 14x14 output.
+        let l = Layer::conv("resnet_motiv", 3, 3, 14, 14, 256, 256, 1, 1, 1);
+        // R,S contribute one factor each; P,Q two each (2*7); C,K eight each.
+        assert_eq!(l.factor_instances().len(), 2 + 4 + 16);
+    }
+
+    #[test]
+    fn display_contains_name_and_dims() {
+        let l = Layer::parse_paper_name("3_7_512_512_1").unwrap();
+        let s = l.to_string();
+        assert!(s.contains("3_7_512_512_1"));
+        assert!(s.contains("C=512"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Scheduling-space quantification (Sec. II-A).
+//!
+//! The paper motivates constrained optimization by the sheer size of the
+//! space: assigning each prime factor of a ResNet-50 layer's bounds to one
+//! of the memory levels already yields billions of tilings before
+//! permutation and spatial mapping multiply further. These helpers compute
+//! those counts exactly.
+
+use crate::arch::Arch;
+use crate::dims::Dim;
+use crate::layer::Layer;
+use crate::primes::{factor_counts, num_allocations};
+
+/// Exact size of the *tiling* space: the number of distinct assignments of
+/// every prime factor to a memory level (ignoring permutation and
+/// spatial/temporal choice).
+///
+/// ```
+/// use cosa_spec::{mapspace, Arch, Layer};
+/// let arch = Arch::simba_baseline();
+/// // The Sec. II-A motivating layer: 3x3 conv, 256 channels, 14x14 output.
+/// let layer = Layer::conv("m", 3, 3, 14, 14, 256, 256, 1, 1, 1);
+/// let tilings = mapspace::tiling_count(&layer, &arch);
+/// // "billions of schedules to consider"
+/// assert!(tilings > 1_000_000_000);
+/// ```
+pub fn tiling_count(layer: &Layer, arch: &Arch) -> u128 {
+    let levels = arch.num_levels() as u64;
+    Dim::ALL
+        .iter()
+        .map(|&d| num_allocations(layer.dim(d), levels) as u128)
+        .product()
+}
+
+/// Size of the full configuration space as CoSA encodes it: each prime
+/// factor picks a `(level, spatial-or-temporal)` slot — spatial only where
+/// the level has fanout — before permutation multiplies further.
+pub fn configuration_count(layer: &Layer, arch: &Arch) -> u128 {
+    let slots: u64 = (0..arch.num_levels())
+        .map(|i| if arch.spatial_fanout(i) > 1 { 2 } else { 1 })
+        .sum();
+    Dim::ALL
+        .iter()
+        .map(|&d| num_allocations(layer.dim(d), slots) as u128)
+        .product()
+}
+
+/// Number of distinct NoC-level permutations CoSA considers: orders of the
+/// dimensions with non-unit bounds.
+pub fn permutation_count(layer: &Layer) -> u64 {
+    let active = Dim::ALL.iter().filter(|d| layer.dim(**d) > 1).count() as u64;
+    (1..=active).product()
+}
+
+/// Total factor instances to place (the rows of the paper's matrix `X`).
+pub fn factor_instance_count(layer: &Layer) -> usize {
+    layer.factor_instances().len()
+}
+
+/// A human-readable summary of the space for reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapSpaceSummary {
+    /// Prime-factor instances to allocate.
+    pub factors: usize,
+    /// Distinct level assignments.
+    pub tilings: u128,
+    /// Distinct `(level, mapping)` assignments.
+    pub configurations: u128,
+    /// NoC-level loop orders.
+    pub permutations: u64,
+}
+
+/// Compute all counts for `layer` on `arch`.
+pub fn summarize(layer: &Layer, arch: &Arch) -> MapSpaceSummary {
+    MapSpaceSummary {
+        factors: factor_instance_count(layer),
+        tilings: tiling_count(layer, arch),
+        configurations: configuration_count(layer, arch),
+        permutations: permutation_count(layer),
+    }
+}
+
+/// The per-dimension factor multiset, for diagnostics.
+pub fn factor_table(layer: &Layer) -> Vec<(Dim, Vec<(u64, u32)>)> {
+    Dim::ALL.iter().map(|&d| (d, factor_counts(layer.dim(d)))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motivating_layer_has_billions_of_tilings() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::conv("m", 3, 3, 14, 14, 256, 256, 1, 1, 1);
+        assert!(tiling_count(&layer, &arch) > 1_000_000_000);
+    }
+
+    #[test]
+    fn configurations_dominate_tilings() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::parse_paper_name("3_13_192_384_1").unwrap();
+        assert!(configuration_count(&layer, &arch) > tiling_count(&layer, &arch));
+    }
+
+    #[test]
+    fn unit_layer_has_single_point() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::conv("unit", 1, 1, 1, 1, 1, 1, 1, 1, 1);
+        assert_eq!(tiling_count(&layer, &arch), 1);
+        assert_eq!(permutation_count(&layer), 1);
+        assert_eq!(factor_instance_count(&layer), 0);
+    }
+
+    #[test]
+    fn permutations_count_active_dims() {
+        let fc = Layer::matmul("fc", 4096, 1000, 1);
+        // Active dims: C, K → 2! = 2.
+        assert_eq!(permutation_count(&fc), 2);
+        let conv = Layer::parse_paper_name("3_7_512_512_1").unwrap();
+        // R,S,P,Q,C,K active → 6! = 720.
+        assert_eq!(permutation_count(&conv), 720);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::parse_paper_name("5_27_64_192_1").unwrap();
+        let s = summarize(&layer, &arch);
+        assert_eq!(s.factors, layer.factor_instances().len());
+        assert!(s.configurations >= s.tilings);
+    }
+
+    #[test]
+    fn factor_table_covers_all_dims() {
+        let layer = Layer::parse_paper_name("3_28_128_128_2").unwrap();
+        let table = factor_table(&layer);
+        assert_eq!(table.len(), 7);
+        let (d, factors) = &table[4]; // C = 128 = 2^7
+        assert_eq!(*d, Dim::C);
+        assert_eq!(factors, &vec![(2u64, 7u32)]);
+    }
+}

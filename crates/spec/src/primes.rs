@@ -1,0 +1,197 @@
+//! Prime factorization utilities.
+//!
+//! CoSA formulates scheduling as a *prime-factor allocation problem*
+//! (Sec. III-B.1): every loop bound is split into its prime factors, and each
+//! prime factor is assigned one scheduling configuration (memory level,
+//! permutation rank, spatial/temporal). The helpers here produce those
+//! factors and a few related quantities used across the workspace.
+
+/// Prime factors of `n` in ascending order, with multiplicity.
+///
+/// `factorize(1)` is the empty vector (a bound of 1 allocates no factors).
+///
+/// ```
+/// use cosa_spec::primes::factorize;
+/// assert_eq!(factorize(12), vec![2, 2, 3]);
+/// assert_eq!(factorize(1), Vec::<u64>::new());
+/// assert_eq!(factorize(97), vec![97]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`; loop bounds are always at least 1.
+pub fn factorize(mut n: u64) -> Vec<u64> {
+    assert!(n > 0, "cannot factorize 0");
+    let mut factors = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        while n % d == 0 {
+            factors.push(d);
+            n /= d;
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+/// Prime factorization of `n` as `(prime, multiplicity)` pairs in ascending
+/// prime order.
+///
+/// ```
+/// use cosa_spec::primes::factor_counts;
+/// assert_eq!(factor_counts(360), vec![(2, 3), (3, 2), (5, 1)]);
+/// ```
+pub fn factor_counts(n: u64) -> Vec<(u64, u32)> {
+    let mut out: Vec<(u64, u32)> = Vec::new();
+    for p in factorize(n) {
+        match out.last_mut() {
+            Some((q, c)) if *q == p => *c += 1,
+            _ => out.push((p, 1)),
+        }
+    }
+    out
+}
+
+/// All divisors of `n` in ascending order.
+///
+/// Used by the baseline mappers to enumerate tile-size splits.
+///
+/// ```
+/// use cosa_spec::primes::divisors;
+/// assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+/// ```
+pub fn divisors(n: u64) -> Vec<u64> {
+    assert!(n > 0, "cannot enumerate divisors of 0");
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1u64;
+    while d * d <= n {
+        if n % d == 0 {
+            small.push(d);
+            if d != n / d {
+                large.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// `true` if `n` is prime. `is_prime(1)` is `false`.
+///
+/// ```
+/// use cosa_spec::primes::is_prime;
+/// assert!(is_prime(2));
+/// assert!(is_prime(1009));
+/// assert!(!is_prime(1));
+/// assert!(!is_prime(1000));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    n > 1 && factorize(n).len() == 1
+}
+
+/// Number of distinct ways to split `n` into an *ordered* assignment of its
+/// prime factors to `slots` bins — the size of the tiling space for one loop
+/// bound across `slots` scheduling configurations.
+///
+/// Multiplicities of the same prime are interchangeable, so the count is the
+/// product over primes of `C(multiplicity + slots - 1, slots - 1)`
+/// (stars and bars).
+///
+/// ```
+/// use cosa_spec::primes::num_allocations;
+/// // 12 = 2^2 * 3 over 2 slots: C(3,1) * C(2,1) = 6 tilings.
+/// assert_eq!(num_allocations(12, 2), 6);
+/// assert_eq!(num_allocations(1, 5), 1);
+/// ```
+pub fn num_allocations(n: u64, slots: u64) -> u64 {
+    factor_counts(n)
+        .into_iter()
+        .map(|(_, mult)| binomial(mult as u64 + slots - 1, slots - 1))
+        .product()
+}
+
+/// Binomial coefficient `C(n, k)` with saturating arithmetic.
+pub fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorize_small_table() {
+        assert_eq!(factorize(2), vec![2]);
+        assert_eq!(factorize(4), vec![2, 2]);
+        assert_eq!(factorize(6), vec![2, 3]);
+        assert_eq!(factorize(1024), vec![2; 10]);
+        assert_eq!(factorize(9216), {
+            // 9216 = 2^10 * 3^2 (the AlexNet FC input 9216 = 256*6*6).
+            let mut v = vec![2; 10];
+            v.extend([3, 3]);
+            v
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot factorize 0")]
+    fn factorize_zero_panics() {
+        factorize(0);
+    }
+
+    #[test]
+    fn product_of_factors_reconstructs() {
+        for n in 1..2000u64 {
+            let prod: u64 = factorize(n).iter().product();
+            assert_eq!(prod.max(1), n, "factorization of {n} wrong");
+        }
+    }
+
+    #[test]
+    fn divisors_pair_up() {
+        for n in 1..500u64 {
+            let ds = divisors(n);
+            assert!(ds.windows(2).all(|w| w[0] < w[1]), "not sorted for {n}");
+            for d in &ds {
+                assert_eq!(n % d, 0);
+                assert!(ds.contains(&(n / d)));
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_count_matches_enumeration() {
+        // Brute-force the 3-slot splits of 24 = 2^3 * 3 and compare.
+        let n = 24u64;
+        let mut count = 0u64;
+        for a in divisors(n) {
+            for b in divisors(n / a) {
+                let _c = n / a / b;
+                count += 1;
+                let _ = b;
+            }
+        }
+        assert_eq!(num_allocations(n, 3), count);
+    }
+
+    #[test]
+    fn binomial_table() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Loop-nest schedule representation (Listing 1 of the paper).
+//!
+//! A [`Schedule`] describes how one DNN layer executes on a spatial
+//! accelerator: which loop tiles live at which memory level (*loop tiling*),
+//! the relative order of loops within a level (*loop permutation*) and which
+//! loops are bound to parallel hardware (*spatial mapping*).
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::Arch;
+use crate::dims::{Dim, DimMap};
+use crate::layer::Layer;
+use crate::tensor::DataTensor;
+use crate::SpecError;
+
+/// Per-dimension tile bounds.
+pub type TileShape = DimMap<u64>;
+
+/// A single loop of the nest: a dimension, its bound, and whether it is
+/// mapped to spatial (parallel) or temporal (sequential) execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Loop {
+    /// The problem dimension this loop iterates over.
+    pub dim: Dim,
+    /// The loop bound (a tile factor of the layer's dimension).
+    pub bound: u64,
+    /// `true` for a `spatial_for` (parallel hardware), `false` for a
+    /// sequential `for`.
+    pub spatial: bool,
+}
+
+impl Loop {
+    /// A temporal (sequential) loop.
+    pub fn temporal(dim: Dim, bound: u64) -> Loop {
+        Loop { dim, bound, spatial: false }
+    }
+
+    /// A spatial (parallel) loop.
+    pub fn spatial(dim: Dim, bound: u64) -> Loop {
+        Loop { dim, bound, spatial: true }
+    }
+}
+
+/// The ordered loops of one memory level, outermost first.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LoopNest {
+    /// Loops at this level, outermost first.
+    pub loops: Vec<Loop>,
+}
+
+impl LoopNest {
+    /// Product of the bounds of temporal loops at this level.
+    pub fn temporal_product(&self) -> u64 {
+        self.loops.iter().filter(|l| !l.spatial).map(|l| l.bound).product()
+    }
+
+    /// Product of the bounds of spatial loops at this level.
+    pub fn spatial_product(&self) -> u64 {
+        self.loops.iter().filter(|l| l.spatial).map(|l| l.bound).product()
+    }
+}
+
+/// A complete schedule: one [`LoopNest`] per memory level, level 0 innermost
+/// (registers) through DRAM outermost, matching [`Arch::levels`].
+///
+/// # Example
+///
+/// Build (a fragment of) Listing 1 by hand and print it:
+///
+/// ```
+/// use cosa_spec::{Schedule, Loop, Dim};
+/// let mut s = Schedule::new(3);
+/// s.push(2, Loop::temporal(Dim::Q, 2));     // outer level
+/// s.push(1, Loop::spatial(Dim::K, 2));
+/// s.push(0, Loop::temporal(Dim::P, 4));     // innermost level
+/// assert_eq!(s.temporal_product(), 8);
+/// assert_eq!(s.spatial_product_at(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Schedule {
+    levels: Vec<LoopNest>,
+}
+
+impl Schedule {
+    /// An empty schedule with `num_levels` memory levels.
+    pub fn new(num_levels: usize) -> Schedule {
+        Schedule { levels: vec![LoopNest::default(); num_levels] }
+    }
+
+    /// Append `lp` as the new *innermost* loop of `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn push(&mut self, level: usize, lp: Loop) {
+        self.levels[level].loops.push(lp);
+    }
+
+    /// Insert `lp` as the new *outermost* loop of `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn push_outer(&mut self, level: usize, lp: Loop) {
+        self.levels[level].loops.insert(0, lp);
+    }
+
+    /// The per-level loop nests, innermost level first.
+    pub fn levels(&self) -> &[LoopNest] {
+        &self.levels
+    }
+
+    /// Mutable access to one level's nest (used by permutation search).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn level_mut(&mut self, level: usize) -> &mut LoopNest {
+        &mut self.levels[level]
+    }
+
+    /// Number of memory levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// All loops from outermost (DRAM) to innermost, tagged with their level.
+    pub fn flat_loops(&self) -> Vec<(usize, Loop)> {
+        let mut out = Vec::new();
+        for (level, nest) in self.levels.iter().enumerate().rev() {
+            for lp in &nest.loops {
+                out.push((level, *lp));
+            }
+        }
+        out
+    }
+
+    /// Product of all temporal loop bounds — the per-PE sequential iteration
+    /// count (the compute-cycle estimate of Eq. 6, before logs).
+    pub fn temporal_product(&self) -> u64 {
+        self.levels.iter().map(|n| n.temporal_product()).product()
+    }
+
+    /// Product of temporal loop bounds at levels strictly below `level`.
+    pub fn temporal_product_below(&self, level: usize) -> u64 {
+        self.levels[..level].iter().map(|n| n.temporal_product()).product()
+    }
+
+    /// Product of spatial loop bounds at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn spatial_product_at(&self, level: usize) -> u64 {
+        self.levels[level].spatial_product()
+    }
+
+    /// Per-dimension product of all loop bounds at levels strictly below
+    /// `level`, including both spatial and temporal loops.
+    pub fn tile_below(&self, level: usize) -> TileShape {
+        let mut tile = DimMap::filled(1u64);
+        for nest in &self.levels[..level] {
+            for lp in &nest.loops {
+                tile[lp.dim] *= lp.bound;
+            }
+        }
+        tile
+    }
+
+    /// The tile resident in one instance of the buffer at `level`: every
+    /// factor at or below the level. The level's own temporal loops sweep
+    /// sub-tiles *of the resident tile* (they must stream from this buffer
+    /// without refetching), and its spatial loops distribute it across the
+    /// level's children — both contribute to the working set.
+    pub fn stored_tile(&self, level: usize) -> TileShape {
+        let mut tile = self.tile_below(level);
+        for lp in &self.levels[level].loops {
+            tile[lp.dim] *= lp.bound;
+        }
+        tile
+    }
+
+    /// Per-dimension product over the whole schedule; equals the layer
+    /// bounds iff the schedule is complete.
+    pub fn dim_products(&self) -> DimMap<u64> {
+        self.tile_below(self.levels.len())
+    }
+
+    /// Bytes of tensor `v` resident at `level` (exact input halo).
+    pub fn stored_bytes(&self, level: usize, v: DataTensor, layer: &Layer, arch: &Arch) -> u64 {
+        let tile = self.stored_tile(level);
+        v.tile_elements(&tile, layer) * arch.precision(v)
+    }
+
+    /// Check the schedule against a layer and architecture: completeness,
+    /// spatial-resource limits (Eq. 3–4) and buffer capacities (Eq. 1–2,
+    /// with the exact input halo rather than the MILP's conservative bound).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidSchedule`] describing the first violated
+    /// condition.
+    pub fn validate(&self, layer: &Layer, arch: &Arch) -> Result<(), SpecError> {
+        if self.levels.len() != arch.num_levels() {
+            return Err(SpecError::InvalidSchedule(format!(
+                "schedule has {} levels, architecture has {}",
+                self.levels.len(),
+                arch.num_levels()
+            )));
+        }
+        for lp in self.levels.iter().flat_map(|n| &n.loops) {
+            if lp.bound == 0 {
+                return Err(SpecError::InvalidSchedule(format!(
+                    "loop over {} has bound 0",
+                    lp.dim
+                )));
+            }
+        }
+        let prod = self.dim_products();
+        for d in Dim::ALL {
+            if prod[d] != layer.dim(d) {
+                return Err(SpecError::InvalidSchedule(format!(
+                    "dimension {d}: schedule covers {} of {}",
+                    prod[d],
+                    layer.dim(d)
+                )));
+            }
+        }
+        for (i, nest) in self.levels.iter().enumerate() {
+            let fanout = arch.spatial_fanout(i);
+            let used = nest.spatial_product();
+            if used > fanout {
+                return Err(SpecError::InvalidSchedule(format!(
+                    "level {}: spatial product {} exceeds fanout {}",
+                    arch.levels()[i].name,
+                    used,
+                    fanout
+                )));
+            }
+        }
+        for (i, lvl) in arch.levels().iter().enumerate() {
+            if i == arch.dram_level() {
+                continue;
+            }
+            for v in DataTensor::ALL {
+                if let Some(cap) = lvl.capacity_for(v) {
+                    let bytes = self.stored_bytes(i, v, layer, arch);
+                    if bytes > cap {
+                        return Err(SpecError::InvalidSchedule(format!(
+                            "level {}: {v} tile of {bytes} B exceeds capacity {cap} B",
+                            lvl.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` iff [`Schedule::validate`] succeeds.
+    pub fn is_valid(&self, layer: &Layer, arch: &Arch) -> bool {
+        self.validate(layer, arch).is_ok()
+    }
+
+    /// Render the schedule in the loop-nest style of Listing 1, annotated
+    /// with the architecture's level names.
+    ///
+    /// Tiles of the same dimension are numbered from the innermost (`q0`)
+    /// outward (`q1`, `q2`, ...), matching the paper's convention.
+    pub fn render(&self, arch: &Arch) -> String {
+        // Assign per-dimension tile indices from innermost to outermost.
+        let mut next_idx: DimMap<u32> = DimMap::filled(0u32);
+        let mut names: Vec<Vec<String>> = Vec::with_capacity(self.levels.len());
+        for nest in &self.levels {
+            let mut level_names = Vec::with_capacity(nest.loops.len());
+            // Innermost loop of the level gets the smaller index.
+            for lp in nest.loops.iter().rev() {
+                let idx = next_idx[lp.dim];
+                next_idx[lp.dim] += 1;
+                level_names.push(format!("{}{}", lp.dim.letter(), idx));
+            }
+            level_names.reverse();
+            names.push(level_names);
+        }
+
+        let mut out = String::new();
+        let mut indent = 0usize;
+        for (level, nest) in self.levels.iter().enumerate().rev() {
+            let pad = "  ".repeat(indent);
+            out.push_str(&format!("{pad}// {} level\n", arch.levels()[level].name));
+            for (lp, name) in nest.loops.iter().zip(&names[level]) {
+                let pad = "  ".repeat(indent);
+                let kw = if lp.spatial { "spatial_for" } else { "for" };
+                out.push_str(&format!("{pad}{kw} {name} = [0 : {})\n", lp.bound));
+                indent += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Arch;
+
+    /// A trivially valid schedule: everything in DRAM-level temporal loops
+    /// except one unit of work.
+    fn all_at_dram(layer: &Layer, arch: &Arch) -> Schedule {
+        let mut s = Schedule::new(arch.num_levels());
+        let dram = arch.dram_level();
+        for d in Dim::ALL {
+            for p in layer.prime_factors(d) {
+                s.push(dram, Loop::temporal(d, p));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn dram_resident_schedule_is_valid() {
+        let layer = Layer::parse_paper_name("3_7_512_512_1").unwrap();
+        let arch = Arch::simba_baseline();
+        let s = all_at_dram(&layer, &arch);
+        s.validate(&layer, &arch).unwrap();
+        assert_eq!(s.temporal_product(), layer.macs());
+    }
+
+    #[test]
+    fn incomplete_schedule_rejected() {
+        let layer = Layer::parse_paper_name("3_7_512_512_1").unwrap();
+        let arch = Arch::simba_baseline();
+        let mut s = all_at_dram(&layer, &arch);
+        s.level_mut(arch.dram_level()).loops.pop();
+        let err = s.validate(&layer, &arch).unwrap_err();
+        assert!(matches!(err, SpecError::InvalidSchedule(_)));
+    }
+
+    #[test]
+    fn spatial_overflow_rejected() {
+        let layer = Layer::conv("t", 1, 1, 1, 1, 1, 32, 1, 1, 1);
+        let arch = Arch::simba_baseline();
+        let mut s = Schedule::new(arch.num_levels());
+        // 32 > 16 PEs at the NoC level.
+        s.push(arch.noc_level(), Loop::spatial(Dim::K, 32));
+        let err = s.validate(&layer, &arch).unwrap_err();
+        assert!(err.to_string().contains("spatial"));
+    }
+
+    #[test]
+    fn capacity_overflow_rejected() {
+        let layer = Layer::conv("t", 1, 1, 1, 1, 64 * 1024, 1, 1, 1, 1);
+        let arch = Arch::simba_baseline();
+        let mut s = Schedule::new(arch.num_levels());
+        // C tiles *below* the weight buffer level force a 64 KB weight tile
+        // into the 32 KB weight buffer: factor of 2 too big.
+        for p in layer.prime_factors(Dim::C) {
+            s.push(1, Loop::temporal(Dim::C, p));
+        }
+        let err = s.validate(&layer, &arch).unwrap_err();
+        assert!(err.to_string().contains("WeightBuf"), "{err}");
+    }
+
+    #[test]
+    fn stored_tile_includes_own_level_loops() {
+        let mut s = Schedule::new(3);
+        s.push(0, Loop::temporal(Dim::P, 2));
+        s.push(1, Loop::spatial(Dim::K, 4));
+        s.push(1, Loop::temporal(Dim::K, 8));
+        let t1 = s.stored_tile(1);
+        assert_eq!(t1[Dim::P], 2);
+        // Both the spatial distribution and the level's own temporal sweep
+        // live in the level-1 working set.
+        assert_eq!(t1[Dim::K], 32);
+        let t2 = s.stored_tile(2);
+        assert_eq!(t2[Dim::K], 32);
+    }
+
+    #[test]
+    fn flat_loops_outermost_first() {
+        let mut s = Schedule::new(2);
+        s.push(0, Loop::temporal(Dim::P, 2));
+        s.push(1, Loop::temporal(Dim::Q, 3));
+        let flat = s.flat_loops();
+        assert_eq!(flat[0].0, 1); // DRAM level first
+        assert_eq!(flat[0].1.dim, Dim::Q);
+        assert_eq!(flat[1].1.dim, Dim::P);
+    }
+
+    #[test]
+    fn render_matches_listing_style() {
+        let arch = Arch::simba_baseline();
+        let mut s = Schedule::new(arch.num_levels());
+        s.push(arch.dram_level(), Loop::temporal(Dim::Q, 2));
+        s.push(arch.noc_level(), Loop::temporal(Dim::Q, 7));
+        s.push(arch.noc_level(), Loop::spatial(Dim::K, 2));
+        let text = s.render(&arch);
+        assert!(text.contains("// DRAM level"));
+        assert!(text.contains("for q1 = [0 : 2)"));
+        assert!(text.contains("for q0 = [0 : 7)"));
+        assert!(text.contains("spatial_for k0 = [0 : 2)"));
+    }
+
+    #[test]
+    fn temporal_product_below_excludes_level() {
+        let mut s = Schedule::new(3);
+        s.push(0, Loop::temporal(Dim::P, 5));
+        s.push(1, Loop::temporal(Dim::Q, 7));
+        s.push(2, Loop::temporal(Dim::K, 11));
+        assert_eq!(s.temporal_product_below(1), 5);
+        assert_eq!(s.temporal_product_below(2), 35);
+        assert_eq!(s.temporal_product(), 385);
+    }
+}

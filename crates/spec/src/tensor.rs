@@ -1,0 +1,221 @@
+//! Data tensors and the dimension–tensor relevance matrix `A` (Table IV).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::dims::{Dim, DimMap};
+use crate::layer::Layer;
+
+/// One of the three data tensors moved through the accelerator.
+///
+/// The paper's constant binary matrix `A` (Table IV, left) encodes which loop
+/// dimensions index each tensor; it is exposed here as
+/// [`DataTensor::relevant_to`].
+///
+/// ```
+/// use cosa_spec::{DataTensor, Dim};
+/// // Weights are indexed by R,S,C,K — not by the output plane P,Q or batch N.
+/// assert!(DataTensor::Weights.relevant_to(Dim::C));
+/// assert!(!DataTensor::Weights.relevant_to(Dim::P));
+/// // Spatially mapping P therefore multicasts weights (Fig. 5a).
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DataTensor {
+    /// Weight tensor `W`, indexed by `R, S, C, K`.
+    Weights,
+    /// Input activation tensor `IA`, indexed by `W, H, C, N`
+    /// (and through the halo by `R, S, P, Q`).
+    Inputs,
+    /// Output activation tensor `OA`, indexed by `P, Q, K, N`.
+    Outputs,
+}
+
+impl DataTensor {
+    /// All tensors in the paper's column order `W, IA, OA`.
+    pub const ALL: [DataTensor; 3] = [DataTensor::Weights, DataTensor::Inputs, DataTensor::Outputs];
+
+    /// Number of data tensors.
+    pub const COUNT: usize = 3;
+
+    /// Index of this tensor within [`DataTensor::ALL`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The tensor at position `index` of [`DataTensor::ALL`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 3`.
+    #[inline]
+    pub const fn from_index(index: usize) -> DataTensor {
+        DataTensor::ALL[index]
+    }
+
+    /// The constant matrix `A` of the paper: `true` iff loop dimension `d`
+    /// is associated with this tensor (Table IV, left).
+    ///
+    /// For the input tensor the spatial dimensions `R, S, P, Q` are all
+    /// relevant because the input window is indexed by
+    /// `w = p·stride + r`, `h = q·stride + s`.
+    pub const fn relevant_to(self, d: Dim) -> bool {
+        match self {
+            DataTensor::Weights => matches!(d, Dim::R | Dim::S | Dim::C | Dim::K),
+            DataTensor::Inputs => !matches!(d, Dim::K),
+            DataTensor::Outputs => matches!(d, Dim::P | Dim::Q | Dim::K | Dim::N),
+        }
+    }
+
+    /// Short name used in reports: `W`, `IA`, `OA`.
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            DataTensor::Weights => "W",
+            DataTensor::Inputs => "IA",
+            DataTensor::Outputs => "OA",
+        }
+    }
+
+    /// Number of elements of this tensor in a (sub-)tile whose per-dimension
+    /// bounds are `tile`, for a layer with the given strides.
+    ///
+    /// For weights and outputs this is the plain product of the relevant
+    /// bounds. For inputs the halo is applied exactly:
+    /// `w = (p-1)·stride_w + r`, `h = (q-1)·stride_h + s`.
+    ///
+    /// ```
+    /// use cosa_spec::{DataTensor, Dim, DimMap, Layer};
+    /// let layer = Layer::conv("l", 3, 3, 8, 8, 4, 16, 1, 1, 1);
+    /// let full = *layer.bounds();
+    /// let w = DataTensor::Weights.tile_elements(&full, &layer);
+    /// assert_eq!(w, 3 * 3 * 4 * 16);
+    /// let ia = DataTensor::Inputs.tile_elements(&full, &layer);
+    /// assert_eq!(ia, 10 * 10 * 4); // (8-1)*1+3 = 10 per side
+    /// ```
+    pub fn tile_elements(&self, tile: &DimMap<u64>, layer: &Layer) -> u64 {
+        match self {
+            DataTensor::Weights => tile[Dim::R] * tile[Dim::S] * tile[Dim::C] * tile[Dim::K],
+            DataTensor::Outputs => tile[Dim::P] * tile[Dim::Q] * tile[Dim::K] * tile[Dim::N],
+            DataTensor::Inputs => {
+                let w = (tile[Dim::P] - 1) * layer.stride_w() + tile[Dim::R];
+                let h = (tile[Dim::Q] - 1) * layer.stride_h() + tile[Dim::S];
+                w * h * tile[Dim::C] * tile[Dim::N]
+            }
+        }
+    }
+}
+
+impl fmt::Display for DataTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Whole-layer element counts for the three tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorSizes {
+    /// Weight elements `R·S·C·K`.
+    pub weights: u64,
+    /// Input elements `W·H·C·N`.
+    pub inputs: u64,
+    /// Output elements `P·Q·K·N`.
+    pub outputs: u64,
+}
+
+impl TensorSizes {
+    /// Compute the element counts for `layer`.
+    pub fn of_layer(layer: &Layer) -> TensorSizes {
+        let full = DimMap(layer.bounds().0);
+        TensorSizes {
+            weights: DataTensor::Weights.tile_elements(&full, layer),
+            inputs: DataTensor::Inputs.tile_elements(&full, layer),
+            outputs: DataTensor::Outputs.tile_elements(&full, layer),
+        }
+    }
+
+    /// Element count for tensor `v`.
+    pub fn get(&self, v: DataTensor) -> u64 {
+        match v {
+            DataTensor::Weights => self.weights,
+            DataTensor::Inputs => self.inputs,
+            DataTensor::Outputs => self.outputs,
+        }
+    }
+
+    /// Total elements across all tensors.
+    pub fn total(&self) -> u64 {
+        self.weights + self.inputs + self.outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full `A` matrix exactly as printed in Table IV (left).
+    #[test]
+    fn a_matrix_matches_table_iv() {
+        use DataTensor::*;
+        use Dim::*;
+        let expected: [(Dim, [bool; 3]); 7] = [
+            (R, [true, true, false]),
+            (S, [true, true, false]),
+            (P, [false, true, true]),
+            (Q, [false, true, true]),
+            (C, [true, true, false]),
+            (K, [true, false, true]),
+            (N, [false, true, true]),
+        ];
+        for (d, row) in expected {
+            assert_eq!(Weights.relevant_to(d), row[0], "A[{d},W]");
+            assert_eq!(Inputs.relevant_to(d), row[1], "A[{d},IA]");
+            assert_eq!(Outputs.relevant_to(d), row[2], "A[{d},OA]");
+        }
+    }
+
+    #[test]
+    fn every_dim_relevant_to_some_tensor() {
+        for d in Dim::ALL {
+            assert!(
+                DataTensor::ALL.iter().any(|t| t.relevant_to(d)),
+                "dimension {d} relevant to nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for (i, t) in DataTensor::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(DataTensor::from_index(i), *t);
+        }
+    }
+
+    #[test]
+    fn tensor_sizes_for_fc_layer() {
+        let fc = Layer::matmul("fc", 4096, 1000, 1);
+        let sz = fc.tensor_elements();
+        assert_eq!(sz.weights, 4096 * 1000);
+        assert_eq!(sz.inputs, 4096);
+        assert_eq!(sz.outputs, 1000);
+        assert_eq!(sz.total(), 4096 * 1000 + 4096 + 1000);
+    }
+
+    #[test]
+    fn input_halo_with_stride() {
+        // 7_112_3_64_2: W = (112-1)*2 + 7 = 229.
+        let l = Layer::parse_paper_name("7_112_3_64_2").unwrap();
+        let sz = l.tensor_elements();
+        assert_eq!(sz.inputs, 229 * 229 * 3);
+    }
+
+    #[test]
+    fn unit_tile_is_single_element_window() {
+        let l = Layer::conv("l", 3, 3, 8, 8, 4, 16, 2, 2, 2);
+        let unit = DimMap::filled(1u64);
+        // A 1x1 output tile with 1x1 kernel window covers exactly 1 input pt.
+        assert_eq!(DataTensor::Inputs.tile_elements(&unit, &l), 1);
+        assert_eq!(DataTensor::Weights.tile_elements(&unit, &l), 1);
+        assert_eq!(DataTensor::Outputs.tile_elements(&unit, &l), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! The four DNN benchmark suites evaluated in the paper (Sec. IV-C):
+//! AlexNet, ResNet-50, ResNeXt-50 (32x4d) and DeepBench (OCR + face
+//! recognition). Layer lists and names are exactly the x-axis labels of
+//! Fig. 6 / Fig. 10, in the paper's `R_P_C_K_Stride` convention with
+//! `S = R`, `Q = P`, `N = 1`.
+
+use crate::layer::Layer;
+
+/// AlexNet unique layers (5 conv + 3 FC).
+pub const ALEXNET: [&str; 8] = [
+    "11_55_3_64_4",
+    "5_27_64_192_1",
+    "3_13_192_384_1",
+    "3_13_384_256_1",
+    "3_13_256_256_1",
+    "1_1_9216_4096_1",
+    "1_1_4096_4096_1",
+    "1_1_4096_1000_1",
+];
+
+/// ResNet-50 unique layers.
+pub const RESNET50: [&str; 23] = [
+    "7_112_3_64_2",
+    "1_56_64_64_1",
+    "3_56_64_64_1",
+    "1_56_64_256_1",
+    "1_56_256_64_1",
+    "1_56_256_128_1",
+    "3_28_128_128_2",
+    "1_28_128_512_1",
+    "1_28_256_512_2",
+    "1_28_512_128_1",
+    "1_28_512_256_1",
+    "3_14_256_256_2",
+    "1_14_256_1024_1",
+    "1_14_512_1024_2",
+    "1_14_1024_256_1",
+    "3_14_256_256_1",
+    "1_14_1024_512_1",
+    "3_7_512_512_2",
+    "1_7_512_2048_1",
+    "1_7_1024_2048_2",
+    "1_7_2048_512_1",
+    "3_7_512_512_1",
+    "1_1_2048_1000_1",
+];
+
+/// ResNeXt-50 (32x4d) unique layers. The grouped 3×3 convolutions appear
+/// with their per-group channel count (e.g. `3_56_4_128_1`).
+pub const RESNEXT50: [&str; 25] = [
+    "7_112_3_64_2",
+    "1_56_64_128_1",
+    "3_56_4_128_1",
+    "1_56_128_256_1",
+    "1_56_64_256_1",
+    "1_56_256_128_1",
+    "1_56_256_256_1",
+    "3_28_8_256_2",
+    "1_28_256_512_1",
+    "1_28_256_512_2",
+    "1_28_512_256_1",
+    "3_28_8_256_1",
+    "1_28_512_512_1",
+    "3_14_16_512_2",
+    "1_14_512_1024_1",
+    "1_14_512_1024_2",
+    "1_14_1024_512_1",
+    "3_14_16_512_1",
+    "1_14_1024_1024_1",
+    "3_7_32_1024_2",
+    "1_7_1024_2048_1",
+    "1_7_1024_2048_2",
+    "1_7_2048_1024_1",
+    "3_7_32_1024_1",
+    "1_1_2048_1000_1",
+];
+
+/// DeepBench convolution layers (OCR and face-recognition configurations).
+pub const DEEPBENCH: [&str; 9] = [
+    "3_480_1_16_1",
+    "3_240_16_32_1",
+    "3_120_32_64_1",
+    "3_60_64_128_1",
+    "3_108_3_64_2",
+    "3_54_64_64_1",
+    "3_27_128_128_1",
+    "3_14_128_256_1",
+    "3_7_256_512_1",
+];
+
+/// A named suite of layers.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Suite name as used in the paper's figures.
+    pub name: &'static str,
+    /// Parsed layers, in figure order.
+    pub layers: Vec<Layer>,
+}
+
+impl Workload {
+    fn from_names(name: &'static str, names: &[&str]) -> Workload {
+        let layers = names
+            .iter()
+            .map(|n| Layer::parse_paper_name(n).expect("workload tables are well-formed"))
+            .collect();
+        Workload { name, layers }
+    }
+}
+
+/// AlexNet as a parsed [`Workload`].
+pub fn alexnet() -> Workload {
+    Workload::from_names("AlexNet", &ALEXNET)
+}
+
+/// ResNet-50 as a parsed [`Workload`].
+pub fn resnet50() -> Workload {
+    Workload::from_names("ResNet-50", &RESNET50)
+}
+
+/// ResNeXt-50 (32x4d) as a parsed [`Workload`].
+pub fn resnext50() -> Workload {
+    Workload::from_names("ResNeXt-50", &RESNEXT50)
+}
+
+/// DeepBench as a parsed [`Workload`].
+pub fn deepbench() -> Workload {
+    Workload::from_names("DeepBench", &DEEPBENCH)
+}
+
+/// All four suites in the paper's order.
+pub fn all_suites() -> Vec<Workload> {
+    vec![alexnet(), resnet50(), resnext50(), deepbench()]
+}
+
+/// Look up a single layer by its paper name across all suites.
+///
+/// ```
+/// use cosa_spec::workloads::find_layer;
+/// let l = find_layer("3_7_512_512_1").expect("known ResNet layer");
+/// assert_eq!(l.name(), "3_7_512_512_1");
+/// ```
+pub fn find_layer(name: &str) -> Option<Layer> {
+    all_suites()
+        .into_iter()
+        .flat_map(|w| w.layers)
+        .find(|l| l.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dim;
+
+    #[test]
+    fn suite_sizes_match_figures() {
+        assert_eq!(alexnet().layers.len(), 8);
+        assert_eq!(resnet50().layers.len(), 23);
+        assert_eq!(resnext50().layers.len(), 25);
+        assert_eq!(deepbench().layers.len(), 9);
+    }
+
+    #[test]
+    fn all_layers_parse_and_are_positive() {
+        for suite in all_suites() {
+            for layer in &suite.layers {
+                assert!(layer.macs() > 0, "{}", layer.name());
+            }
+        }
+    }
+
+    #[test]
+    fn resnext_grouped_convs_have_small_c() {
+        let l = find_layer("3_56_4_128_1").unwrap();
+        assert_eq!(l.dim(Dim::C), 4);
+        assert_eq!(l.dim(Dim::K), 128);
+    }
+
+    #[test]
+    fn fc_layers_are_matmuls() {
+        for name in ["1_1_9216_4096_1", "1_1_2048_1000_1"] {
+            let l = find_layer(name).unwrap();
+            assert_eq!(l.dim(Dim::R), 1);
+            assert_eq!(l.dim(Dim::P), 1);
+        }
+    }
+
+    #[test]
+    fn find_layer_misses_unknown() {
+        assert!(find_layer("9_9_9_9_9").is_none());
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: schedule one ResNet-50 layer on the baseline accelerator
+//! with CoSA, print the loop nest (Listing-1 style) and both platforms'
+//! verdicts.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cosa_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Simba-like baseline of Table V and a ResNet-50 layer.
+    let arch = Arch::simba_baseline();
+    let layer = Layer::parse_paper_name("3_7_512_512_1")?;
+    println!("architecture: {arch}");
+    println!("layer:        {layer}\n");
+
+    // One-shot constrained-optimization scheduling.
+    let result = CosaScheduler::new(&arch).schedule(&layer)?;
+    println!("CoSA solved the MILP in {:?} ({} branch-and-bound nodes)\n",
+        result.solve_time, result.stats.nodes);
+    println!("{}", result.schedule.render(&arch));
+
+    // Platform 1: the Timeloop-like analytical model.
+    let eval = CostModel::new(&arch).evaluate(&layer, &result.schedule)?;
+    println!("analytical model:");
+    println!("  latency  {:>12.0} cycles", eval.latency_cycles);
+    println!("  compute  {:>12} cycles", eval.compute_cycles);
+    println!("  energy   {:>12.1} uJ", eval.energy_pj / 1e6);
+    println!("  PE util  {:>11.0}%  MAC util {:>3.0}%",
+        eval.pe_utilization * 100.0, eval.mac_utilization * 100.0);
+
+    // Platform 2: the cycle-level NoC simulator.
+    let report = NocSimulator::new(&arch).simulate(&layer, &result.schedule)?;
+    println!("NoC simulator:");
+    println!("  latency  {:>12.0} cycles ({} PEs used)", report.total_cycles, report.pes_used);
+    println!("  dram     {:>12.0} cycles of DRAM streaming", report.dram_cycles);
+    println!(
+        "  bound by {}",
+        if report.communication_bound() { "communication" } else { "compute" }
+    );
+
+    // The objective breakdown of Fig. 8.
+    let b = result.breakdown;
+    println!("\nobjective (Eq. 12): -{:.1} util + {:.1} comp + {:.1} traf = {:.1}",
+        b.weighted_util(), b.weighted_comp(), b.weighted_traf(), b.total());
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Schedule a slice of ResNet-50 with all three schedulers and print a
+//! per-layer comparison table — a miniature of the Fig. 6 experiment.
+//!
+//! Run with: `cargo run --release --example resnet_sweep`
+//! (add `-- --full` for all 23 layers)
+
+use cosa_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = std::env::args().any(|a| a == "--full");
+    let arch = Arch::simba_baseline();
+    let model = CostModel::new(&arch);
+    let cosa = CosaScheduler::new(&arch);
+
+    let mut layers = cosa_repro::spec::workloads::resnet50().layers;
+    if !full {
+        layers.truncate(6);
+    }
+
+    println!(
+        "{:20} {:>12} {:>12} {:>12} {:>8}",
+        "layer", "random", "hybrid", "cosa", "speedup"
+    );
+    let mut speedups = Vec::new();
+    for layer in &layers {
+        let rnd = RandomMapper::new(7).search(&arch, &layer, &SearchLimits::paper());
+        let hyb = HybridMapper::new(HybridConfig::quick()).search(&arch, &layer);
+        let res = cosa.schedule(layer)?;
+        let lat = model.evaluate(layer, &res.schedule)?.latency_cycles;
+        let speedup = rnd.best_latency / lat;
+        speedups.push(speedup);
+        println!(
+            "{:20} {:>12.0} {:>12.0} {:>12.0} {:>7.2}x",
+            layer.name(),
+            rnd.best_latency,
+            hyb.best_latency,
+            lat,
+            speedup
+        );
+    }
+    let geo = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!("\ngeomean speedup vs random search: {geo:.2}x");
+    Ok(())
+}

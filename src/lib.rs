@@ -1,0 +1,44 @@
+//! # cosa-repro
+//!
+//! Umbrella crate for the CoSA reproduction (Huang et al., *CoSA:
+//! Scheduling by Constrained Optimization for Spatial Accelerators*,
+//! ISCA 2021). It re-exports the workspace crates and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! * [`spec`] — layers, tensors, architectures, schedules, workloads
+//! * [`milp`] — the from-scratch MILP solver (simplex + branch-and-bound)
+//! * [`model`] — the Timeloop-like analytical performance/energy model
+//! * [`noc`] — the cycle-level mesh NoC simulator
+//! * [`core`] — the CoSA scheduler itself
+//! * [`mappers`] — the Random and Timeloop-Hybrid-style baselines
+//! * [`gpu`] — the K80 case study and the TVM-style tuner
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cosa_repro::prelude::*;
+//!
+//! let arch = Arch::simba_baseline();
+//! let layer = Layer::parse_paper_name("3_13_256_256_1")?;
+//! let result = CosaScheduler::new(&arch).schedule(&layer)?;
+//! let eval = CostModel::new(&arch).evaluate(&layer, &result.schedule)?;
+//! assert!(eval.latency_cycles >= 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use cosa_core as core;
+pub use cosa_gpu as gpu;
+pub use cosa_mappers as mappers;
+pub use cosa_milp as milp;
+pub use cosa_model as model;
+pub use cosa_noc as noc;
+pub use cosa_spec as spec;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use cosa_core::{CosaResult, CosaScheduler, ObjectiveWeights};
+    pub use cosa_mappers::{HybridConfig, HybridMapper, RandomMapper, SearchLimits};
+    pub use cosa_model::CostModel;
+    pub use cosa_noc::NocSimulator;
+    pub use cosa_spec::{Arch, ArchBuilder, DataTensor, Dim, Layer, Loop, Schedule};
+}

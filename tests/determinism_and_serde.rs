@@ -1,0 +1,61 @@
+//! Reproducibility guarantees: one-shot scheduling is deterministic and
+//! searches are seed-stable. (All spec types also derive serde
+//! `Serialize`/`Deserialize` for downstream persistence; wire formats are
+//! the consumer's choice.)
+
+use cosa_repro::prelude::*;
+use cosa_repro::spec::workloads;
+
+#[test]
+fn cosa_is_deterministic() {
+    let arch = Arch::simba_baseline();
+    let layer = workloads::find_layer("3_27_128_128_1").expect("layer");
+    let a = CosaScheduler::new(&arch).schedule(&layer).expect("ok").schedule;
+    let b = CosaScheduler::new(&arch).schedule(&layer).expect("ok").schedule;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn random_search_is_seed_stable() {
+    let arch = Arch::simba_baseline();
+    let layer = workloads::find_layer("3_13_384_256_1").expect("layer");
+    let limits = SearchLimits::quick();
+    let a = RandomMapper::new(99).search(&arch, &layer, &limits);
+    let b = RandomMapper::new(99).search(&arch, &layer, &limits);
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.samples, b.samples);
+}
+
+#[test]
+fn hybrid_best_is_always_valid() {
+    let arch = Arch::simba_baseline();
+    let layer = workloads::find_layer("3_120_32_64_1").expect("layer");
+    let out = HybridMapper::new(HybridConfig::quick()).search(&arch, &layer);
+    let best = out.best.expect("finds something");
+    assert!(best.is_valid(&layer, &arch));
+}
+
+#[test]
+fn rendered_schedules_are_stable() {
+    // The Listing-1 rendering is part of the public API surface; it must
+    // not change between identical runs.
+    let arch = Arch::simba_baseline();
+    let layer = workloads::find_layer("1_56_256_64_1").expect("layer");
+    let a = CosaScheduler::new(&arch).schedule(&layer).expect("ok");
+    let b = CosaScheduler::new(&arch).schedule(&layer).expect("ok");
+    assert_eq!(a.schedule.render(&arch), b.schedule.render(&arch));
+    assert!(a.schedule.render(&arch).contains("// DRAM level"));
+}
+
+#[test]
+fn schedule_clone_evaluates_identically() {
+    let arch = Arch::simba_baseline();
+    let layer = workloads::find_layer("1_28_256_512_2").expect("layer");
+    let schedule = CosaScheduler::new(&arch).schedule(&layer).expect("ok").schedule;
+    let clone = schedule.clone();
+    let model = CostModel::new(&arch);
+    assert_eq!(
+        model.evaluate(&layer, &schedule).unwrap().latency_cycles,
+        model.evaluate(&layer, &clone).unwrap().latency_cycles,
+    );
+}

@@ -1,0 +1,81 @@
+//! Property-based integration tests over randomly generated layers and
+//! schedules, checking cross-crate invariants.
+
+use cosa_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Random small-but-interesting layer shapes.
+fn layer_strategy() -> impl Strategy<Value = Layer> {
+    (
+        1u64..=3,   // r = s
+        1u64..=16,  // p = q
+        1u64..=64,  // c
+        1u64..=64,  // k
+        1u64..=2,   // stride
+    )
+        .prop_map(|(r, p, c, k, st)| {
+            Layer::conv(format!("prop_{r}_{p}_{c}_{k}_{st}"), r, r, p, p, c, k, 1, st, st)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// CoSA always returns a schedule that passes full validation, for any
+    /// layer shape.
+    #[test]
+    fn cosa_always_valid(layer in layer_strategy()) {
+        let arch = Arch::simba_baseline();
+        let result = CosaScheduler::new(&arch).schedule(&layer);
+        let result = result.expect("CoSA programs are feasible by construction");
+        prop_assert!(result.schedule.is_valid(&layer, &arch));
+    }
+
+    /// The analytical model's latency can never undercut the sequential
+    /// compute bound, and energy is positive.
+    #[test]
+    fn model_invariants(layer in layer_strategy()) {
+        let arch = Arch::simba_baseline();
+        let schedule = CosaScheduler::new(&arch).schedule(&layer)
+            .expect("feasible").schedule;
+        let eval = CostModel::new(&arch).evaluate(&layer, &schedule).expect("valid");
+        prop_assert!(eval.latency_cycles >= schedule.temporal_product() as f64 * 0.999);
+        prop_assert!(eval.energy_pj > 0.0);
+        prop_assert!(eval.pe_utilization <= 1.0 + 1e-9);
+        prop_assert!(eval.mac_utilization <= 1.0 + 1e-9);
+    }
+
+    /// The NoC simulator and the analytical model must agree on the
+    /// compute lower bound, and the NoC's extra communication modelling can
+    /// only add latency relative to pure compute.
+    #[test]
+    fn noc_invariants(layer in layer_strategy()) {
+        let arch = Arch::simba_baseline();
+        let schedule = CosaScheduler::new(&arch).schedule(&layer)
+            .expect("feasible").schedule;
+        let report = NocSimulator::new(&arch).simulate(&layer, &schedule).expect("valid");
+        prop_assert!(report.total_cycles >= report.compute_cycles as f64 * 0.999);
+        // Iteration classes cover the whole loop space.
+        let covered: f64 = report.types.iter().map(|t| t.count).sum();
+        prop_assert!(covered >= 1.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random valid schedules (from the baseline sampler) satisfy the same
+    /// model invariants as CoSA's.
+    #[test]
+    fn sampled_schedules_model_invariants(seed in 0u64..1000) {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::conv("fixed", 3, 3, 8, 8, 16, 32, 1, 1, 1);
+        let samples = cosa_repro::mappers::sample_valid_schedules(&arch, &layer, 3, 20_000, seed);
+        let model = CostModel::new(&arch);
+        for s in samples {
+            let eval = model.evaluate(&layer, &s.schedule).expect("sampler validated");
+            prop_assert!(eval.latency_cycles >= s.schedule.temporal_product() as f64 * 0.999);
+            prop_assert!((eval.latency_cycles - s.latency_cycles).abs() < 1e-6);
+        }
+    }
+}
