@@ -11,7 +11,10 @@ use cosa_spec::{Arch, Layer};
 fn bench_layer_simulation(c: &mut Criterion) {
     let arch = Arch::simba_baseline();
     let layer = Layer::parse_paper_name("3_14_256_256_1").expect("layer");
-    let schedule = CosaScheduler::new(&arch).schedule(&layer).expect("ok").schedule;
+    let schedule = CosaScheduler::new(&arch)
+        .schedule(&layer)
+        .expect("ok")
+        .schedule;
     let sim = NocSimulator::new(&arch);
     let mut group = c.benchmark_group("noc_layer");
     group.sample_size(10);
@@ -22,14 +25,29 @@ fn bench_layer_simulation(c: &mut Criterion) {
 }
 
 fn bench_mesh_transfer(c: &mut Criterion) {
-    let cfg =
-        MeshConfig { x: 4, y: 4, hop_latency: 3, buffer_depth: 8, gb_node: 0, multicast: true };
-    let packets: Vec<PacketSpec> =
-        (0..16).map(|i| PacketSpec { src: 0, dests: vec![i], flits: 64 }).collect();
+    let cfg = MeshConfig {
+        x: 4,
+        y: 4,
+        hop_latency: 3,
+        buffer_depth: 8,
+        gb_node: 0,
+        multicast: true,
+    };
+    let packets: Vec<PacketSpec> = (0..16)
+        .map(|i| PacketSpec {
+            src: 0,
+            dests: vec![i],
+            flits: 64,
+        })
+        .collect();
     c.bench_function("mesh_16_unicast_64flit", |b| {
         b.iter(|| black_box(MeshSim::new(cfg).run(black_box(&packets))))
     });
-    let multicast = vec![PacketSpec { src: 0, dests: (0..16).collect(), flits: 64 }];
+    let multicast = vec![PacketSpec {
+        src: 0,
+        dests: (0..16).collect(),
+        flits: 64,
+    }];
     c.bench_function("mesh_multicast_64flit", |b| {
         b.iter(|| black_box(MeshSim::new(cfg).run(black_box(&multicast))))
     });

@@ -49,5 +49,10 @@ fn bench_lp_relaxation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cosa_schedule, bench_milp_build, bench_lp_relaxation);
+criterion_group!(
+    benches,
+    bench_cosa_schedule,
+    bench_milp_build,
+    bench_lp_relaxation
+);
 criterion_main!(benches);

@@ -60,13 +60,19 @@ fn main() {
                 let asg = program.solve_default().ok()?;
                 let mut schedule = cosa_core::extract_schedule(&arch, &asg);
                 cosa_core::refine_intra_level_order(layer, &arch, &mut schedule);
-                model.evaluate(layer, &schedule).ok().map(|e| e.latency_cycles)
+                model
+                    .evaluate(layer, &schedule)
+                    .ok()
+                    .map(|e| e.latency_cycles)
             }),
         ),
         (
             "no-util",
             Box::new(|layer| {
-                let w = ObjectiveWeights { w_util: 0.0, ..weights };
+                let w = ObjectiveWeights {
+                    w_util: 0.0,
+                    ..weights
+                };
                 CosaScheduler::with_weights(&arch, w)
                     .schedule(layer)
                     .ok()

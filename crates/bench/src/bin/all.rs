@@ -28,7 +28,11 @@ fn main() {
     // Campaign-based experiments on the baseline architecture: one campaign
     // with NoC evaluation serves Fig. 6, Fig. 10 and Table VI.
     let arch = Arch::simba_baseline();
-    let mut cfg = if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+    let mut cfg = if quick {
+        CampaignConfig::quick(&arch)
+    } else {
+        CampaignConfig::paper(&arch)
+    };
     cfg.with_noc = true;
     let suites = selected_suites(quick, &suite);
     println!("\n================ fig6 / fig10 / table6 ================");
@@ -40,8 +44,11 @@ fn main() {
 
     // Fig. 7: energy-objective campaign.
     println!("\n================ fig7 ================");
-    let mut cfg_energy =
-        if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+    let mut cfg_energy = if quick {
+        CampaignConfig::quick(&arch)
+    } else {
+        CampaignConfig::paper(&arch)
+    };
     cfg_energy.energy_objective = true;
     let outcome_energy = run_campaign(&arch, &suites, &cfg_energy);
     figures::fig7_report(&outcome_energy);
@@ -49,12 +56,22 @@ fn main() {
     // Fig. 9: architecture variants.
     println!("\n================ fig9 ================");
     for arch in [Arch::simba_8x8(), Arch::simba_big_buffers()] {
-        let cfg = if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+        let cfg = if quick {
+            CampaignConfig::quick(&arch)
+        } else {
+            CampaignConfig::paper(&arch)
+        };
         println!("\ncampaign on {arch} ...");
         let outcome = run_campaign(&arch, &suites, &cfg);
         let (gh, gc) = figures::fig6_report(&outcome, &format!("fig9_{}.csv", arch.name()));
-        println!("Fig. 9 summary [{}]: hybrid {gh:.2}x, cosa {gc:.2}x", arch.name());
+        println!(
+            "Fig. 9 summary [{}]: hybrid {gh:.2}x, cosa {gc:.2}x",
+            arch.name()
+        );
     }
 
-    println!("\nall experiments done in {:.1?}; CSVs in results/", started.elapsed());
+    println!(
+        "\nall experiments done in {:.1?}; CSVs in results/",
+        started.elapsed()
+    );
 }

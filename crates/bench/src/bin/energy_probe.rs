@@ -15,7 +15,11 @@ fn main() {
     let cosa = CosaScheduler::new(&arch).schedule(&layer).unwrap().schedule;
     for (name, s) in [("random-by-energy", &rnd), ("cosa", &cosa)] {
         let e = model.evaluate(&layer, s).unwrap();
-        println!("== {name}: total {:.1} uJ, latency {:.0}", e.energy_pj / 1e6, e.latency_cycles);
+        println!(
+            "== {name}: total {:.1} uJ, latency {:.0}",
+            e.energy_pj / 1e6,
+            e.latency_cycles
+        );
         for (i, lvl) in arch.levels().iter().enumerate() {
             println!(
                 "  {:10} {:>14.0} B  -> {:>10.1} uJ",
@@ -25,7 +29,10 @@ fn main() {
             );
         }
         for v in DataTensor::ALL {
-            println!("  inner {v}: {:>14} elems", e.analysis.inner_access_elements[v.index()]);
+            println!(
+                "  inner {v}: {:>14} elems",
+                e.analysis.inner_access_elements[v.index()]
+            );
         }
     }
 }

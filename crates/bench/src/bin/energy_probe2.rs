@@ -18,8 +18,13 @@ fn main() {
             if let Some(s) = e.analysis.get(lvl, v) {
                 println!(
                     "{v} L{lvl} tile={} fills={} distinct={} inst={} uni={} parent={:?} partial={}",
-                    s.tile_elements, s.fills, s.distinct, s.instances,
-                    s.relevant_spatial_to_parent, s.parent, s.partial_above
+                    s.tile_elements,
+                    s.fills,
+                    s.distinct,
+                    s.instances,
+                    s.relevant_spatial_to_parent,
+                    s.parent,
+                    s.partial_above
                 );
             }
         }

@@ -1,0 +1,146 @@
+//! Probe the batch `Engine` on whole-network scheduling: cache-hit
+//! behaviour, determinism, and multi-threaded vs single-threaded
+//! wall-clock on ResNet-50 (the acceptance probe for the Engine redesign).
+//!
+//! Run with: `cargo run --release -p cosa-bench --bin engine_probe`
+//! (`--quick` probes a network prefix; `--suite <name>` picks the suite;
+//! `--scheduler random|hybrid|cosa` picks the scheduler, default cosa).
+
+use cosa_bench::{parse_flags, write_csv};
+use cosa_core::CosaScheduler;
+use cosa_mappers::{HybridConfig, HybridMapper, RandomMapper, SearchLimits};
+use cosa_repro::api::Scheduler;
+use cosa_repro::engine::Engine;
+use cosa_spec::{Arch, Network, Suite};
+
+fn main() {
+    let (quick, suite) = parse_flags();
+    let args: Vec<String> = std::env::args().collect();
+    let scheduler_name = args
+        .iter()
+        .position(|a| a == "--scheduler")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("cosa")
+        .to_string();
+
+    let arch = Arch::simba_baseline();
+    let suite: Suite = suite
+        .as_deref()
+        .unwrap_or("resnet50")
+        .parse()
+        .expect("known suite (alexnet|resnet50|resnext50|deepbench)");
+    let mut network = Network::from_suite(suite);
+    if quick {
+        network.layers.truncate(8);
+    }
+
+    let scheduler: Box<dyn Scheduler> = match scheduler_name.as_str() {
+        "random" => Box::new(RandomMapper::new(7).with_limits(SearchLimits::quick())),
+        "hybrid" => Box::new(HybridMapper::new(HybridConfig::quick())),
+        // Node-limited so the probe's cold-run determinism check holds even
+        // when the budget binds (time-limited solves race the clock).
+        "cosa" => Box::new(CosaScheduler::new(&arch).with_deterministic_limits(300)),
+        other => panic!("unknown scheduler `{other}` (random|hybrid|cosa)"),
+    };
+
+    println!(
+        "engine probe — {} ({} instances, {} unique shapes) with `{}` on {arch}",
+        network.name,
+        network.num_instances(),
+        network.unique_shapes(),
+        scheduler.name(),
+    );
+
+    // Single-threaded, cold cache.
+    let single = Engine::new(arch.clone()).with_threads(1);
+    let run1 = single.schedule_network(&network, scheduler.as_ref());
+    println!(
+        "  1 thread : {:>10.2?}  ({} solves, {} cache hits, {} failed)",
+        run1.elapsed, run1.cache_misses, run1.cache_hits, run1.report.failed_layers
+    );
+
+    // Multi-threaded, cold cache.
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|t| t.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+    let multi = Engine::new(arch.clone()).with_threads(threads);
+    let run_n = multi.schedule_network(&network, scheduler.as_ref());
+    println!(
+        "  {threads} threads: {:>10.2?}  ({} solves, {} cache hits, {} failed)",
+        run_n.elapsed, run_n.cache_misses, run_n.cache_hits, run_n.report.failed_layers
+    );
+
+    // Warm re-run: everything from cache, byte-identical report.
+    let run_warm = multi.schedule_network(&network, scheduler.as_ref());
+    println!(
+        "  warm     : {:>10.2?}  ({} solves, {} cache hits)",
+        run_warm.elapsed, run_warm.cache_misses, run_warm.cache_hits
+    );
+
+    // The hybrid mapper races its internal search threads on metric ties,
+    // so cross-run content identity is only guaranteed for cosa/random.
+    if scheduler.name() != "hybrid" {
+        let json1 =
+            serde_json::to_string(&run1.report.without_timings()).expect("report serializes");
+        let json_n =
+            serde_json::to_string(&run_n.report.without_timings()).expect("report serializes");
+        assert_eq!(
+            json1, json_n,
+            "thread count must not change schedules or totals"
+        );
+    }
+    let json_multi = serde_json::to_string(&run_n.report).expect("report serializes");
+    let json_warm = serde_json::to_string(&run_warm.report).expect("report serializes");
+    assert_eq!(
+        json_multi, json_warm,
+        "warm cache must reproduce the report byte-for-byte"
+    );
+    assert!(run_n.cache_hits >= 1 || network.unique_shapes() == network.layers.len());
+    // Errors are deliberately not cached, so a warm run only skips every
+    // solve when the cold run scheduled everything.
+    if run_n.report.is_complete() {
+        assert_eq!(run_warm.cache_misses, 0, "warm run must be all cache hits");
+    }
+
+    let speedup = run1.elapsed.as_secs_f64() / run_n.elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "  whole-network latency {:.3e} cycles, energy {:.3e} pJ, speedup {speedup:.2}x",
+        run_n.report.total_latency_cycles, run_n.report.total_energy_pj
+    );
+    if threads > 1 && run_n.cache_misses > 1 {
+        assert!(
+            run_n.elapsed < run1.elapsed,
+            "multi-threaded engine ({:?}) should beat single-threaded ({:?})",
+            run_n.elapsed,
+            run1.elapsed
+        );
+    }
+
+    let rows: Vec<String> = [("single", &run1), ("multi", &run_n), ("warm", &run_warm)]
+        .iter()
+        .map(|(mode, run)| {
+            format!(
+                "{mode},{},{},{},{},{:.6}",
+                scheduler.name(),
+                run.report.network,
+                run.cache_misses,
+                run.cache_hits,
+                run.elapsed.as_secs_f64()
+            )
+        })
+        .collect();
+    let path = write_csv(
+        "engine_probe.csv",
+        "mode,scheduler,network,solves,cache_hits,seconds",
+        &rows,
+    );
+    println!("  wrote {}", path.display());
+}

@@ -31,15 +31,29 @@ fn main() {
         counts[idx.min(bins)] += 1;
     }
 
-    println!("Fig. 1 — latency histogram of {} valid schedules", latencies.len());
+    println!(
+        "Fig. 1 — latency histogram of {} valid schedules",
+        latencies.len()
+    );
     println!("layer {layer}");
-    println!("best {best:.3} MCycles, worst {worst:.3} MCycles, spread {:.1}x", worst / best);
+    println!(
+        "best {best:.3} MCycles, worst {worst:.3} MCycles, spread {:.1}x",
+        worst / best
+    );
     let peak = counts.iter().copied().max().unwrap_or(1) as f64;
     let mut rows = Vec::new();
     for (i, c) in counts.iter().enumerate() {
         let lo = hi * i as f64 / bins as f64;
-        let label = if i == bins { format!("{hi:.1}+") } else { format!("{lo:.1}") };
-        println!("{label:>5} MC | {:5} {}", c, cosa_bench::report::bar(*c as f64, 60.0 / peak));
+        let label = if i == bins {
+            format!("{hi:.1}+")
+        } else {
+            format!("{lo:.1}")
+        };
+        println!(
+            "{label:>5} MC | {:5} {}",
+            c,
+            cosa_bench::report::bar(*c as f64, 60.0 / peak)
+        );
         rows.push(format!("{label},{c}"));
     }
     let path = write_csv("fig1_histogram.csv", "mcycles_bin,count", &rows);

@@ -12,8 +12,11 @@ use cosa_spec::Arch;
 fn main() {
     let (quick, suite) = parse_flags();
     let arch = Arch::simba_baseline();
-    let mut cfg =
-        if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+    let mut cfg = if quick {
+        CampaignConfig::quick(&arch)
+    } else {
+        CampaignConfig::paper(&arch)
+    };
     cfg.with_noc = true;
     let suites = selected_suites(quick, &suite);
     println!("Fig. 10 — NoC-simulator campaign on {arch} ...");

@@ -20,7 +20,11 @@ fn main() {
     // total number of threads" and the remaining weights re-adjusted: the
     // K80's bandwidth is plentiful relative to its thread-parallel compute,
     // so compute dominates and traffic is discounted.
-    let weights = ObjectiveWeights { w_util: 1.0, w_comp: 4.0, w_traf: 0.5 };
+    let weights = ObjectiveWeights {
+        w_util: 1.0,
+        w_comp: 4.0,
+        w_traf: 0.5,
+    };
     let scheduler = CosaScheduler::with_weights(&gpu, weights);
     let tuner = TvmTuner::new(TunerConfig::default());
 
@@ -45,14 +49,22 @@ fn main() {
             .unwrap_or(f64::INFINITY);
         let speedup = tvm.best_latency / cosa_lat;
         tvm_time += tvm.elapsed.as_secs_f64();
-        cosa_time += cosa.as_ref().map(|r| r.solve_time.as_secs_f64()).unwrap_or(0.0);
+        cosa_time += cosa
+            .as_ref()
+            .map(|r| r.solve_time.as_secs_f64())
+            .unwrap_or(0.0);
         println!(
             "  {:20} tvm {:>12.0} cyc  cosa {:>12.0} cyc  speedup {speedup:>5.2}x",
             layer.name(),
             tvm.best_latency,
             cosa_lat
         );
-        rows.push(format!("{},{:.0},{:.0},{speedup:.4}", layer.name(), tvm.best_latency, cosa_lat));
+        rows.push(format!(
+            "{},{:.0},{:.0},{speedup:.4}",
+            layer.name(),
+            tvm.best_latency,
+            cosa_lat
+        ));
         speedups.push(speedup);
     }
     let g = geomean(speedups.iter().copied());
@@ -63,6 +75,10 @@ fn main() {
         cosa_time / n,
         tvm_time / n
     );
-    let path = write_csv("fig11_gpu.csv", "layer,tvm_cycles,cosa_cycles,speedup", &rows);
+    let path = write_csv(
+        "fig11_gpu.csv",
+        "layer,tvm_cycles,cosa_cycles,speedup",
+        &rows,
+    );
     println!("wrote {}", path.display());
 }

@@ -52,7 +52,7 @@ fn main() {
     let model = CostModel::new(&arch);
     let noc = NocSimulator::new(&arch);
 
-    let orders: [( &str, [Dim; 3]); 6] = [
+    let orders: [(&str, [Dim; 3]); 6] = [
         ("CKP", [Dim::C, Dim::K, Dim::P]),
         ("CPK", [Dim::C, Dim::P, Dim::K]),
         ("KCP", [Dim::K, Dim::C, Dim::P]),
@@ -68,7 +68,8 @@ fn main() {
     let mut worst: f64 = 0.0;
     for (label, order) in orders {
         let s = schedule_with_order(&arch, &layer, order);
-        s.validate(&layer, &arch).expect("fig3 schedule fits the baseline");
+        s.validate(&layer, &arch)
+            .expect("fig3 schedule fits the baseline");
         let eval = model.evaluate(&layer, &s).expect("valid");
         let sim = noc.simulate(&layer, &s).expect("valid");
         let mc = sim.total_cycles / 1.0e6;
@@ -79,9 +80,16 @@ fn main() {
             eval.latency_cycles / 1.0e6,
             cosa_bench::report::bar(mc, 80.0 / 0.5)
         );
-        rows.push(format!("{label},{mc:.6},{:.6}", eval.latency_cycles / 1.0e6));
+        rows.push(format!(
+            "{label},{mc:.6},{:.6}",
+            eval.latency_cycles / 1.0e6
+        ));
     }
     println!("best/worst spread: {:.2}x (paper: ~1.7x)", worst / best);
-    let path = write_csv("fig3_permutation.csv", "order,noc_mcycles,model_mcycles", &rows);
+    let path = write_csv(
+        "fig3_permutation.csv",
+        "order,noc_mcycles,model_mcycles",
+        &rows,
+    );
     println!("wrote {}", path.display());
 }

@@ -70,7 +70,8 @@ fn main() {
     let mut results = Vec::new();
     for (sp, sc, sk) in splits {
         let s = schedule_for_split(&arch, sp, sc, sk);
-        s.validate(&layer, &arch).expect("fig4 schedules fit the baseline");
+        s.validate(&layer, &arch)
+            .expect("fig4 schedules fit the baseline");
         let report = sim.simulate(&layer, &s).expect("valid");
         let label = format!(
             "s:{}{}{} t:{}{}{}",
@@ -88,7 +89,10 @@ fn main() {
     let best = results.last().map(|r| r.1).unwrap_or(1.0);
     let mut rows = Vec::new();
     for (label, mc) in &results {
-        println!("{label:24} {mc:.3} MCycles {}", cosa_bench::report::bar(*mc, 60.0 / worst));
+        println!(
+            "{label:24} {mc:.3} MCycles {}",
+            cosa_bench::report::bar(*mc, 60.0 / worst)
+        );
         rows.push(format!("{label},{mc:.6}"));
     }
     println!("spread worst/best = {:.2}x (paper: ~4.3x)", worst / best);

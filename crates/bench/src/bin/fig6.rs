@@ -11,7 +11,11 @@ use cosa_spec::Arch;
 fn main() {
     let (quick, suite) = parse_flags();
     let arch = Arch::simba_baseline();
-    let cfg = if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+    let cfg = if quick {
+        CampaignConfig::quick(&arch)
+    } else {
+        CampaignConfig::paper(&arch)
+    };
     let suites = selected_suites(quick, &suite);
     println!("Fig. 6 — scheduling {} suites on {arch} ...", suites.len());
     let outcome = run_campaign(&arch, &suites, &cfg);

@@ -12,8 +12,11 @@ use cosa_spec::Arch;
 fn main() {
     let (quick, suite) = parse_flags();
     let arch = Arch::simba_baseline();
-    let mut cfg =
-        if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+    let mut cfg = if quick {
+        CampaignConfig::quick(&arch)
+    } else {
+        CampaignConfig::paper(&arch)
+    };
     cfg.energy_objective = true;
     let suites = selected_suites(quick, &suite);
     println!("Fig. 7 — energy-objective campaign on {arch} ...");

@@ -25,7 +25,10 @@ fn main() {
         .expect("cosa schedules")
         .schedule;
 
-    println!("Fig. 8 — objective breakdown for {} (Eq. 12 terms)", layer.name());
+    println!(
+        "Fig. 8 — objective breakdown for {} (Eq. 12 terms)",
+        layer.name()
+    );
     println!(
         "{:10} {:>10} {:>10} {:>10} {:>10}",
         "scheduler", "wU*Util", "wC*Comp", "wT*Traf", "Total"
@@ -51,6 +54,10 @@ fn main() {
     }
     println!("(util is a reward: larger is better; comp/traf/total: smaller is better)");
     println!("(paper: CoSA attains the best value of every term simultaneously)");
-    let path = write_csv("fig8_objective_breakdown.csv", "scheduler,util,comp,traf,total", &rows);
+    let path = write_csv(
+        "fig8_objective_breakdown.csv",
+        "scheduler,util,comp,traf,total",
+        &rows,
+    );
     println!("wrote {}", path.display());
 }

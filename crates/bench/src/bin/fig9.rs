@@ -10,7 +10,10 @@ use cosa_spec::Arch;
 
 fn main() {
     let (quick, suite) = parse_flags();
-    let which: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+    let which: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
     let mut archs: Vec<Arch> = Vec::new();
     if which.is_empty() || which.iter().any(|w| w == "pe8x8") {
         archs.push(Arch::simba_8x8());
@@ -20,12 +23,18 @@ fn main() {
     }
     let suites = selected_suites(quick, &suite);
     for arch in archs {
-        let cfg = if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+        let cfg = if quick {
+            CampaignConfig::quick(&arch)
+        } else {
+            CampaignConfig::paper(&arch)
+        };
         println!("\nFig. 9 — campaign on {arch} ...");
         let outcome = run_campaign(&arch, &suites, &cfg);
-        let (gh, gc) =
-            figures::fig6_report(&outcome, &format!("fig9_{}.csv", arch.name()));
-        println!("Fig. 9 summary [{}]: hybrid {gh:.2}x, cosa {gc:.2}x", arch.name());
+        let (gh, gc) = figures::fig6_report(&outcome, &format!("fig9_{}.csv", arch.name()));
+        println!(
+            "Fig. 9 summary [{}]: hybrid {gh:.2}x, cosa {gc:.2}x",
+            arch.name()
+        );
     }
     println!("(paper Fig. 9a: hybrid 4.0x / cosa 4.4x; Fig. 9b: hybrid 4.1x / cosa 5.7x)");
 }

@@ -5,14 +5,21 @@ use cosa_model::CostModel;
 use cosa_spec::{Arch, Layer};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "7_112_3_64_2".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "7_112_3_64_2".into());
     let arch = Arch::simba_baseline();
     let layer = cosa_spec::workloads::find_layer(&name)
         .or_else(|| Layer::parse_paper_name(&name).ok())
         .expect("layer");
     let model = CostModel::new(&arch);
-    let res = CosaScheduler::new(&arch).schedule(&layer).expect("schedule");
-    println!("== CoSA schedule for {name} (milp obj {:.2}, {} nodes)", res.milp_objective, res.stats.nodes);
+    let res = CosaScheduler::new(&arch)
+        .schedule(&layer)
+        .expect("schedule");
+    println!(
+        "== CoSA schedule for {name} (milp obj {:.2}, {} nodes)",
+        res.milp_objective, res.stats.nodes
+    );
     println!("{}", res.schedule.render(&arch));
     let eval = model.evaluate(&layer, &res.schedule).unwrap();
     println!(
@@ -27,6 +34,11 @@ fn main() {
             eval.level_traffic[i].total()
         );
     }
-    println!("breakdown: util {:.1} comp {:.1} traf {:.1} total {:.1}",
-        res.breakdown.util, res.breakdown.comp, res.breakdown.traf, res.breakdown.total());
+    println!(
+        "breakdown: util {:.1} comp {:.1} traf {:.1} total {:.1}",
+        res.breakdown.util,
+        res.breakdown.comp,
+        res.breakdown.traf,
+        res.breakdown.total()
+    );
 }

@@ -17,7 +17,10 @@ fn main() {
         "1_1_4096_1000_1",
         "3_480_1_16_1",
     ];
-    println!("{:20} {:>12} {:>12} {:>12}  speedup-vs-random / vs-hybrid", "layer", "random", "hybrid", "cosa");
+    println!(
+        "{:20} {:>12} {:>12} {:>12}  speedup-vs-random / vs-hybrid",
+        "layer", "random", "hybrid", "cosa"
+    );
     for name in names {
         let layer = workloads::find_layer(name)
             .or_else(|| cosa_spec::Layer::parse_paper_name(name).ok())

@@ -12,7 +12,11 @@ use cosa_spec::Arch;
 fn main() {
     let (quick, suite) = parse_flags();
     let arch = Arch::simba_baseline();
-    let cfg = if quick { CampaignConfig::quick(&arch) } else { CampaignConfig::paper(&arch) };
+    let cfg = if quick {
+        CampaignConfig::quick(&arch)
+    } else {
+        CampaignConfig::paper(&arch)
+    };
     let suites = selected_suites(quick, &suite);
     println!("Table VI — timing campaign on {arch} ...");
     let outcome = run_campaign(&arch, &suites, &cfg);

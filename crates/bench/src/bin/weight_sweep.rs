@@ -25,7 +25,11 @@ fn main() {
     ];
     println!("{:18} {}", "weights", names.join("  "));
     for (wu, wc, wt) in candidates {
-        let weights = ObjectiveWeights { w_util: wu, w_comp: wc, w_traf: wt };
+        let weights = ObjectiveWeights {
+            w_util: wu,
+            w_comp: wc,
+            w_traf: wt,
+        };
         let mut opts = cosa_milp::SolveOptions::default();
         opts.gap_tol = 0.03;
         opts.time_limit = Some(std::time::Duration::from_secs(6));

@@ -1,15 +1,23 @@
 //! The shared scheduling campaign: every layer × every scheduler × both
 //! evaluation platforms.
+//!
+//! Since the `Engine` redesign the campaign is a thin aggregation layer
+//! over [`cosa_repro::engine::Engine`]: each suite becomes a
+//! [`Network`], each of the three schedulers runs through the uniform
+//! [`Scheduler`](cosa_repro::api::Scheduler) trait, and the engine handles
+//! parallel fan-out and schedule caching. The figure binaries keep
+//! consuming the same [`SuiteOutcome`] shape as before.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
 use cosa_core::{CosaScheduler, ObjectiveWeights};
-use cosa_mappers::{HybridConfig, HybridMapper, RandomMapper, SearchLimits};
-use cosa_model::CostModel;
+use cosa_mappers::{HybridConfig, HybridMapper, RandomMapper, SearchLimits, SearchObjective};
 use cosa_noc::NocSimulator;
-use cosa_spec::{workloads::Workload, Arch, Layer, Schedule};
+use cosa_repro::api::{Scheduled, Scheduler};
+use cosa_repro::engine::Engine;
+use cosa_spec::{workloads::Workload, Arch, Layer, Network, Schedule};
 
 /// Per-scheduler result for one layer.
 #[derive(Debug, Clone)]
@@ -79,7 +87,9 @@ impl CampaignConfig {
             weights: ObjectiveWeights::calibrated(arch),
             with_noc: false,
             energy_objective: false,
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
         }
     }
 
@@ -95,117 +105,165 @@ impl CampaignConfig {
             workers: 4,
         }
     }
+
+    /// The three schedulers this configuration describes, as trait objects
+    /// ready for the engine.
+    pub fn schedulers(&self, arch: &Arch) -> [Box<dyn Scheduler>; 3] {
+        let objective = if self.energy_objective {
+            SearchObjective::Energy
+        } else {
+            SearchObjective::Latency
+        };
+        // For the energy experiment the paper re-targets the traffic
+        // objective at energy efficiency (Sec. V-B.2): energy follows
+        // access counts, so utilization (fewer DRAM refetches) and traffic
+        // are emphasized and compute cycles — nearly energy-neutral —
+        // discounted. Spatial mapping shares operands across MAC lanes
+        // (multicast and reduction reuse), the largest access-count lever.
+        let weights = if self.energy_objective {
+            ObjectiveWeights {
+                w_util: 2.0,
+                w_comp: 4.0,
+                w_traf: 1.0,
+            }
+        } else {
+            self.weights
+        };
+        [
+            Box::new(
+                RandomMapper::new(0)
+                    .with_limits(self.random_limits)
+                    .with_objective(objective),
+            ),
+            Box::new(HybridMapper::new(self.hybrid).with_objective(objective)),
+            Box::new(CosaScheduler::with_weights(arch, weights)),
+        ]
+    }
 }
 
-/// Run the campaign over `suites` on `arch`.
+/// Run the campaign over `suites` on `arch`: every suite × all three
+/// schedulers through the batch engine.
 pub fn run_campaign(arch: &Arch, suites: &[Workload], cfg: &CampaignConfig) -> Vec<SuiteOutcome> {
-    let jobs: Vec<(usize, usize, Layer)> = suites
+    let engine = Engine::new(arch.clone()).with_threads(cfg.workers);
+    let schedulers = cfg.schedulers(arch);
+
+    suites
+        .iter()
+        .map(|suite| {
+            let network = Network::from_workload(suite);
+            let mut per_scheduler = schedulers
+                .iter()
+                .map(|s| engine.schedule_network(&network, s.as_ref()).report.layers);
+            let rnd = per_scheduler.next().expect("three schedulers");
+            let hyb = per_scheduler.next().expect("three schedulers");
+            let cos = per_scheduler.next().expect("three schedulers");
+            let mut layers: Vec<LayerOutcome> = suite
+                .layers
+                .iter()
+                .zip(rnd)
+                .zip(hyb)
+                .zip(cos)
+                .map(|(((layer, r), h), c)| LayerOutcome {
+                    layer: layer.clone(),
+                    random: to_outcome(r.scheduled),
+                    hybrid: to_outcome(h.scheduled),
+                    cosa: to_outcome(c.scheduled),
+                })
+                .collect();
+            if cfg.with_noc {
+                simulate_noc(arch, &mut layers, cfg.workers);
+            }
+            SuiteOutcome {
+                name: suite.name,
+                layers,
+            }
+        })
+        .collect()
+}
+
+/// Fill in `noc_latency` for every chosen schedule, fanning the cycle-level
+/// simulations out across `workers` threads (the expensive half of the
+/// Fig. 10 campaign).
+fn simulate_noc(arch: &Arch, layers: &mut [LayerOutcome], workers: usize) {
+    let jobs: Vec<(usize, usize, &Layer, &Schedule)> = layers
         .iter()
         .enumerate()
-        .flat_map(|(si, w)| {
-            w.layers.iter().cloned().enumerate().map(move |(li, l)| (si, li, l))
+        .flat_map(|(li, lo)| {
+            [&lo.random, &lo.hybrid, &lo.cosa]
+                .into_iter()
+                .enumerate()
+                .filter_map(move |(slot, so)| {
+                    so.schedule.as_ref().map(|s| (li, slot, &lo.layer, s))
+                })
         })
         .collect();
-    let results: Mutex<Vec<(usize, usize, LayerOutcome)>> = Mutex::new(Vec::new());
-    let next = AtomicUsize::new(0);
 
+    let results: Mutex<Vec<(usize, usize, Option<f64>)>> = Mutex::new(Vec::new());
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..cfg.workers.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((si, li, layer)) = jobs.get(i).cloned() else { break };
-                let outcome = run_layer(arch, &layer, cfg);
-                results.lock().expect("no poisoned workers").push((si, li, outcome));
+        for _ in 0..workers.min(jobs.len()).max(1) {
+            scope.spawn(|| {
+                let sim = NocSimulator::new(arch);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((li, slot, layer, schedule)) = jobs.get(i) else {
+                        break;
+                    };
+                    let latency = sim.simulate(layer, schedule).ok().map(|r| r.total_cycles);
+                    results
+                        .lock()
+                        .expect("no poisoned workers")
+                        .push((*li, *slot, latency));
+                }
             });
         }
     });
 
-    let mut out: Vec<SuiteOutcome> = suites
-        .iter()
-        .map(|w| SuiteOutcome { name: w.name, layers: Vec::new() })
-        .collect();
-    let mut collected = results.into_inner().expect("no poisoned workers");
-    collected.sort_by_key(|(si, li, _)| (*si, *li));
-    for (si, _, outcome) in collected {
-        out[si].layers.push(outcome);
+    for (li, slot, latency) in results.into_inner().expect("no poisoned workers") {
+        let lo = &mut layers[li];
+        let outcome = match slot {
+            0 => &mut lo.random,
+            1 => &mut lo.hybrid,
+            _ => &mut lo.cosa,
+        };
+        outcome.noc_latency = latency;
     }
-    out
 }
 
 /// Schedule and evaluate one layer with all three schedulers.
 pub fn run_layer(arch: &Arch, layer: &Layer, cfg: &CampaignConfig) -> LayerOutcome {
-    let model = CostModel::new(arch);
-    let noc = cfg.with_noc.then(|| NocSimulator::new(arch));
+    let suite = Workload {
+        name: "single",
+        layers: vec![layer.clone()],
+    };
+    let mut out = run_campaign(arch, &[suite], cfg);
+    out.remove(0).layers.remove(0)
+}
 
-    let evaluate = |schedule: Option<Schedule>,
-                    time: Duration,
-                    samples: u64,
-                    evaluations: u64|
-     -> SchedulerOutcome {
-        let (lat, en) = schedule
-            .as_ref()
-            .and_then(|s| model.evaluate(layer, s).ok())
-            .map(|e| (e.latency_cycles, e.energy_pj))
-            .unwrap_or((f64::INFINITY, f64::INFINITY));
-        let noc_latency = match (&noc, &schedule) {
-            (Some(sim), Some(s)) => sim.simulate(layer, s).ok().map(|r| r.total_cycles),
-            _ => None,
-        };
-        SchedulerOutcome {
-            schedule,
-            model_latency: lat,
-            model_energy: en,
-            noc_latency,
-            time,
-            samples,
-            evaluations,
-        }
-    };
-
-    // Random search (seeded per layer name for reproducibility).
-    let seed = {
-        let mut h = 0xcbf29ce484222325u64;
-        for b in layer.name().bytes() {
-            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
-        }
-        h
-    };
-    let rnd_mapper = RandomMapper::new(seed);
-    let rnd = if cfg.energy_objective {
-        rnd_mapper.search_by(arch, layer, &cfg.random_limits, |e| e.energy_pj)
-    } else {
-        rnd_mapper.search(arch, layer, &cfg.random_limits)
-    };
-    let random = evaluate(rnd.best, rnd.elapsed, rnd.samples, rnd.evaluations);
-
-    // Hybrid mapper.
-    let hyb_mapper = HybridMapper::new(HybridConfig { seed, ..cfg.hybrid });
-    let hyb = if cfg.energy_objective {
-        hyb_mapper.search_by(arch, layer, |e| e.energy_pj)
-    } else {
-        hyb_mapper.search(arch, layer)
-    };
-    let hybrid = evaluate(hyb.best, hyb.elapsed, hyb.samples, hyb.evaluations);
-
-    // CoSA (one shot). For the energy experiment the paper re-targets the
-    // traffic objective at energy efficiency (Sec. V-B.2): energy follows
-    // access counts, so utilization (fewer DRAM refetches) and traffic are
-    // emphasized and compute cycles — nearly energy-neutral — discounted.
-    let weights = if cfg.energy_objective {
-        // Spatial mapping shares operands across MAC lanes (multicast and
-        // reduction reuse), the largest access-count lever; utilization
-        // keeps DRAM refetches down.
-        cosa_core::ObjectiveWeights { w_util: 2.0, w_comp: 4.0, w_traf: 1.0 }
-    } else {
-        cfg.weights
-    };
-    let scheduler = CosaScheduler::with_weights(arch, weights);
-    let cosa = match scheduler.schedule(layer) {
-        Ok(res) => evaluate(Some(res.schedule), res.solve_time, 1, 1),
-        Err(_) => evaluate(None, Duration::ZERO, 1, 0),
-    };
-
-    LayerOutcome { layer: layer.clone(), random, hybrid, cosa }
+/// Map a uniform [`Scheduled`] (or a failure) onto the campaign's
+/// per-scheduler outcome shape. `noc_latency` is filled in afterwards by
+/// [`simulate_noc`] when the campaign enables the simulator.
+fn to_outcome(scheduled: Option<Scheduled>) -> SchedulerOutcome {
+    match scheduled {
+        Some(s) => SchedulerOutcome {
+            model_latency: s.latency_cycles,
+            model_energy: s.energy_pj,
+            noc_latency: None,
+            time: s.elapsed,
+            samples: s.stats.samples,
+            evaluations: s.stats.evaluations,
+            schedule: Some(s.schedule),
+        },
+        None => SchedulerOutcome {
+            schedule: None,
+            model_latency: f64::INFINITY,
+            model_energy: f64::INFINITY,
+            noc_latency: None,
+            time: Duration::ZERO,
+            samples: 0,
+            evaluations: 0,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -229,5 +287,16 @@ mod tests {
         assert!(lo.random.model_latency.is_finite());
         // CoSA should not lose to random sampling on this easy layer.
         assert!(lo.cosa.model_latency <= lo.random.model_latency * 1.5);
+    }
+
+    #[test]
+    fn run_layer_matches_campaign_shape() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::conv("t", 3, 3, 4, 4, 8, 8, 1, 1, 1);
+        let cfg = CampaignConfig::quick(&arch);
+        let lo = run_layer(&arch, &layer, &cfg);
+        assert_eq!(lo.layer, layer);
+        assert!(lo.cosa.schedule.is_some());
+        assert_eq!(lo.cosa.samples, 1);
     }
 }

@@ -52,10 +52,16 @@ pub fn fig7_report(suites: &[SuiteOutcome]) -> (f64, f64) {
     let mut all_c = Vec::new();
     for suite in suites {
         let h = geomean(
-            suite.layers.iter().map(|lo| lo.random.model_energy / lo.hybrid.model_energy),
+            suite
+                .layers
+                .iter()
+                .map(|lo| lo.random.model_energy / lo.hybrid.model_energy),
         );
         let c = geomean(
-            suite.layers.iter().map(|lo| lo.random.model_energy / lo.cosa.model_energy),
+            suite
+                .layers
+                .iter()
+                .map(|lo| lo.random.model_energy / lo.cosa.model_energy),
         );
         println!("  {:12} hybrid {h:>5.2}x  cosa {c:>5.2}x", suite.name);
         rows.push(format!("{},{h:.4},{c:.4}", suite.name));
@@ -67,7 +73,11 @@ pub fn fig7_report(suites: &[SuiteOutcome]) -> (f64, f64) {
     let gh = geomean(all_h.iter().copied());
     let gc = geomean(all_c.iter().copied());
     println!("  GEOMEAN: hybrid {gh:.2}x, cosa {gc:.2}x (paper: 2.7x / 3.3x)");
-    write_csv("fig7_energy.csv", "suite,hybrid_improvement,cosa_improvement", &rows);
+    write_csv(
+        "fig7_energy.csv",
+        "suite,hybrid_improvement,cosa_improvement",
+        &rows,
+    );
     (gh, gc)
 }
 
@@ -83,9 +93,11 @@ pub fn fig10_report(suites: &[SuiteOutcome]) -> (f64, f64) {
         let mut sh = Vec::new();
         let mut sc = Vec::new();
         for lo in &suite.layers {
-            let (Some(r), Some(h), Some(c)) =
-                (lo.random.noc_latency, lo.hybrid.noc_latency, lo.cosa.noc_latency)
-            else {
+            let (Some(r), Some(h), Some(c)) = (
+                lo.random.noc_latency,
+                lo.hybrid.noc_latency,
+                lo.cosa.noc_latency,
+            ) else {
                 continue;
             };
             let h = r / h;
@@ -110,7 +122,11 @@ pub fn fig10_report(suites: &[SuiteOutcome]) -> (f64, f64) {
     let gc = geomean(all_c.iter().copied());
     println!("\nOVERALL geomean speedup vs Random (NoC): hybrid {gh:.2}x, cosa {gc:.2}x");
     println!("(paper Fig. 10: hybrid 1.3x, cosa 3.3x; cosa/hybrid 2.5x)");
-    write_csv("fig10_noc_speedup.csv", "suite,layer,hybrid_speedup,cosa_speedup", &rows);
+    write_csv(
+        "fig10_noc_speedup.csv",
+        "suite,layer,hybrid_speedup,cosa_speedup",
+        &rows,
+    );
     (gh, gc)
 }
 
@@ -159,8 +175,22 @@ pub fn table6_report(suites: &[SuiteOutcome]) {
     println!(" microseconds where Timeloop takes milliseconds — see EXPERIMENTS.md)");
     let rows = vec![
         format!("runtime_s,{:.4},{:.4},{:.4}", t[2] / n, t[0] / n, t[1] / n),
-        format!("samples,{:.1},{:.1},{:.1}", samples[2] / n, samples[0] / n, samples[1] / n),
-        format!("evaluations,{:.1},{:.1},{:.1}", evals[2] / n, evals[0] / n, evals[1] / n),
+        format!(
+            "samples,{:.1},{:.1},{:.1}",
+            samples[2] / n,
+            samples[0] / n,
+            samples[1] / n
+        ),
+        format!(
+            "evaluations,{:.1},{:.1},{:.1}",
+            evals[2] / n,
+            evals[0] / n,
+            evals[1] / n
+        ),
     ];
-    write_csv("table6_time_to_solution.csv", "metric,cosa,random,hybrid", &rows);
+    write_csv(
+        "table6_time_to_solution.csv",
+        "metric,cosa,random,hybrid",
+        &rows,
+    );
 }

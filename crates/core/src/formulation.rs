@@ -59,6 +59,9 @@ pub struct FactorAssignment {
     pub stats: SolveStats,
 }
 
+/// The `(e, Y, w)` traffic-indicator variable handles of the full program.
+type IndicatorVars = (Vec<Var>, Vec<Vec<Var>>, Vec<Vec<Var>>);
+
 /// The assembled CoSA MILP for one `(layer, architecture)` pair.
 ///
 /// ```
@@ -87,7 +90,7 @@ pub struct CosaProgram {
     /// `perm[active dim][rank]` binaries.
     perm: Vec<Vec<Var>>,
     /// `(e, Y, w)` handles for warm-start construction (full program only).
-    indicator_vars: Option<(Vec<Var>, Vec<Vec<Var>>, Vec<Vec<Var>>)>,
+    indicator_vars: Option<IndicatorVars>,
     /// Index of the NoC memory level.
     noc_level: usize,
     /// The balance slack variable and the `(wT·T̂, wC·Ĉ)` expressions, for
@@ -155,8 +158,7 @@ impl CosaProgram {
                 // Presolve: at most ⌊log_p(fanout)⌋ factors of prime p fit a
                 // level's spatial resources; tighter bounds shrink the tree.
                 let fanout = arch.spatial_fanout(i);
-                let max_spatial =
-                    ((fanout as f64).ln() / g.log_p + 1e-9).floor().max(0.0) as u32;
+                let max_spatial = ((fanout as f64).ln() / g.log_p + 1e-9).floor().max(0.0) as u32;
                 let spatial = if fanout > 1 && max_spatial > 0 {
                     Some(model.add_integer(
                         format!("n_{}{}_L{}s", g.dim, gi, i),
@@ -188,6 +190,7 @@ impl CosaProgram {
         }
 
         // Eq. 4: spatial factors fit the fanout at each level.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..num_levels {
             let fanout = arch.spatial_fanout(i);
             if fanout <= 1 {
@@ -199,7 +202,12 @@ impl CosaProgram {
                     e.add_term(v, g.log_p);
                 }
             }
-            model.add_named_constraint(e, Cmp::Le, (fanout as f64).ln() + 1e-9, Some(format!("fanout_L{i}")));
+            model.add_named_constraint(
+                e,
+                Cmp::Le,
+                (fanout as f64).ln() + 1e-9,
+                Some(format!("fanout_L{i}")),
+            );
         }
 
         // Eq. 1–2: buffer capacities in the log domain. The tile resident at
@@ -210,7 +218,9 @@ impl CosaProgram {
                 continue;
             }
             for v in DataTensor::ALL {
-                let Some(cap) = lvl.capacity_for(v) else { continue };
+                let Some(cap) = lvl.capacity_for(v) else {
+                    continue;
+                };
                 let mut util = LinExpr::new();
                 for (gi, g) in groups.iter().enumerate() {
                     if !v.relevant_to(g.dim) {
@@ -245,9 +255,12 @@ impl CosaProgram {
         // --- permutation ranks at the NoC level (Table III, O0..OZ) ----
         // Rank slots exist only for dimensions that have prime factors;
         // bound-1 dimensions have no loops to order.
-        let active_dims: Vec<Dim> =
-            Dim::ALL.into_iter().filter(|d| layer.dim(*d) > 1).collect();
-        let zslots = if with_permutation { active_dims.len() } else { 0 };
+        let active_dims: Vec<Dim> = Dim::ALL.into_iter().filter(|d| layer.dim(*d) > 1).collect();
+        let zslots = if with_permutation {
+            active_dims.len()
+        } else {
+            0
+        };
         let perm: Vec<Vec<Var>> = if with_permutation {
             active_dims
                 .iter()
@@ -280,7 +293,10 @@ impl CosaProgram {
         // Presence indicators: e[j] = 1 iff dim j has a temporal factor at
         // the NoC level.
         let mut e_vars = Vec::with_capacity(zslots);
-        for d in active_dims.iter().take(if with_permutation { usize::MAX } else { 0 }) {
+        for d in active_dims
+            .iter()
+            .take(if with_permutation { usize::MAX } else { 0 })
+        {
             let e = model.add_binary(format!("e_{d}"));
             let total: u32 = groups.iter().filter(|g| g.dim == *d).map(|g| g.count).sum();
             debug_assert!(total > 0, "active dims have factors");
@@ -292,7 +308,11 @@ impl CosaProgram {
                     .filter_map(|(gi, _)| n_vars[gi][noc][1]),
             );
             // Σn ≤ total·e forces e up; e ≤ Σn forces it back down.
-            model.add_constraint(sum_noc_t.clone() - total as f64 * LinExpr::from(e), Cmp::Le, 0.0);
+            model.add_constraint(
+                sum_noc_t.clone() - total as f64 * LinExpr::from(e),
+                Cmp::Le,
+                0.0,
+            );
             model.add_constraint(LinExpr::from(e) - sum_noc_t, Cmp::Le, 0.0);
             e_vars.push(e);
         }
@@ -353,8 +373,7 @@ impl CosaProgram {
                         }
                     }
                     // w − L_j + M_j·(2 − y − p) ≥ 0
-                    let penalty =
-                        ((-1.0) * y_vars[vi][z] + (-1.0) * perm[j][z] + 2.0) * m_j;
+                    let penalty = ((-1.0) * y_vars[vi][z] + (-1.0) * perm[j][z] + 2.0) * m_j;
                     let expr = LinExpr::from(w) - l_j + penalty;
                     model.add_constraint(expr, Cmp::Ge, 0.0);
                 }
@@ -380,8 +399,7 @@ impl CosaProgram {
                 }
                 let mut constant = (arch.precision(v) as f64).ln();
                 if v == DataTensor::Inputs {
-                    constant +=
-                        (layer.stride_w() as f64).ln() + (layer.stride_h() as f64).ln();
+                    constant += (layer.stride_w() as f64).ln() + (layer.stride_h() as f64).ln();
                 }
                 util_expr += LinExpr::constant_expr(constant);
                 for (gi, g) in groups.iter().enumerate() {
@@ -442,8 +460,8 @@ impl CosaProgram {
         let mut balance = None;
         match kind {
             ObjectiveKind::Weighted => {
-                let objective = weighted_traf.clone() + weighted_comp.clone()
-                    - util_expr * weights.w_util;
+                let objective =
+                    weighted_traf.clone() + weighted_comp.clone() - util_expr * weights.w_util;
                 model.set_objective(objective);
             }
             ObjectiveKind::Balanced => {
@@ -482,8 +500,11 @@ impl CosaProgram {
             "DRAM-resident warm start must satisfy the program"
         );
 
-        let indicator_vars =
-            if with_permutation { Some((e_vars, y_vars, w_vars)) } else { None };
+        let indicator_vars = if with_permutation {
+            Some((e_vars, y_vars, w_vars))
+        } else {
+            None
+        };
         CosaProgram {
             model,
             groups,
@@ -639,7 +660,11 @@ impl CosaProgram {
             }
         }
         Ok(FactorAssignment {
-            groups: self.groups.iter().map(|g| (g.dim, g.prime, g.count)).collect(),
+            groups: self
+                .groups
+                .iter()
+                .map(|g| (g.dim, g.prime, g.count))
+                .collect(),
             counts,
             ranks,
             objective: sol.objective(),
@@ -702,7 +727,11 @@ mod tests {
         // into spatial mapping.
         let arch = Arch::simba_baseline();
         let layer = Layer::conv("t", 1, 1, 1, 1, 4, 16, 1, 1, 1);
-        let weights = ObjectiveWeights { w_util: 1.0, w_comp: 2.0, w_traf: 1.0 };
+        let weights = ObjectiveWeights {
+            w_util: 1.0,
+            w_comp: 2.0,
+            w_traf: 1.0,
+        };
         let prog = CosaProgram::build(&layer, &arch, weights);
         let asg = prog.solve_default().unwrap();
         let mut spatial_total = 1u64;

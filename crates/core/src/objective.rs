@@ -28,7 +28,11 @@ impl Default for ObjectiveWeights {
     /// (−wC in compute, +≤2·wT in unicast traffic, +wU in utilization) is
     /// strictly preferred over leaving PEs idle.
     fn default() -> Self {
-        ObjectiveWeights { w_util: 1.0, w_comp: 1.5, w_traf: 1.0 }
+        ObjectiveWeights {
+            w_util: 1.0,
+            w_comp: 1.5,
+            w_traf: 1.0,
+        }
     }
 }
 
@@ -46,10 +50,26 @@ impl ObjectiveWeights {
         let model = CostModel::new(arch);
         let candidates = [
             ObjectiveWeights::default(),
-            ObjectiveWeights { w_util: 1.0, w_comp: 1.0, w_traf: 1.0 },
-            ObjectiveWeights { w_util: 1.0, w_comp: 4.0, w_traf: 0.5 },
-            ObjectiveWeights { w_util: 2.0, w_comp: 4.0, w_traf: 1.0 },
-            ObjectiveWeights { w_util: 1.0, w_comp: 2.5, w_traf: 1.0 },
+            ObjectiveWeights {
+                w_util: 1.0,
+                w_comp: 1.0,
+                w_traf: 1.0,
+            },
+            ObjectiveWeights {
+                w_util: 1.0,
+                w_comp: 4.0,
+                w_traf: 0.5,
+            },
+            ObjectiveWeights {
+                w_util: 2.0,
+                w_comp: 4.0,
+                w_traf: 1.0,
+            },
+            ObjectiveWeights {
+                w_util: 1.0,
+                w_comp: 2.5,
+                w_traf: 1.0,
+            },
         ];
         let mut best = ObjectiveWeights::default();
         let mut best_score = f64::INFINITY;
@@ -187,7 +207,12 @@ pub fn breakdown(
         traf += d_v + l_v + t_v;
     }
 
-    ObjectiveBreakdown { util, comp, traf, weights }
+    ObjectiveBreakdown {
+        util,
+        comp,
+        traf,
+        weights,
+    }
 }
 
 #[cfg(test)]
@@ -260,8 +285,17 @@ mod tests {
 
     #[test]
     fn total_combines_terms() {
-        let w = ObjectiveWeights { w_util: 0.5, w_comp: 2.0, w_traf: 3.0 };
-        let b = ObjectiveBreakdown { util: 1.0, comp: 2.0, traf: 3.0, weights: w };
+        let w = ObjectiveWeights {
+            w_util: 0.5,
+            w_comp: 2.0,
+            w_traf: 3.0,
+        };
+        let b = ObjectiveBreakdown {
+            util: 1.0,
+            comp: 2.0,
+            traf: 3.0,
+            weights: w,
+        };
         assert!((b.total() - (-0.5 + 4.0 + 9.0)).abs() < 1e-12);
     }
 }

@@ -53,12 +53,29 @@ impl CosaScheduler {
             time_limit: Some(std::time::Duration::from_secs(6)),
             ..SolveOptions::default()
         };
-        CosaScheduler { arch: arch.clone(), weights, kind: Default::default(), opts }
+        CosaScheduler {
+            arch: arch.clone(),
+            weights,
+            kind: Default::default(),
+            opts,
+        }
     }
 
     /// Override the MILP solver options (node/time limits).
     pub fn with_solve_options(mut self, opts: SolveOptions) -> CosaScheduler {
         self.opts = opts;
+        self
+    }
+
+    /// Bound the solve by branch-and-bound node count instead of
+    /// wall-clock, making results bit-reproducible across runs and
+    /// machines even when the budget binds. (The default configuration is
+    /// time-limited, so two runs that hit the limit can return different
+    /// — equally feasible — incumbents; caching and report-diffing
+    /// workflows want the stronger guarantee.)
+    pub fn with_deterministic_limits(mut self, node_limit: usize) -> CosaScheduler {
+        self.opts.node_limit = node_limit;
+        self.opts.time_limit = None;
         self
     }
 
@@ -72,6 +89,34 @@ impl CosaScheduler {
     /// The objective weights in use.
     pub fn weights(&self) -> ObjectiveWeights {
         self.weights
+    }
+
+    /// The architecture this scheduler was built for.
+    pub fn arch(&self) -> &Arch {
+        &self.arch
+    }
+
+    /// The MILP solver options in use.
+    pub fn solve_options(&self) -> &SolveOptions {
+        &self.opts
+    }
+
+    /// The objective shape in use.
+    pub fn objective_kind(&self) -> crate::ObjectiveKind {
+        self.kind
+    }
+
+    /// The same scheduler configuration retargeted at another architecture
+    /// (weights, objective kind and solver options are preserved). Used by
+    /// the umbrella crate's `Scheduler` trait, whose uniform signature
+    /// passes the architecture per call.
+    pub fn for_arch(&self, arch: &Arch) -> CosaScheduler {
+        CosaScheduler {
+            arch: arch.clone(),
+            weights: self.weights,
+            kind: self.kind,
+            opts: self.opts.clone(),
+        }
     }
 
     /// Produce a schedule for `layer` in one shot.
@@ -91,9 +136,13 @@ impl CosaScheduler {
         // program as a high-quality incumbent, so branch-and-bound prunes
         // aggressively and the anytime answer is already strong.
         let tiling = CosaProgram::build_tiling_only(layer, &self.arch, self.weights);
+        // Stage A inherits the configured budget style: time-limited configs
+        // keep the historical 3-second cap, node-limited (deterministic)
+        // configs stay free of wall-clock dependence entirely.
         let stage_a_opts = SolveOptions {
             gap_tol: 0.01,
-            time_limit: Some(Duration::from_secs(3)),
+            time_limit: self.opts.time_limit.map(|t| t.min(Duration::from_secs(3))),
+            node_limit: self.opts.node_limit,
             ..SolveOptions::default()
         };
         let mut opts = self.opts.clone();
@@ -295,8 +344,7 @@ mod tests {
     fn permutations_count() {
         let dims = [Dim::R, Dim::P, Dim::C];
         assert_eq!(permutations(&dims).len(), 6);
-        let unique: std::collections::HashSet<Vec<Dim>> =
-            permutations(&dims).into_iter().collect();
+        let unique: std::collections::HashSet<Vec<Dim>> = permutations(&dims).into_iter().collect();
         assert_eq!(unique.len(), 6);
     }
 

@@ -109,7 +109,9 @@ mod tests {
     fn cosa_schedules_on_k80() {
         let gpu = k80();
         let layer = Layer::conv("c", 3, 3, 8, 8, 16, 32, 1, 1, 1);
-        let res = cosa_core::CosaScheduler::new(&gpu).schedule(&layer).unwrap();
+        let res = cosa_core::CosaScheduler::new(&gpu)
+            .schedule(&layer)
+            .unwrap();
         assert!(res.schedule.is_valid(&layer, &gpu));
         // Thread-level parallelism should be exploited.
         let threads: u64 = s_product(&res.schedule, 1);
@@ -117,6 +119,11 @@ mod tests {
     }
 
     fn s_product(s: &Schedule, level: usize) -> u64 {
-        s.levels()[level].loops.iter().filter(|l| l.spatial).map(|l| l.bound).product()
+        s.levels()[level]
+            .loops
+            .iter()
+            .filter(|l| l.spatial)
+            .map(|l| l.bound)
+            .product()
     }
 }

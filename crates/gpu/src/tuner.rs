@@ -31,7 +31,12 @@ pub struct TunerConfig {
 
 impl Default for TunerConfig {
     fn default() -> Self {
-        TunerConfig { trials: 50, pool: 512, epsilon: 0.2, seed: 0x7B7 }
+        TunerConfig {
+            trials: 50,
+            pool: 512,
+            epsilon: 0.2,
+            seed: 0x7B7,
+        }
     }
 }
 
@@ -93,8 +98,7 @@ impl TvmTuner {
         for trial in 0..self.config.trials.min(pool.len()) {
             let idx = if trial < 8 || rng.gen_bool(self.config.epsilon) {
                 // Exploration: a random untried candidate.
-                let untried: Vec<usize> =
-                    (0..pool.len()).filter(|i| !tried[*i]).collect();
+                let untried: Vec<usize> = (0..pool.len()).filter(|i| !tried[*i]).collect();
                 if untried.is_empty() {
                     break;
                 }
@@ -108,8 +112,7 @@ impl TvmTuner {
                     if tried[i] {
                         continue;
                     }
-                    let pred: f64 =
-                        features[i].iter().zip(&beta).map(|(x, b)| x * b).sum();
+                    let pred: f64 = features[i].iter().zip(&beta).map(|(x, b)| x * b).sum();
                     if pred < best_pred {
                         best_pred = pred;
                         best_idx = Some(i);
@@ -160,7 +163,12 @@ fn featurize(arch: &Arch, layer: &Layer, s: &Schedule) -> Vec<f64> {
 }
 
 /// Ridge regression `(X'X + λI)β = X'y` via Gaussian elimination.
-fn ridge_fit(measured: &[(usize, f64)], features: &[Vec<f64>], dim: usize, lambda: f64) -> Vec<f64> {
+fn ridge_fit(
+    measured: &[(usize, f64)],
+    features: &[Vec<f64>],
+    dim: usize,
+    lambda: f64,
+) -> Vec<f64> {
     let mut xtx = vec![0.0; dim * dim];
     let mut xty = vec![0.0; dim];
     for (idx, y) in measured {
@@ -227,8 +235,12 @@ mod tests {
     fn tuner_finds_valid_schedule() {
         let gpu = k80();
         let layer = Layer::conv("c", 3, 3, 8, 8, 16, 16, 1, 1, 1);
-        let out = TvmTuner::new(TunerConfig { trials: 20, pool: 128, ..Default::default() })
-            .tune(&gpu, &layer);
+        let out = TvmTuner::new(TunerConfig {
+            trials: 20,
+            pool: 128,
+            ..Default::default()
+        })
+        .tune(&gpu, &layer);
         let best = out.best.expect("tuner should find something");
         assert!(best.is_valid(&layer, &gpu));
         assert!(out.measured <= 20);
@@ -238,10 +250,18 @@ mod tests {
     fn more_trials_do_not_hurt() {
         let gpu = k80();
         let layer = Layer::matmul("m", 512, 256, 4);
-        let short = TvmTuner::new(TunerConfig { trials: 5, pool: 128, ..Default::default() })
-            .tune(&gpu, &layer);
-        let long = TvmTuner::new(TunerConfig { trials: 40, pool: 128, ..Default::default() })
-            .tune(&gpu, &layer);
+        let short = TvmTuner::new(TunerConfig {
+            trials: 5,
+            pool: 128,
+            ..Default::default()
+        })
+        .tune(&gpu, &layer);
+        let long = TvmTuner::new(TunerConfig {
+            trials: 40,
+            pool: 128,
+            ..Default::default()
+        })
+        .tune(&gpu, &layer);
         assert!(long.best_latency <= short.best_latency + 1e-9);
     }
 
@@ -262,8 +282,7 @@ mod tests {
             vec![1.0, 3.0],
             vec![1.0, 4.0],
         ];
-        let measured: Vec<(usize, f64)> =
-            (0..4).map(|i| (i, 2.0 * features[i][1])).collect();
+        let measured: Vec<(usize, f64)> = (0..4).map(|i| (i, 2.0 * features[i][1])).collect();
         let beta = ridge_fit(&measured, &features, 2, 1e-6);
         assert!((beta[1] - 2.0).abs() < 0.05, "{beta:?}");
     }

@@ -77,12 +77,33 @@ impl Default for HybridConfig {
 #[derive(Debug, Clone)]
 pub struct HybridMapper {
     config: HybridConfig,
+    objective: crate::SearchObjective,
 }
 
 impl HybridMapper {
-    /// A mapper with the given configuration.
+    /// A mapper with the given configuration and the latency objective.
     pub fn new(config: HybridConfig) -> HybridMapper {
-        HybridMapper { config }
+        HybridMapper {
+            config,
+            objective: crate::SearchObjective::Latency,
+        }
+    }
+
+    /// Set the minimized metric for searches driven through the uniform
+    /// `Scheduler` trait (explicit `search_by` calls pass their own).
+    pub fn with_objective(mut self, objective: crate::SearchObjective) -> HybridMapper {
+        self.objective = objective;
+        self
+    }
+
+    /// The configured search parameters.
+    pub fn config(&self) -> HybridConfig {
+        self.config
+    }
+
+    /// The configured search objective.
+    pub fn objective(&self) -> crate::SearchObjective {
+        self.objective
     }
 
     /// Search optimizing model latency.
@@ -113,7 +134,9 @@ impl HybridMapper {
                 scope.spawn(move || {
                     let model = CostModel::new(arch);
                     let mut rng = StdRng::seed_from_u64(
-                        config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
+                        config
+                            .seed
+                            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
                     );
                     let mut thread_best = f64::INFINITY;
                     let mut stale = 0u64;
@@ -140,12 +163,8 @@ impl HybridMapper {
                                     Some((gm, _, _, _)) => m < *gm,
                                 };
                                 if replace {
-                                    *guard = Some((
-                                        m,
-                                        eval.latency_cycles,
-                                        eval.energy_pj,
-                                        schedule,
-                                    ));
+                                    *guard =
+                                        Some((m, eval.latency_cycles, eval.energy_pj, schedule));
                                 }
                             } else {
                                 stale += 1;
@@ -180,7 +199,11 @@ fn random_factorization(layer: &Layer, arch: &Arch, rng: &mut StdRng) -> Factori
         for p in layer.prime_factors(d) {
             let level = rng.gen_range(0..levels);
             let spatial = arch.spatial_fanout(level) > 1 && rng.gen_bool(0.5);
-            per_level[level].push(Loop { dim: d, bound: p, spatial });
+            per_level[level].push(Loop {
+                dim: d,
+                bound: p,
+                spatial,
+            });
         }
     }
     per_level
@@ -205,8 +228,7 @@ fn permutation_scan(factorization: &Factorization, cap: usize) -> Vec<Schedule> 
             dims
         })
         .collect();
-    let variants: Vec<usize> =
-        dims_per_level.iter().map(|d| d.len().max(1)).collect();
+    let variants: Vec<usize> = dims_per_level.iter().map(|d| d.len().max(1)).collect();
     let total: usize = variants.iter().product::<usize>().min(cap);
 
     let mut out = Vec::with_capacity(total);
@@ -257,7 +279,10 @@ mod tests {
         let single = RandomMapper::new(77).search(
             &arch,
             &layer,
-            &SearchLimits { valid_target: 1, max_samples: 20_000 },
+            &SearchLimits {
+                valid_target: 1,
+                max_samples: 20_000,
+            },
         );
         assert!(
             hybrid.best_latency <= single.best_latency * 1.01,

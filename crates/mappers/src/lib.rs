@@ -47,6 +47,40 @@ pub use sampling::{sample_valid_schedules, SampledSchedule};
 use cosa_spec::Schedule;
 use std::time::Duration;
 
+/// Which analytical-model metric a baseline search minimizes.
+///
+/// The paper's headline experiments minimize latency; Fig. 7 re-runs the
+/// baselines minimizing energy. Stored on the mappers so the umbrella
+/// crate's uniform `Scheduler` trait can run either configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SearchObjective {
+    /// Minimize model latency in cycles (the default).
+    #[default]
+    Latency,
+    /// Minimize model energy in pJ (the Fig. 7 setting).
+    Energy,
+}
+
+impl SearchObjective {
+    /// Extract the minimized metric from a model evaluation.
+    pub fn metric(self, eval: &cosa_model::Evaluation) -> f64 {
+        match self {
+            SearchObjective::Latency => eval.latency_cycles,
+            SearchObjective::Energy => eval.energy_pj,
+        }
+    }
+}
+
+/// Mix a configured seed with a layer name (FNV-1a) so batch searches over
+/// a network draw decorrelated, reproducible streams per layer.
+pub fn layer_seed(seed: u64, layer_name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in layer_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Outcome of a baseline search.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {

@@ -24,12 +24,18 @@ impl SearchLimits {
     /// The paper's setting: best of 5 valid schedules, drawn from a 20 K
     /// sample budget (Table VI).
     pub fn paper() -> SearchLimits {
-        SearchLimits { valid_target: 5, max_samples: 20_000 }
+        SearchLimits {
+            valid_target: 5,
+            max_samples: 20_000,
+        }
     }
 
     /// A smaller budget for tests and examples.
     pub fn quick() -> SearchLimits {
-        SearchLimits { valid_target: 5, max_samples: 3_000 }
+        SearchLimits {
+            valid_target: 5,
+            max_samples: 3_000,
+        }
     }
 }
 
@@ -45,12 +51,47 @@ impl Default for SearchLimits {
 #[derive(Debug, Clone)]
 pub struct RandomMapper {
     seed: u64,
+    limits: SearchLimits,
+    objective: crate::SearchObjective,
 }
 
 impl RandomMapper {
-    /// A mapper drawing from the given seed (searches are reproducible).
+    /// A mapper drawing from the given seed (searches are reproducible),
+    /// with the paper's sampling budget and the latency objective.
     pub fn new(seed: u64) -> RandomMapper {
-        RandomMapper { seed }
+        RandomMapper {
+            seed,
+            limits: SearchLimits::paper(),
+            objective: crate::SearchObjective::Latency,
+        }
+    }
+
+    /// Set the sampling budget used when this mapper is driven through the
+    /// uniform `Scheduler` trait (explicit `search` calls pass their own).
+    pub fn with_limits(mut self, limits: SearchLimits) -> RandomMapper {
+        self.limits = limits;
+        self
+    }
+
+    /// Set the minimized metric for trait-driven searches.
+    pub fn with_objective(mut self, objective: crate::SearchObjective) -> RandomMapper {
+        self.objective = objective;
+        self
+    }
+
+    /// The configured RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured sampling budget.
+    pub fn limits(&self) -> SearchLimits {
+        self.limits
+    }
+
+    /// The configured search objective.
+    pub fn objective(&self) -> crate::SearchObjective {
+        self.objective
     }
 
     /// Run the search: sample schedules uniformly, evaluate the valid ones
@@ -111,7 +152,10 @@ mod tests {
     fn respects_sample_budget() {
         let arch = Arch::simba_baseline();
         let layer = Layer::parse_paper_name("3_7_512_512_1").unwrap();
-        let limits = SearchLimits { valid_target: 1_000, max_samples: 500 };
+        let limits = SearchLimits {
+            valid_target: 1_000,
+            max_samples: 500,
+        };
         let out = RandomMapper::new(1).search(&arch, &layer, &limits);
         assert!(out.samples <= 500);
     }
@@ -120,10 +164,12 @@ mod tests {
     fn energy_metric_changes_choice_possibly() {
         let arch = Arch::simba_baseline();
         let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
-        let limits = SearchLimits { valid_target: 10, max_samples: 20_000 };
+        let limits = SearchLimits {
+            valid_target: 10,
+            max_samples: 20_000,
+        };
         let by_lat = RandomMapper::new(2).search(&arch, &layer, &limits);
-        let by_energy =
-            RandomMapper::new(2).search_by(&arch, &layer, &limits, |e| e.energy_pj);
+        let by_energy = RandomMapper::new(2).search_by(&arch, &layer, &limits, |e| e.energy_pj);
         // Same sample stream; the energy-selected schedule can not have
         // higher energy than the latency-selected one.
         assert!(by_energy.best_energy <= by_lat.best_energy + 1e-6);

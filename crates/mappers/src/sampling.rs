@@ -30,7 +30,11 @@ pub(crate) fn random_schedule(layer: &Layer, arch: &Arch, rng: &mut StdRng) -> S
         for p in layer.prime_factors(d) {
             let level = rng.gen_range(0..levels);
             let spatial = arch.spatial_fanout(level) > 1 && rng.gen_bool(0.5);
-            per_level[level].push(Loop { dim: d, bound: p, spatial });
+            per_level[level].push(Loop {
+                dim: d,
+                bound: p,
+                spatial,
+            });
         }
     }
     for (level, mut loops) in per_level.into_iter().enumerate() {

@@ -90,7 +90,12 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, Milp
     }
 
     let mut heap = BinaryHeap::new();
-    heap.push(Node { lb: root_lb, ub: root_ub, bound: f64::NEG_INFINITY, depth: 0 });
+    heap.push(Node {
+        lb: root_lb,
+        ub: root_ub,
+        bound: f64::NEG_INFINITY,
+        depth: 0,
+    });
 
     let mut limit_hit = false;
     while let Some(node) = heap.pop() {
@@ -192,7 +197,11 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, Milp
 
     match incumbent {
         Some((obj, x)) => {
-            let status = if limit_hit { Status::Feasible } else { Status::Optimal };
+            let status = if limit_hit {
+                Status::Feasible
+            } else {
+                Status::Optimal
+            };
             if !limit_hit {
                 stats.best_bound = flip * obj + obj_const;
             }
@@ -358,8 +367,7 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let mut vars = Vec::new();
         for i in 0..3 {
-            let row: Vec<_> =
-                (0..3).map(|j| m.add_binary(format!("a{i}{j}"))).collect();
+            let row: Vec<_> = (0..3).map(|j| m.add_binary(format!("a{i}{j}"))).collect();
             vars.push(row);
         }
         for i in 0..3 {
@@ -465,7 +473,10 @@ mod tests {
         }
         m.add_constraint(w, Cmp::Le, 8.0);
         m.set_objective(obj);
-        let opts = crate::SolveOptions { node_limit: 1, ..Default::default() };
+        let opts = crate::SolveOptions {
+            node_limit: 1,
+            ..Default::default()
+        };
         match m.solve_with(&opts) {
             Ok(sol) => assert!(m.is_feasible(sol.values(), 1e-6)),
             Err(MilpError::LimitWithoutSolution) => {}

@@ -47,7 +47,10 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant_expr(c: f64) -> LinExpr {
-        LinExpr { terms: BTreeMap::new(), constant: c }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// Sum of `vars`, each with coefficient 1.

@@ -183,7 +183,12 @@ pub struct Model {
 impl Model {
     /// An empty model with the given optimization sense.
     pub fn new(sense: Sense) -> Model {
-        Model { vars: Vec::new(), constraints: Vec::new(), objective: LinExpr::new(), sense }
+        Model {
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::new(),
+            sense,
+        }
     }
 
     /// Add a continuous variable with bounds `[lb, ub]` (either may be
@@ -264,7 +269,12 @@ impl Model {
         let mut expr = lhs;
         // zero out the constant: it has been folded into rhs
         expr += LinExpr::constant_expr(-expr.constant());
-        self.constraints.push(Constraint { expr, cmp, rhs, name: name.map(|n| n.into()) });
+        self.constraints.push(Constraint {
+            expr,
+            cmp,
+            rhs,
+            name: name.map(|n| n.into()),
+        });
     }
 
     /// Set the linear objective. Constant terms are preserved and included
@@ -298,7 +308,10 @@ impl Model {
                 )));
             }
             if v.lb.is_nan() || v.ub.is_nan() {
-                return Err(MilpError::BadModel(format!("variable {} has NaN bound", v.name)));
+                return Err(MilpError::BadModel(format!(
+                    "variable {} has NaN bound",
+                    v.name
+                )));
             }
             let _ = i;
         }

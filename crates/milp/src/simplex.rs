@@ -12,6 +12,10 @@
 //! guarantees termination. The basis inverse is maintained with product-form
 //! eta updates and periodically refactorized to bound numerical drift.
 
+// Dense linear-algebra kernels index row/column vectors by position on
+// purpose; iterator rewrites obscure the pivot arithmetic.
+#![allow(clippy::needless_range_loop)]
+
 use crate::error::MilpError;
 use crate::model::{Cmp, Model, Sense};
 
@@ -107,7 +111,16 @@ impl LpProblem {
         for (j, c) in model.objective().iter() {
             costs[j] = flip * c;
         }
-        LpProblem { n, m, cols, costs, b, lb, ub, flip }
+        LpProblem {
+            n,
+            m,
+            cols,
+            costs,
+            b,
+            lb,
+            ub,
+            flip,
+        }
     }
 
     /// Number of structural variables.
@@ -564,8 +577,10 @@ impl<'a> SimplexState<'a> {
                     }
                     // Eta update of binv: row r scaled, others eliminated.
                     let m = self.m;
-                    let pivot_row: Vec<f64> =
-                        self.binv[r * m..(r + 1) * m].iter().map(|v| v / alpha).collect();
+                    let pivot_row: Vec<f64> = self.binv[r * m..(r + 1) * m]
+                        .iter()
+                        .map(|v| v / alpha)
+                        .collect();
                     for i in 0..m {
                         if i == r {
                             continue;
@@ -708,7 +723,9 @@ mod tests {
     use crate::model::{Cmp, Model, Sense};
 
     fn lp(model: &Model) -> LpResult {
-        LpProblem::from_model(model).solve(10_000).expect("no numerical failure")
+        LpProblem::from_model(model)
+            .solve(10_000)
+            .expect("no numerical failure")
     }
 
     #[test]
@@ -807,7 +824,9 @@ mod tests {
         // Klee-Minty-ish degenerate structure still terminates.
         let mut m = Model::new(Sense::Maximize);
         let n = 8;
-        let xs: Vec<_> = (0..n).map(|i| m.add_continuous(format!("x{i}"), 0.0, 1e6)).collect();
+        let xs: Vec<_> = (0..n)
+            .map(|i| m.add_continuous(format!("x{i}"), 0.0, 1e6))
+            .collect();
         for i in 0..n {
             let mut e = crate::LinExpr::new();
             for (j, xj) in xs.iter().enumerate().take(i) {
@@ -825,7 +844,11 @@ mod tests {
         match lp(&m) {
             LpResult::Optimal(sol) => {
                 let expect = f64::powi(5.0, n as i32);
-                assert!((sol.objective + expect).abs() / expect < 1e-6, "{}", sol.objective);
+                assert!(
+                    (sol.objective + expect).abs() / expect < 1e-6,
+                    "{}",
+                    sol.objective
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -862,7 +885,10 @@ mod tests {
             LpResult::Optimal(sol) => {
                 let mut vals = sol.x.clone();
                 vals.resize(m.num_vars(), 0.0);
-                assert!(m.is_feasible(&vals, 1e-6), "LP solution infeasible: {vals:?}");
+                assert!(
+                    m.is_feasible(&vals, 1e-6),
+                    "LP solution infeasible: {vals:?}"
+                );
             }
             other => panic!("{other:?}"),
         }

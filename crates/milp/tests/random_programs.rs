@@ -5,7 +5,7 @@
 //! feasibility and on the optimal objective, and any solution it reports
 //! must satisfy the model.
 
-use cosa_milp::{Cmp, LinExpr, Model, MilpError, Sense};
+use cosa_milp::{Cmp, LinExpr, MilpError, Model, Sense};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -22,10 +22,8 @@ struct RandomIp {
 fn random_ip() -> impl Strategy<Value = RandomIp> {
     (2usize..=4, 1i64..=3, 1usize..=3, any::<bool>()).prop_flat_map(
         |(num_vars, ub, num_cons, maximize)| {
-            let coeffs = prop::collection::vec(
-                prop::collection::vec(-4i64..=4, num_vars),
-                num_cons,
-            );
+            let coeffs =
+                prop::collection::vec(prop::collection::vec(-4i64..=4, num_vars), num_cons);
             let rhs = prop::collection::vec(-6i64..=12, num_cons);
             let cmps = prop::collection::vec(0u8..=2, num_cons);
             let obj = prop::collection::vec(-5i64..=5, num_vars);
@@ -56,14 +54,19 @@ fn brute_force(ip: &RandomIp) -> Option<i64> {
             *xi = (rem % base) as i64;
             rem /= base;
         }
-        let ok = ip.coeffs.iter().zip(&ip.rhs).zip(&ip.cmps).all(|((row, rhs), cmp)| {
-            let lhs: i64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
-            match cmp {
-                0 => lhs <= *rhs,
-                1 => lhs >= *rhs,
-                _ => lhs == *rhs,
-            }
-        });
+        let ok = ip
+            .coeffs
+            .iter()
+            .zip(&ip.rhs)
+            .zip(&ip.cmps)
+            .all(|((row, rhs), cmp)| {
+                let lhs: i64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+                match cmp {
+                    0 => lhs <= *rhs,
+                    1 => lhs >= *rhs,
+                    _ => lhs == *rhs,
+                }
+            });
         if ok {
             let val: i64 = ip.obj.iter().zip(&x).map(|(a, b)| a * b).sum();
             best = Some(match best {
@@ -77,10 +80,15 @@ fn brute_force(ip: &RandomIp) -> Option<i64> {
 }
 
 fn build_model(ip: &RandomIp) -> Model {
-    let sense = if ip.maximize { Sense::Maximize } else { Sense::Minimize };
+    let sense = if ip.maximize {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    };
     let mut m = Model::new(sense);
-    let vars: Vec<_> =
-        (0..ip.num_vars).map(|i| m.add_integer(format!("x{i}"), 0.0, ip.ub as f64)).collect();
+    let vars: Vec<_> = (0..ip.num_vars)
+        .map(|i| m.add_integer(format!("x{i}"), 0.0, ip.ub as f64))
+        .collect();
     for ((row, rhs), cmp) in ip.coeffs.iter().zip(&ip.rhs).zip(&ip.cmps) {
         let mut e = LinExpr::new();
         for (v, a) in vars.iter().zip(row) {

@@ -57,16 +57,20 @@ impl NestAnalysis {
     pub fn new(layer: &Layer, arch: &Arch, schedule: &Schedule) -> NestAnalysis {
         let num_levels = arch.num_levels();
         let flat = schedule.flat_loops(); // outermost-first
-        let compute_cycles: u64 =
-            flat.iter().filter(|(_, l)| !l.spatial).map(|(_, l)| l.bound).product();
+        let compute_cycles: u64 = flat
+            .iter()
+            .filter(|(_, l)| !l.spatial)
+            .map(|(_, l)| l.bound)
+            .product();
 
         let mut stats: Vec<[Option<TensorLevelStats>; 3]> = vec![[None, None, None]; num_levels];
         let mut innermost_level = [usize::MAX; 3];
         let mut inner_access_elements = [0u64; 3];
 
         for v in DataTensor::ALL {
-            let stored: Vec<usize> =
-                (0..num_levels).filter(|&i| arch.levels()[i].stores(v)).collect();
+            let stored: Vec<usize> = (0..num_levels)
+                .filter(|&i| arch.levels()[i].stores(v))
+                .collect();
             debug_assert!(!stored.is_empty(), "DRAM stores everything");
             innermost_level[v.index()] = stored[0];
 

@@ -91,12 +91,11 @@ impl CostModel {
         for v in DataTensor::ALL {
             let prec = arch.precision(v) as f64;
             for level in 0..num_levels {
-                let Some(s) = analysis.get(level, v) else { continue };
+                let Some(s) = analysis.get(level, v) else {
+                    continue;
+                };
                 let Some(parent) = s.parent else { continue };
-                let parent_inst = analysis
-                    .get(parent, v)
-                    .map(|p| p.instances)
-                    .unwrap_or(1);
+                let parent_inst = analysis.get(parent, v).map(|p| p.instances).unwrap_or(1);
                 let tile = s.tile_elements as f64;
                 let fills = s.fills as f64;
                 let child_inst = s.instances as f64;
@@ -106,7 +105,8 @@ impl CostModel {
                     DataTensor::Weights | DataTensor::Inputs => {
                         // Downward: parent read (multicast counted once),
                         // child write (every copy lands).
-                        traffic[parent].read_bytes += fills * tile * parent_inst as f64 * unicast * prec;
+                        traffic[parent].read_bytes +=
+                            fills * tile * parent_inst as f64 * unicast * prec;
                         traffic[level].write_bytes += fills * tile * child_inst * prec;
                     }
                     DataTensor::Outputs => {
@@ -176,10 +176,8 @@ impl CostModel {
             + analysis.total_macs as f64 * arch.mac_energy_pj();
 
         let noc = arch.noc_level();
-        let pe_utilization =
-            schedule.spatial_product_at(noc) as f64 / arch.num_pes() as f64;
-        let intra_pe_spatial: u64 =
-            (0..noc).map(|l| schedule.spatial_product_at(l)).product();
+        let pe_utilization = schedule.spatial_product_at(noc) as f64 / arch.num_pes() as f64;
+        let intra_pe_spatial: u64 = (0..noc).map(|l| schedule.spatial_product_at(l)).product();
         let mac_utilization = intra_pe_spatial as f64 / arch.macs_per_pe() as f64;
 
         Evaluation {
@@ -222,7 +220,11 @@ mod tests {
         // With 1-element tiles, DRAM traffic far exceeds the tensor
         // footprint (weights alone are refetched per MAC).
         let footprint = layer.tensor_elements().total() as f64;
-        assert!(eval.dram_bytes() > 10.0 * footprint, "{}", eval.dram_bytes());
+        assert!(
+            eval.dram_bytes() > 10.0 * footprint,
+            "{}",
+            eval.dram_bytes()
+        );
     }
 
     #[test]
@@ -324,8 +326,16 @@ mod tests {
         }
         let inner_eval = model.evaluate(&layer, &p_inner).unwrap();
         let outer_eval = model.evaluate(&layer, &p_outer).unwrap();
-        let w_inner = inner_eval.analysis.get(2, DataTensor::Weights).unwrap().fills;
-        let w_outer = outer_eval.analysis.get(2, DataTensor::Weights).unwrap().fills;
+        let w_inner = inner_eval
+            .analysis
+            .get(2, DataTensor::Weights)
+            .unwrap()
+            .fills;
+        let w_outer = outer_eval
+            .analysis
+            .get(2, DataTensor::Weights)
+            .unwrap()
+            .fills;
         assert!(w_inner < w_outer, "reuse run should cut weight fills");
     }
 }

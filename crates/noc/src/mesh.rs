@@ -176,7 +176,8 @@ impl MeshSim {
         for (i, p) in expanded.iter().enumerate() {
             debug_assert!(!p.dests.is_empty());
             debug_assert!(p.flits > 0);
-            self.remaining.push(p.dests.iter().map(|d| (*d, p.flits)).collect());
+            self.remaining
+                .push(p.dests.iter().map(|d| (*d, p.flits)).collect());
             self.inject_queues[p.src].push_back((i as u32, p.flits));
         }
         self.packets = expanded;
@@ -207,7 +208,9 @@ impl MeshSim {
     }
 
     fn done(&self) -> bool {
-        self.remaining.iter().all(|dests| dests.iter().all(|(_, n)| *n == 0))
+        self.remaining
+            .iter()
+            .all(|dests| dests.iter().all(|(_, n)| *n == 0))
             && self.inject_queues.iter().all(|q| q.is_empty())
     }
 
@@ -286,7 +289,11 @@ impl MeshSim {
             }
             let total = self.packets[pkt as usize].flits;
             let seq = total - remaining;
-            in_port.queue.push_back(Flit { packet: pkt, seq, tail: remaining == 1 });
+            in_port.queue.push_back(Flit {
+                packet: pkt,
+                seq,
+                tail: remaining == 1,
+            });
             if remaining == 1 {
                 self.inject_queues[node].pop_front();
             } else {
@@ -395,29 +402,56 @@ mod tests {
     use super::*;
 
     fn cfg4() -> MeshConfig {
-        MeshConfig { x: 4, y: 4, hop_latency: 3, buffer_depth: 8, gb_node: 0, multicast: true }
+        MeshConfig {
+            x: 4,
+            y: 4,
+            hop_latency: 3,
+            buffer_depth: 8,
+            gb_node: 0,
+            multicast: true,
+        }
     }
 
     #[test]
     fn single_flit_latency_scales_with_hops() {
         // dest 3 = (3,0): 3 hops. dest 15 = (3,3): 6 hops.
-        let near = MeshSim::new(cfg4()).run(&[PacketSpec { src: 0, dests: vec![3], flits: 1 }]);
-        let far = MeshSim::new(cfg4()).run(&[PacketSpec { src: 0, dests: vec![15], flits: 1 }]);
+        let near = MeshSim::new(cfg4()).run(&[PacketSpec {
+            src: 0,
+            dests: vec![3],
+            flits: 1,
+        }]);
+        let far = MeshSim::new(cfg4()).run(&[PacketSpec {
+            src: 0,
+            dests: vec![15],
+            flits: 1,
+        }]);
         assert!(far > near, "far {far} vs near {near}");
         assert!(far >= 6 * 3, "{far}");
     }
 
     #[test]
     fn long_packet_serializes_on_flits() {
-        let short = MeshSim::new(cfg4()).run(&[PacketSpec { src: 0, dests: vec![5], flits: 2 }]);
-        let long = MeshSim::new(cfg4()).run(&[PacketSpec { src: 0, dests: vec![5], flits: 64 }]);
+        let short = MeshSim::new(cfg4()).run(&[PacketSpec {
+            src: 0,
+            dests: vec![5],
+            flits: 2,
+        }]);
+        let long = MeshSim::new(cfg4()).run(&[PacketSpec {
+            src: 0,
+            dests: vec![5],
+            flits: 64,
+        }]);
         assert!(long >= short + 62, "long {long} vs short {short}");
     }
 
     #[test]
     fn multicast_beats_unicast_clones() {
         let dests: Vec<usize> = (1..16).collect();
-        let pkt = PacketSpec { src: 0, dests: dests.clone(), flits: 32 };
+        let pkt = PacketSpec {
+            src: 0,
+            dests: dests.clone(),
+            flits: 32,
+        };
         let mc = MeshSim::new(cfg4()).run(std::slice::from_ref(&pkt));
         let mut uc_cfg = cfg4();
         uc_cfg.multicast = false;
@@ -431,10 +465,22 @@ mod tests {
     #[test]
     fn contending_packets_serialize() {
         // Two packets to the same destination share every link.
-        let one = MeshSim::new(cfg4()).run(&[PacketSpec { src: 0, dests: vec![3], flits: 32 }]);
+        let one = MeshSim::new(cfg4()).run(&[PacketSpec {
+            src: 0,
+            dests: vec![3],
+            flits: 32,
+        }]);
         let two = MeshSim::new(cfg4()).run(&[
-            PacketSpec { src: 0, dests: vec![3], flits: 32 },
-            PacketSpec { src: 0, dests: vec![3], flits: 32 },
+            PacketSpec {
+                src: 0,
+                dests: vec![3],
+                flits: 32,
+            },
+            PacketSpec {
+                src: 0,
+                dests: vec![3],
+                flits: 32,
+            },
         ]);
         assert!(two >= one + 30, "two {two} vs one {one}");
     }
@@ -443,8 +489,16 @@ mod tests {
     fn distinct_sources_can_overlap() {
         // Writebacks from two different PEs to the GB overlap on disjoint
         // path prefixes: total ≪ sum of individual times.
-        let a = PacketSpec { src: 15, dests: vec![0], flits: 32 };
-        let b = PacketSpec { src: 12, dests: vec![0], flits: 32 };
+        let a = PacketSpec {
+            src: 15,
+            dests: vec![0],
+            flits: 32,
+        };
+        let b = PacketSpec {
+            src: 12,
+            dests: vec![0],
+            flits: 32,
+        };
         let ta = MeshSim::new(cfg4()).run(std::slice::from_ref(&a));
         let tb = MeshSim::new(cfg4()).run(std::slice::from_ref(&b));
         let both = MeshSim::new(cfg4()).run(&[a, b]);
@@ -460,9 +514,17 @@ mod tests {
     fn all_flits_delivered_to_all_dests() {
         // Deliberately heavy multicast + writeback mix; the run must
         // terminate (i.e. every (packet, dest) pair drains to zero).
-        let mut pkts = vec![PacketSpec { src: 0, dests: (1..16).collect(), flits: 16 }];
+        let mut pkts = vec![PacketSpec {
+            src: 0,
+            dests: (1..16).collect(),
+            flits: 16,
+        }];
         for pe in [5usize, 6, 9, 10] {
-            pkts.push(PacketSpec { src: pe, dests: vec![0], flits: 8 });
+            pkts.push(PacketSpec {
+                src: pe,
+                dests: vec![0],
+                flits: 8,
+            });
         }
         let cycles = MeshSim::new(cfg4()).run(&pkts);
         assert!(cycles > 0);

@@ -222,8 +222,11 @@ mod tests {
         let build = |p_inner: bool| {
             let mut s = Schedule::new(arch.num_levels());
             s.push(arch.noc_level(), Loop::spatial(Dim::K, 16));
-            let loops =
-                if p_inner { [(Dim::C, 64), (Dim::P, 16)] } else { [(Dim::P, 16), (Dim::C, 64)] };
+            let loops = if p_inner {
+                [(Dim::C, 64), (Dim::P, 16)]
+            } else {
+                [(Dim::P, 16), (Dim::C, 64)]
+            };
             for (d, b) in loops {
                 for f in cosa_spec::primes::factorize(b) {
                     s.push(arch.noc_level(), Loop::temporal(d, f));

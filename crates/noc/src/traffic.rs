@@ -106,12 +106,9 @@ impl TrafficPlan {
         // Outputs leaving a PE are 24-bit partial sums while reduction
         // loops (over R, S, C) remain at or above the NoC level; once the
         // sum is complete they quantize to the activation width.
-        let reduction_above_pe = schedule
-            .flat_loops()
-            .iter()
-            .any(|(lvl, lp)| {
-                *lvl >= noc && !DataTensor::Outputs.relevant_to(lp.dim) && lp.bound > 1
-            });
+        let reduction_above_pe = schedule.flat_loops().iter().any(|(lvl, lp)| {
+            *lvl >= noc && !DataTensor::Outputs.relevant_to(lp.dim) && lp.bound > 1
+        });
         let oa_up_bytes = {
             let elems = DataTensor::Outputs.tile_elements(&below, layer);
             let prec = if reduction_above_pe {
@@ -145,7 +142,11 @@ impl TrafficPlan {
                     .map(|l| (l.dim, l.bound)),
             )
             .collect();
-        let t_noc = schedule.levels()[noc].loops.iter().filter(|l| !l.spatial).count();
+        let t_noc = schedule.levels()[noc]
+            .loops
+            .iter()
+            .filter(|l| !l.spatial)
+            .count();
         let n_total: u64 = seq.iter().map(|(_, b)| b).product();
 
         // DRAM byte helpers. Output tiles spilled past the global buffer
@@ -176,9 +177,7 @@ impl TrafficPlan {
             resend: [true, true, false],
             oa_readback: false,
             oa_writeback: false,
-            dram_bytes: w_dram_bytes
-                + gb_bytes(DataTensor::Inputs)
-                + gb_bytes(DataTensor::Outputs),
+            dram_bytes: w_dram_bytes + gb_bytes(DataTensor::Inputs) + gb_bytes(DataTensor::Outputs),
         });
 
         let mut oa_changes = 0.0f64;
@@ -193,16 +192,14 @@ impl TrafficPlan {
             }
             let mut resend = [false; 3];
             for v in DataTensor::ALL {
-                resend[v.index()] =
-                    seq[..=z].iter().any(|(d, _)| v.relevant_to(*d));
+                resend[v.index()] = seq[..=z].iter().any(|(d, _)| v.relevant_to(*d));
             }
             let mut dram = 0.0;
             if resend[DataTensor::Weights.index()] {
                 dram += w_dram_bytes;
             }
             for v in [DataTensor::Inputs, DataTensor::Outputs] {
-                let refill = z >= t_noc
-                    && seq[t_noc..=z].iter().any(|(d, _)| v.relevant_to(*d));
+                let refill = z >= t_noc && seq[t_noc..=z].iter().any(|(d, _)| v.relevant_to(*d));
                 if refill {
                     dram += gb_bytes(v);
                     if v == DataTensor::Outputs {
@@ -307,7 +304,10 @@ mod tests {
         let plan = TrafficPlan::build(&layer, &arch, &s);
         let w = &plan.down_packets[DataTensor::Weights.index()];
         assert_eq!(w.len(), 4, "one weight packet per K group");
-        assert!(w.iter().all(|p| p.dests.len() == 4), "each multicast to 4 PEs");
+        assert!(
+            w.iter().all(|p| p.dests.len() == 4),
+            "each multicast to 4 PEs"
+        );
         // Inputs are irrelevant to K: 4 groups of 4 by symmetry.
         let ia = &plan.down_packets[DataTensor::Inputs.index()];
         assert_eq!(ia.len(), 4);

@@ -150,7 +150,9 @@ impl Arch {
     /// 32 KB weight buffer, 8 KB input buffer per PE, a 128 KB shared global
     /// buffer, 8-bit weights/inputs and 24-bit partial sums.
     pub fn simba_baseline() -> Arch {
-        ArchBuilder::new("simba-4x4").build().expect("baseline arch is valid")
+        ArchBuilder::new("simba-4x4")
+            .build()
+            .expect("baseline arch is valid")
     }
 
     /// The Fig. 9a variant: an 8×8 PE array with on-chip and DRAM bandwidth
@@ -239,7 +241,9 @@ impl Arch {
     /// does not store all tensors.
     pub fn validate(&self) -> Result<(), SpecError> {
         if self.levels.len() < 2 {
-            return Err(SpecError::BadArch("need at least one buffer plus DRAM".into()));
+            return Err(SpecError::BadArch(
+                "need at least one buffer plus DRAM".into(),
+            ));
         }
         if self.noc_level >= self.levels.len() {
             return Err(SpecError::BadArch("NoC level out of range".into()));
@@ -259,10 +263,16 @@ impl Arch {
         }
         for lvl in &self.levels {
             if lvl.spatial_fanout == 0 {
-                return Err(SpecError::BadArch(format!("level {} has fanout 0", lvl.name)));
+                return Err(SpecError::BadArch(format!(
+                    "level {} has fanout 0",
+                    lvl.name
+                )));
             }
             if lvl.bandwidth <= 0.0 {
-                return Err(SpecError::BadArch(format!("level {} has no bandwidth", lvl.name)));
+                return Err(SpecError::BadArch(format!(
+                    "level {} has no bandwidth",
+                    lvl.name
+                )));
             }
         }
         Ok(())
@@ -469,12 +479,28 @@ mod tests {
         let names: Vec<&str> = a.levels().iter().map(|l| l.name.as_str()).collect();
         assert_eq!(
             names,
-            ["Register", "AccBuf", "WeightBuf", "InputBuf", "GlobalBuf", "DRAM"]
+            [
+                "Register",
+                "AccBuf",
+                "WeightBuf",
+                "InputBuf",
+                "GlobalBuf",
+                "DRAM"
+            ]
         );
         assert_eq!(a.levels()[0].capacity_for(DataTensor::Weights), Some(64));
-        assert_eq!(a.levels()[1].capacity_for(DataTensor::Outputs), Some(3 * 1024));
-        assert_eq!(a.levels()[2].capacity_for(DataTensor::Weights), Some(32 * 1024));
-        assert_eq!(a.levels()[3].capacity_for(DataTensor::Inputs), Some(8 * 1024));
+        assert_eq!(
+            a.levels()[1].capacity_for(DataTensor::Outputs),
+            Some(3 * 1024)
+        );
+        assert_eq!(
+            a.levels()[2].capacity_for(DataTensor::Weights),
+            Some(32 * 1024)
+        );
+        assert_eq!(
+            a.levels()[3].capacity_for(DataTensor::Inputs),
+            Some(8 * 1024)
+        );
         assert_eq!(a.levels()[4].total_capacity(), 128 * 1024);
         assert_eq!(a.precision(DataTensor::Outputs), 3);
         assert_eq!(a.noc().flit_bytes, 8);
@@ -485,12 +511,12 @@ mod tests {
         use DataTensor::*;
         let a = Arch::simba_baseline();
         let expect: [(usize, [bool; 3]); 6] = [
-            (0, [true, false, false]),  // Register: W
-            (1, [false, false, true]),  // AccBuf: OA
-            (2, [true, false, false]),  // WeightBuf: W
-            (3, [false, true, false]),  // InputBuf: IA
-            (4, [false, true, true]),   // GlobalBuf: IA, OA
-            (5, [true, true, true]),    // DRAM: all
+            (0, [true, false, false]), // Register: W
+            (1, [false, false, true]), // AccBuf: OA
+            (2, [true, false, false]), // WeightBuf: W
+            (3, [false, true, false]), // InputBuf: IA
+            (4, [false, true, true]),  // GlobalBuf: IA, OA
+            (5, [true, true, true]),   // DRAM: all
         ];
         for (i, row) in expect {
             for (vi, v) in [Weights, Inputs, Outputs].iter().enumerate() {

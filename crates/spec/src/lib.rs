@@ -22,6 +22,9 @@
 //!   permutation order.
 //! * [`workloads`] — the four DNN benchmark suites evaluated in the paper
 //!   (AlexNet, ResNet-50, ResNeXt-50 (32x4d), DeepBench).
+//! * [`Network`] / [`Suite`] — execution-ordered whole-network workloads
+//!   with per-layer repeat counts, the batch-scheduling unit of the
+//!   umbrella crate's `Engine`.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ mod dims;
 mod error;
 mod layer;
 pub mod mapspace;
+pub mod network;
 pub mod primes;
 mod schedule;
 mod tensor;
@@ -54,5 +58,6 @@ pub use arch::{Arch, ArchBuilder, MemLevel, NocParams};
 pub use dims::{Dim, DimMap};
 pub use error::SpecError;
 pub use layer::Layer;
+pub use network::{Network, NetworkLayer, Suite};
 pub use schedule::{Loop, LoopNest, Schedule, TileShape};
 pub use tensor::{DataTensor, TensorSizes};

@@ -82,7 +82,10 @@ pub fn summarize(layer: &Layer, arch: &Arch) -> MapSpaceSummary {
 
 /// The per-dimension factor multiset, for diagnostics.
 pub fn factor_table(layer: &Layer) -> Vec<(Dim, Vec<(u64, u32)>)> {
-    Dim::ALL.iter().map(|&d| (d, factor_counts(layer.dim(d)))).collect()
+    Dim::ALL
+        .iter()
+        .map(|&d| (d, factor_counts(layer.dim(d))))
+        .collect()
 }
 
 #[cfg(test)]

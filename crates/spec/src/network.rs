@@ -1,0 +1,387 @@
+//! Whole-network workload descriptions for batch scheduling.
+//!
+//! The paper evaluates per *unique* layer (the [`crate::workloads`] suites
+//! are exactly the Fig. 6 x-axes), but end-to-end latency/energy totals and
+//! schedule-cache behaviour depend on how often each layer runs in the real
+//! network. A [`Network`] is an execution-ordered list of layer instances
+//! with per-entry repeat counts; the `Engine` in the umbrella crate consumes
+//! it, deduplicating repeated shapes through its schedule cache.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Layer;
+use crate::workloads::{self, Workload};
+use crate::SpecError;
+
+/// The four DNN benchmark suites of the paper (Sec. IV-C), as an enum so
+/// call sites stop hand-rolling name loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// AlexNet (5 conv + 3 FC).
+    AlexNet,
+    /// ResNet-50.
+    ResNet50,
+    /// ResNeXt-50 (32x4d).
+    ResNeXt50,
+    /// DeepBench (OCR + face recognition convolutions).
+    DeepBench,
+}
+
+impl Suite {
+    /// All four suites in the paper's order.
+    pub const ALL: [Suite; 4] = [
+        Suite::AlexNet,
+        Suite::ResNet50,
+        Suite::ResNeXt50,
+        Suite::DeepBench,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::AlexNet => "AlexNet",
+            Suite::ResNet50 => "ResNet-50",
+            Suite::ResNeXt50 => "ResNeXt-50",
+            Suite::DeepBench => "DeepBench",
+        }
+    }
+
+    /// The suite's unique-layer [`Workload`] (the Fig. 6 x-axis).
+    pub fn workload(self) -> Workload {
+        match self {
+            Suite::AlexNet => workloads::alexnet(),
+            Suite::ResNet50 => workloads::resnet50(),
+            Suite::ResNeXt50 => workloads::resnext50(),
+            Suite::DeepBench => workloads::deepbench(),
+        }
+    }
+}
+
+impl std::str::FromStr for Suite {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Suite, SpecError> {
+        let squashed: String = s
+            .chars()
+            .filter(char::is_ascii_alphanumeric)
+            .collect::<String>()
+            .to_lowercase();
+        match squashed.as_str() {
+            "alexnet" => Ok(Suite::AlexNet),
+            "resnet50" | "resnet" => Ok(Suite::ResNet50),
+            "resnext50" | "resnext" | "resnext5032x4d" => Ok(Suite::ResNeXt50),
+            "deepbench" => Ok(Suite::DeepBench),
+            _ => Err(SpecError::BadLayerName(format!("unknown suite `{s}`"))),
+        }
+    }
+}
+
+/// One entry of a [`Network`]: a layer instance (or a run of identical
+/// consecutive instances) in execution order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NetworkLayer {
+    /// Position label within the network (e.g. `conv3.rest.expand`).
+    pub name: String,
+    /// The layer shape.
+    pub layer: Layer,
+    /// How many times this instance runs back-to-back (≥ 1). Whole-network
+    /// latency/energy totals multiply per-layer results by this count.
+    pub count: u64,
+}
+
+/// An execution-ordered DNN network: the batch-scheduling unit of the
+/// `Engine` API.
+///
+/// Entries may repeat the same layer shape (residual networks do, heavily);
+/// a content-addressed schedule cache turns those repeats into cache hits.
+///
+/// ```
+/// use cosa_spec::network::{Network, Suite};
+/// let net = Network::from_suite(Suite::ResNet50);
+/// // 54 layer instances, but far fewer unique shapes.
+/// assert_eq!(net.num_instances(), 54);
+/// assert!(net.unique_shapes() < net.layers.len());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Network {
+    /// Network name for reports.
+    pub name: String,
+    /// Layer entries in execution order.
+    pub layers: Vec<NetworkLayer>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new(name: impl Into<String>) -> Network {
+        Network {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Append a layer entry (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn with_layer(mut self, name: impl Into<String>, layer: Layer, count: u64) -> Network {
+        self.push(name, layer, count);
+        self
+    }
+
+    /// Append a layer entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn push(&mut self, name: impl Into<String>, layer: Layer, count: u64) {
+        assert!(count > 0, "a network entry must run at least once");
+        self.layers.push(NetworkLayer {
+            name: name.into(),
+            layer,
+            count,
+        });
+    }
+
+    /// One entry per layer of a unique-layer [`Workload`], each with count 1
+    /// — the shape the per-layer figure experiments use.
+    pub fn from_workload(workload: &Workload) -> Network {
+        let mut net = Network::new(workload.name);
+        for layer in &workload.layers {
+            net.push(layer.name().to_string(), layer.clone(), 1);
+        }
+        net
+    }
+
+    /// The full execution-ordered network for one of the paper's suites.
+    ///
+    /// AlexNet and DeepBench run each listed layer once. ResNet-50 and
+    /// ResNeXt-50 are expanded into their residual stages (3/4/6/3
+    /// bottleneck blocks), so repeated shapes appear as repeated entries —
+    /// the whole point of network-level scheduling with a cache. For
+    /// ResNet-50 this includes the stride-1 `3_28_128_128_1` convolution of
+    /// the conv3 repeat blocks, which the paper's unique-layer table omits.
+    pub fn from_suite(suite: Suite) -> Network {
+        match suite {
+            Suite::AlexNet | Suite::DeepBench => Network::from_workload(&suite.workload()),
+            Suite::ResNet50 => bottleneck_network("ResNet-50", "7_112_3_64_2", &RESNET50_STAGES),
+            Suite::ResNeXt50 => bottleneck_network("ResNeXt-50", "7_112_3_64_2", &RESNEXT50_STAGES),
+        }
+    }
+
+    /// Total layer executions (entries weighted by their counts).
+    pub fn num_instances(&self) -> u64 {
+        self.layers.iter().map(|e| e.count).sum()
+    }
+
+    /// Number of distinct layer shapes across all entries.
+    pub fn unique_shapes(&self) -> usize {
+        let mut seen: Vec<&Layer> = Vec::new();
+        for e in &self.layers {
+            if !seen.contains(&&e.layer) {
+                seen.push(&e.layer);
+            }
+        }
+        seen.len()
+    }
+
+    /// Total multiply-accumulates across the whole network.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|e| e.count * e.layer.macs()).sum()
+    }
+}
+
+/// One residual stage: `(stage name, number of blocks, first-block convs
+/// [reduce, 3x3, expand, projection], repeat-block convs [reduce, 3x3,
+/// expand])`, all in the paper's `R_P_C_K_Stride` naming.
+type StageSpec = (&'static str, u64, [&'static str; 4], [&'static str; 3]);
+
+const RESNET50_STAGES: [StageSpec; 4] = [
+    (
+        "conv2",
+        3,
+        [
+            "1_56_64_64_1",
+            "3_56_64_64_1",
+            "1_56_64_256_1",
+            "1_56_64_256_1",
+        ],
+        ["1_56_256_64_1", "3_56_64_64_1", "1_56_64_256_1"],
+    ),
+    (
+        "conv3",
+        4,
+        [
+            "1_56_256_128_1",
+            "3_28_128_128_2",
+            "1_28_128_512_1",
+            "1_28_256_512_2",
+        ],
+        ["1_28_512_128_1", "3_28_128_128_1", "1_28_128_512_1"],
+    ),
+    (
+        "conv4",
+        6,
+        [
+            "1_28_512_256_1",
+            "3_14_256_256_2",
+            "1_14_256_1024_1",
+            "1_14_512_1024_2",
+        ],
+        ["1_14_1024_256_1", "3_14_256_256_1", "1_14_256_1024_1"],
+    ),
+    (
+        "conv5",
+        3,
+        [
+            "1_14_1024_512_1",
+            "3_7_512_512_2",
+            "1_7_512_2048_1",
+            "1_7_1024_2048_2",
+        ],
+        ["1_7_2048_512_1", "3_7_512_512_1", "1_7_512_2048_1"],
+    ),
+];
+
+const RESNEXT50_STAGES: [StageSpec; 4] = [
+    (
+        "conv2",
+        3,
+        [
+            "1_56_64_128_1",
+            "3_56_4_128_1",
+            "1_56_128_256_1",
+            "1_56_64_256_1",
+        ],
+        ["1_56_256_128_1", "3_56_4_128_1", "1_56_128_256_1"],
+    ),
+    (
+        "conv3",
+        4,
+        [
+            "1_56_256_256_1",
+            "3_28_8_256_2",
+            "1_28_256_512_1",
+            "1_28_256_512_2",
+        ],
+        ["1_28_512_256_1", "3_28_8_256_1", "1_28_256_512_1"],
+    ),
+    (
+        "conv4",
+        6,
+        [
+            "1_28_512_512_1",
+            "3_14_16_512_2",
+            "1_14_512_1024_1",
+            "1_14_512_1024_2",
+        ],
+        ["1_14_1024_512_1", "3_14_16_512_1", "1_14_512_1024_1"],
+    ),
+    (
+        "conv5",
+        3,
+        [
+            "1_14_1024_1024_1",
+            "3_7_32_1024_2",
+            "1_7_1024_2048_1",
+            "1_7_1024_2048_2",
+        ],
+        ["1_7_2048_1024_1", "3_7_32_1024_1", "1_7_1024_2048_1"],
+    ),
+];
+
+fn parse(name: &str) -> Layer {
+    Layer::parse_paper_name(name).expect("stage tables are well-formed")
+}
+
+fn bottleneck_network(name: &str, stem: &str, stages: &[StageSpec]) -> Network {
+    let mut net = Network::new(name);
+    net.push("conv1", parse(stem), 1);
+    for (stage, blocks, first, rest) in stages {
+        let kinds = ["reduce", "conv3x3", "expand", "proj"];
+        for (kind, conv) in kinds.iter().zip(first) {
+            net.push(format!("{stage}.0.{kind}"), parse(conv), 1);
+        }
+        if *blocks > 1 {
+            for (kind, conv) in kinds.iter().zip(rest) {
+                net.push(format!("{stage}.rest.{kind}"), parse(conv), blocks - 1);
+            }
+        }
+    }
+    net.push("fc", parse("1_1_2048_1000_1"), 1);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_block_expansion_counts() {
+        let net = Network::from_suite(Suite::ResNet50);
+        // conv1 + (3·3+1) + (4·3+1) + (6·3+1) + (3·3+1) + fc = 54 instances.
+        assert_eq!(net.num_instances(), 54);
+        // Repeated shapes exist (the cache-hit substrate).
+        assert!(net.unique_shapes() < net.layers.len());
+        // Every published ResNet-50 unique layer appears somewhere.
+        for name in crate::workloads::RESNET50 {
+            assert!(
+                net.layers.iter().any(|e| e.layer.name() == name),
+                "missing {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn resnext50_uses_only_published_shapes() {
+        let net = Network::from_suite(Suite::ResNeXt50);
+        assert_eq!(net.num_instances(), 54);
+        for e in &net.layers {
+            assert!(
+                crate::workloads::RESNEXT50.contains(&e.layer.name()),
+                "{} not in the paper's unique-layer table",
+                e.layer.name()
+            );
+        }
+    }
+
+    #[test]
+    fn flat_suites_have_unit_counts() {
+        for suite in [Suite::AlexNet, Suite::DeepBench] {
+            let net = Network::from_suite(suite);
+            assert_eq!(net.num_instances(), net.layers.len() as u64);
+            assert_eq!(net.unique_shapes(), net.layers.len());
+        }
+    }
+
+    #[test]
+    fn totals_weight_by_count() {
+        let l = parse("3_56_64_64_1");
+        let net = Network::new("t").with_layer("a", l.clone(), 3);
+        assert_eq!(net.total_macs(), 3 * l.macs());
+        assert_eq!(net.num_instances(), 3);
+    }
+
+    #[test]
+    fn suite_parsing_round_trips() {
+        for s in Suite::ALL {
+            assert_eq!(s.name().parse::<Suite>().unwrap(), s);
+        }
+        assert!("vgg".parse::<Suite>().is_err());
+    }
+
+    #[test]
+    fn network_serde_round_trip() {
+        let net = Network::from_suite(Suite::AlexNet);
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Network = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, net);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least once")]
+    fn zero_count_rejected() {
+        let _ = Network::new("t").with_layer("a", parse("3_56_64_64_1"), 0);
+    }
+}

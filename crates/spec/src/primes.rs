@@ -25,7 +25,7 @@ pub fn factorize(mut n: u64) -> Vec<u64> {
     let mut factors = Vec::new();
     let mut d = 2u64;
     while d * d <= n {
-        while n % d == 0 {
+        while n.is_multiple_of(d) {
             factors.push(d);
             n /= d;
         }
@@ -69,7 +69,7 @@ pub fn divisors(n: u64) -> Vec<u64> {
     let mut large = Vec::new();
     let mut d = 1u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             small.push(d);
             if d != n / d {
                 large.push(n / d);

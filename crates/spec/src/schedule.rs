@@ -32,12 +32,20 @@ pub struct Loop {
 impl Loop {
     /// A temporal (sequential) loop.
     pub fn temporal(dim: Dim, bound: u64) -> Loop {
-        Loop { dim, bound, spatial: false }
+        Loop {
+            dim,
+            bound,
+            spatial: false,
+        }
     }
 
     /// A spatial (parallel) loop.
     pub fn spatial(dim: Dim, bound: u64) -> Loop {
-        Loop { dim, bound, spatial: true }
+        Loop {
+            dim,
+            bound,
+            spatial: true,
+        }
     }
 }
 
@@ -51,12 +59,20 @@ pub struct LoopNest {
 impl LoopNest {
     /// Product of the bounds of temporal loops at this level.
     pub fn temporal_product(&self) -> u64 {
-        self.loops.iter().filter(|l| !l.spatial).map(|l| l.bound).product()
+        self.loops
+            .iter()
+            .filter(|l| !l.spatial)
+            .map(|l| l.bound)
+            .product()
     }
 
     /// Product of the bounds of spatial loops at this level.
     pub fn spatial_product(&self) -> u64 {
-        self.loops.iter().filter(|l| l.spatial).map(|l| l.bound).product()
+        self.loops
+            .iter()
+            .filter(|l| l.spatial)
+            .map(|l| l.bound)
+            .product()
     }
 }
 
@@ -84,7 +100,9 @@ pub struct Schedule {
 impl Schedule {
     /// An empty schedule with `num_levels` memory levels.
     pub fn new(num_levels: usize) -> Schedule {
-        Schedule { levels: vec![LoopNest::default(); num_levels] }
+        Schedule {
+            levels: vec![LoopNest::default(); num_levels],
+        }
     }
 
     /// Append `lp` as the new *innermost* loop of `level`.
@@ -143,7 +161,10 @@ impl Schedule {
 
     /// Product of temporal loop bounds at levels strictly below `level`.
     pub fn temporal_product_below(&self, level: usize) -> u64 {
-        self.levels[..level].iter().map(|n| n.temporal_product()).product()
+        self.levels[..level]
+            .iter()
+            .map(|n| n.temporal_product())
+            .product()
     }
 
     /// Product of spatial loop bounds at `level`.

@@ -1,6 +1,7 @@
-//! Quickstart: schedule one ResNet-50 layer on the baseline accelerator
-//! with CoSA, print the loop nest (Listing-1 style) and both platforms'
-//! verdicts.
+//! Quickstart: schedule one ResNet-50 layer through the uniform
+//! `Scheduler` API, print the loop nest (Listing-1 style) and both
+//! platforms' verdicts, then batch-schedule a small network through the
+//! `Engine` to show caching.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -13,34 +14,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("architecture: {arch}");
     println!("layer:        {layer}\n");
 
-    // One-shot constrained-optimization scheduling.
-    let result = CosaScheduler::new(&arch).schedule(&layer)?;
-    println!("CoSA solved the MILP in {:?} ({} branch-and-bound nodes)\n",
-        result.solve_time, result.stats.nodes);
+    // One-shot constrained-optimization scheduling through the uniform
+    // trait (the same call works for RandomMapper and HybridMapper).
+    let cosa = CosaScheduler::new(&arch);
+    let result = Scheduler::schedule(&cosa, &arch, &layer)?;
+    println!(
+        "CoSA solved the MILP in {:?} ({} branch-and-bound nodes)\n",
+        result.elapsed, result.stats.milp_nodes
+    );
     println!("{}", result.schedule.render(&arch));
 
-    // Platform 1: the Timeloop-like analytical model.
-    let eval = CostModel::new(&arch).evaluate(&layer, &result.schedule)?;
+    // Platform 1: the Timeloop-like analytical model (already evaluated).
     println!("analytical model:");
-    println!("  latency  {:>12.0} cycles", eval.latency_cycles);
-    println!("  compute  {:>12} cycles", eval.compute_cycles);
-    println!("  energy   {:>12.1} uJ", eval.energy_pj / 1e6);
-    println!("  PE util  {:>11.0}%  MAC util {:>3.0}%",
-        eval.pe_utilization * 100.0, eval.mac_utilization * 100.0);
+    println!("  latency  {:>12.0} cycles", result.latency_cycles);
+    println!("  energy   {:>12.1} uJ", result.energy_pj / 1e6);
 
     // Platform 2: the cycle-level NoC simulator.
     let report = NocSimulator::new(&arch).simulate(&layer, &result.schedule)?;
     println!("NoC simulator:");
-    println!("  latency  {:>12.0} cycles ({} PEs used)", report.total_cycles, report.pes_used);
-    println!("  dram     {:>12.0} cycles of DRAM streaming", report.dram_cycles);
     println!(
-        "  bound by {}",
-        if report.communication_bound() { "communication" } else { "compute" }
+        "  latency  {:>12.0} cycles ({} PEs used)",
+        report.total_cycles, report.pes_used
+    );
+    println!(
+        "  dram     {:>12.0} cycles of DRAM streaming",
+        report.dram_cycles
+    );
+    println!(
+        "  bound by {}\n",
+        if report.communication_bound() {
+            "communication"
+        } else {
+            "compute"
+        }
     );
 
-    // The objective breakdown of Fig. 8.
-    let b = result.breakdown;
-    println!("\nobjective (Eq. 12): -{:.1} util + {:.1} comp + {:.1} traf = {:.1}",
-        b.weighted_util(), b.weighted_comp(), b.weighted_traf(), b.total());
+    // Batch scheduling: the first residual stage of ResNet-50 repeats
+    // shapes, which the engine's schedule cache deduplicates.
+    let mut network = Network::from_suite(Suite::ResNet50);
+    network.layers.truncate(8);
+    network.name = "ResNet-50 (conv1 + conv2 stage)".to_string();
+    let engine = Engine::new(arch);
+    let run = engine.schedule_network(&network, &cosa);
+    println!(
+        "engine: {} — {} instances, {} fresh solves, {} cache hits, {:?}",
+        run.report.network,
+        network.num_instances(),
+        run.cache_misses,
+        run.cache_hits,
+        run.elapsed
+    );
+    println!(
+        "  whole-stage latency {:.3e} cycles, energy {:.3e} pJ",
+        run.report.total_latency_cycles, run.report.total_energy_pj
+    );
+
+    // Every result serializes to canonical JSON.
+    let json = serde_json::to_string(&result)?;
+    println!(
+        "\nScheduled record is serializable ({} bytes of JSON)",
+        json.len()
+    );
     Ok(())
 }

@@ -1,41 +1,57 @@
-//! Schedule a slice of ResNet-50 with all three schedulers and print a
-//! per-layer comparison table — a miniature of the Fig. 6 experiment.
+//! Schedule a slice of ResNet-50 with all three schedulers — as uniform
+//! `Scheduler` trait objects driven by the batch `Engine` — and print a
+//! per-layer comparison table, a miniature of the Fig. 6 experiment.
 //!
 //! Run with: `cargo run --release --example resnet_sweep`
-//! (add `-- --full` for all 23 layers)
+//! (add `-- --full` for all 23 unique layers)
 
 use cosa_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = std::env::args().any(|a| a == "--full");
     let arch = Arch::simba_baseline();
-    let model = CostModel::new(&arch);
-    let cosa = CosaScheduler::new(&arch);
 
-    let mut layers = cosa_repro::spec::workloads::resnet50().layers;
+    let mut workload = cosa_repro::spec::workloads::resnet50();
     if !full {
-        layers.truncate(6);
+        workload.layers.truncate(6);
     }
+    let network = Network::from_workload(&workload);
+
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(RandomMapper::new(7).with_limits(SearchLimits::paper())),
+        Box::new(HybridMapper::new(HybridConfig::quick())),
+        Box::new(CosaScheduler::new(&arch)),
+    ];
+
+    let engine = Engine::new(arch);
+    let reports: Vec<NetworkReport> = schedulers
+        .iter()
+        .map(|s| engine.schedule_network(&network, s.as_ref()).report)
+        .collect();
 
     println!(
         "{:20} {:>12} {:>12} {:>12} {:>8}",
         "layer", "random", "hybrid", "cosa", "speedup"
     );
     let mut speedups = Vec::new();
-    for layer in &layers {
-        let rnd = RandomMapper::new(7).search(&arch, &layer, &SearchLimits::paper());
-        let hyb = HybridMapper::new(HybridConfig::quick()).search(&arch, &layer);
-        let res = cosa.schedule(layer)?;
-        let lat = model.evaluate(layer, &res.schedule)?.latency_cycles;
-        let speedup = rnd.best_latency / lat;
+    for (i, entry) in network.layers.iter().enumerate() {
+        let latency = |r: &NetworkReport| {
+            r.layers[i]
+                .scheduled
+                .as_ref()
+                .map(|s| s.latency_cycles)
+                .unwrap_or(f64::INFINITY)
+        };
+        let (rnd, hyb, cosa) = (
+            latency(&reports[0]),
+            latency(&reports[1]),
+            latency(&reports[2]),
+        );
+        let speedup = rnd / cosa;
         speedups.push(speedup);
         println!(
-            "{:20} {:>12.0} {:>12.0} {:>12.0} {:>7.2}x",
-            layer.name(),
-            rnd.best_latency,
-            hyb.best_latency,
-            lat,
-            speedup
+            "{:20} {rnd:>12.0} {hyb:>12.0} {cosa:>12.0} {speedup:>7.2}x",
+            entry.layer.name()
         );
     }
     let geo = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();

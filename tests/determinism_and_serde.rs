@@ -10,8 +10,14 @@ use cosa_repro::spec::workloads;
 fn cosa_is_deterministic() {
     let arch = Arch::simba_baseline();
     let layer = workloads::find_layer("3_27_128_128_1").expect("layer");
-    let a = CosaScheduler::new(&arch).schedule(&layer).expect("ok").schedule;
-    let b = CosaScheduler::new(&arch).schedule(&layer).expect("ok").schedule;
+    let a = CosaScheduler::new(&arch)
+        .schedule(&layer)
+        .expect("ok")
+        .schedule;
+    let b = CosaScheduler::new(&arch)
+        .schedule(&layer)
+        .expect("ok")
+        .schedule;
     assert_eq!(a, b);
 }
 
@@ -51,7 +57,10 @@ fn rendered_schedules_are_stable() {
 fn schedule_clone_evaluates_identically() {
     let arch = Arch::simba_baseline();
     let layer = workloads::find_layer("1_28_256_512_2").expect("layer");
-    let schedule = CosaScheduler::new(&arch).schedule(&layer).expect("ok").schedule;
+    let schedule = CosaScheduler::new(&arch)
+        .schedule(&layer)
+        .expect("ok")
+        .schedule;
     let clone = schedule.clone();
     let model = CostModel::new(&arch);
     assert_eq!(

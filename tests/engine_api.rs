@@ -1,0 +1,167 @@
+//! Integration tests for the unified `Scheduler` trait and the batch
+//! `Engine`: trait-object usage, cache-hit determinism, and
+//! `NetworkReport` serde round-trips.
+
+use cosa_repro::prelude::*;
+
+/// CoSA with a small node-count budget: fast enough for tests and — unlike
+/// the default wall-clock budget — bit-reproducible even when it binds.
+fn quick_cosa(arch: &Arch) -> CosaScheduler {
+    let opts = cosa_repro::milp::SolveOptions {
+        gap_tol: 0.1,
+        ..Default::default()
+    };
+    CosaScheduler::new(arch)
+        .with_solve_options(opts)
+        .with_deterministic_limits(200)
+}
+
+/// A small network with repeated shapes (the cache-hit substrate).
+fn tiny_network() -> Network {
+    let a = Layer::conv("block_a", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+    let b = Layer::conv("block_b", 1, 1, 8, 8, 16, 32, 1, 1, 1);
+    Network::new("tiny-resnet")
+        .with_layer("stem", a.clone(), 1)
+        .with_layer("stage1", b.clone(), 2)
+        .with_layer("stage2", a, 1)
+        .with_layer("stage3", b, 3)
+}
+
+#[test]
+fn trait_objects_schedule_one_layer() {
+    let arch = Arch::simba_baseline();
+    let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(RandomMapper::new(42).with_limits(SearchLimits::quick())),
+        Box::new(HybridMapper::new(HybridConfig::quick())),
+        Box::new(quick_cosa(&arch)),
+    ];
+    let mut names = Vec::new();
+    for s in &schedulers {
+        let out = s.schedule(&arch, &layer).expect("schedulable layer");
+        assert_eq!(out.scheduler, s.name());
+        assert_eq!(out.layer, layer.name());
+        assert!(
+            out.schedule.is_valid(&layer, &arch),
+            "{} schedule invalid",
+            s.name()
+        );
+        assert!(out.latency_cycles.is_finite() && out.latency_cycles > 0.0);
+        assert!(out.energy_pj > 0.0);
+        names.push(s.name().to_string());
+    }
+    names.sort();
+    assert_eq!(names, ["cosa", "hybrid", "random"]);
+}
+
+#[test]
+fn engine_runs_are_cached_and_byte_identical() {
+    let arch = Arch::simba_baseline();
+    let cosa = quick_cosa(&arch);
+    let engine = Engine::new(arch);
+    let network = tiny_network();
+
+    let first = engine.schedule_network(&network, &cosa);
+    assert!(first.report.is_complete());
+    // Repeated shapes resolve without fresh solves even on a cold cache.
+    assert!(first.cache_hits >= 1, "repeated shapes must hit");
+    assert_eq!(first.cache_misses, 2, "two unique shapes");
+
+    let second = engine.schedule_network(&network, &cosa);
+    assert_eq!(second.cache_misses, 0, "warm run re-solves nothing");
+    assert_eq!(second.cache_hits, network.layers.len() as u64);
+
+    let a = serde_json::to_string(&first.report).expect("serializes");
+    let b = serde_json::to_string(&second.report).expect("serializes");
+    assert_eq!(a, b, "two engine runs must be byte-identical");
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let arch = Arch::simba_baseline();
+    let cosa = quick_cosa(&arch);
+    let network = tiny_network();
+    let single = Engine::new(arch.clone())
+        .with_threads(1)
+        .schedule_network(&network, &cosa);
+    let multi = Engine::new(arch)
+        .with_threads(8)
+        .schedule_network(&network, &cosa);
+    assert_eq!(
+        serde_json::to_string(&single.report.without_timings()).unwrap(),
+        serde_json::to_string(&multi.report.without_timings()).unwrap(),
+        "fan-out must not change schedules or totals"
+    );
+}
+
+#[test]
+fn network_report_serde_round_trip() {
+    let arch = Arch::simba_baseline();
+    let mapper = RandomMapper::new(3).with_limits(SearchLimits::quick());
+    let engine = Engine::new(arch);
+    let run = engine.schedule_network(&tiny_network(), &mapper);
+
+    let json = serde_json::to_string(&run.report).expect("serializes");
+    let back: NetworkReport = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, run.report);
+    // Canonical output: re-serialization is byte-identical.
+    assert_eq!(serde_json::to_string(&back).unwrap(), json);
+
+    let pretty = serde_json::to_string_pretty(&run.report).expect("serializes");
+    let back_pretty: NetworkReport = serde_json::from_str(&pretty).expect("deserializes");
+    assert_eq!(back_pretty, run.report);
+}
+
+#[test]
+fn resnet50_stage_cosa_engine_acceptance() {
+    // The acceptance probe in miniature: CoSA over the ResNet-50 network
+    // (first residual stage for test speed — the full network runs in
+    // `engine_probe`), with at least one cache hit, deterministic across
+    // runs, and a valid schedule for every entry.
+    let arch = Arch::simba_baseline();
+    let cosa = quick_cosa(&arch);
+    let mut network = Network::from_suite(Suite::ResNet50);
+    network.layers.truncate(8); // conv1 + the full conv2 stage
+    assert!(network.unique_shapes() < network.layers.len());
+
+    let engine = Engine::new(arch.clone()).with_threads(4);
+    let run = engine.schedule_network(&network, &cosa);
+    assert!(run.report.is_complete(), "CoSA schedules every layer");
+    assert!(run.cache_hits >= 1, "conv2 repeats shapes");
+    for layer_report in &run.report.layers {
+        let scheduled = layer_report.scheduled.as_ref().expect("complete");
+        let layer = cosa_repro::spec::Layer::parse_paper_name(&layer_report.layer)
+            .expect("paper-named layer");
+        assert!(
+            scheduled.schedule.is_valid(&layer, &arch),
+            "{}",
+            layer_report.name
+        );
+    }
+    // Whole-network totals weight the repeated entries.
+    assert!(run.report.total_latency_cycles > 0.0);
+    assert_eq!(run.report.total_macs, network.total_macs());
+
+    let again = engine.schedule_network(&network, &cosa);
+    assert_eq!(
+        serde_json::to_string(&run.report).unwrap(),
+        serde_json::to_string(&again.report).unwrap(),
+        "deterministic across runs"
+    );
+}
+
+#[test]
+fn distinct_configs_do_not_share_cache_entries() {
+    let arch = Arch::simba_baseline();
+    let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+    let engine = Engine::new(arch);
+    let a = RandomMapper::new(1).with_limits(SearchLimits::quick());
+    let b = RandomMapper::new(2).with_limits(SearchLimits::quick());
+    engine.schedule_layer(&a, &layer).expect("valid");
+    engine.schedule_layer(&b, &layer).expect("valid");
+    assert_eq!(
+        engine.cache_stats().entries,
+        2,
+        "different fingerprints, different keys"
+    );
+}

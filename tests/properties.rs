@@ -7,14 +7,25 @@ use proptest::prelude::*;
 /// Random small-but-interesting layer shapes.
 fn layer_strategy() -> impl Strategy<Value = Layer> {
     (
-        1u64..=3,   // r = s
-        1u64..=16,  // p = q
-        1u64..=64,  // c
-        1u64..=64,  // k
-        1u64..=2,   // stride
+        1u64..=3,  // r = s
+        1u64..=16, // p = q
+        1u64..=64, // c
+        1u64..=64, // k
+        1u64..=2,  // stride
     )
         .prop_map(|(r, p, c, k, st)| {
-            Layer::conv(format!("prop_{r}_{p}_{c}_{k}_{st}"), r, r, p, p, c, k, 1, st, st)
+            Layer::conv(
+                format!("prop_{r}_{p}_{c}_{k}_{st}"),
+                r,
+                r,
+                p,
+                p,
+                c,
+                k,
+                1,
+                st,
+                st,
+            )
         })
 }
 

@@ -1,0 +1,126 @@
+//! Workspace-local, offline stand-in for [criterion](https://docs.rs/criterion).
+//!
+//! Implements the macro/struct surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `Bencher::iter`). Instead of criterion's statistical
+//! machinery it times a small fixed number of iterations and prints
+//! min/mean wall-clock per iteration — enough to eyeball regressions in an
+//! offline environment.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for call sites that import it from
+/// criterion rather than std.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher::new(self.sample_size.unwrap_or(10));
+        f(&mut bencher);
+        bencher.report(name);
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+    }
+
+    /// Finish the group (restores the default sample size).
+    pub fn finish(self) {
+        self.criterion.sample_size = None;
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            timings: Vec::new(),
+        }
+    }
+
+    /// Run and time `f` repeatedly.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One untimed warmup.
+        black_box(f());
+        self.timings.clear();
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            black_box(f());
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.timings.is_empty() {
+            println!("{name:40} (no samples — Bencher::iter never called)");
+            return;
+        }
+        let min = self.timings.iter().min().expect("nonempty");
+        let total: Duration = self.timings.iter().sum();
+        let mean = total / self.timings.len() as u32;
+        println!(
+            "{name:40} min {min:>12?}  mean {mean:>12?}  ({} samples)",
+            self.timings.len()
+        );
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

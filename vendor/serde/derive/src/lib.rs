@@ -1,0 +1,368 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace-local serde
+//! stand-in. Implemented directly on `proc_macro` tokens (no `syn`/`quote`,
+//! which are unavailable offline), supporting the shapes this workspace
+//! uses: structs with named fields, tuple structs, unit structs, and C-like
+//! (unit-variant) enums, all with optional simple type generics.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match Item::parse(input) {
+        Ok(item) => item
+            .impl_serialize()
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match Item::parse(input) {
+        Ok(item) => item
+            .impl_deserialize()
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("compile_error parses")
+}
+
+/// The shapes of type definition the derive supports.
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(A, B);` — field count.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+    /// `enum E { V1, V2 }` — unit variant names in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Type-parameter identifiers (lifetimes and const params unsupported).
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Item, String> {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut pos = 0usize;
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) if i.to_string() == "struct" => "struct",
+            Some(TokenTree::Ident(i)) if i.to_string() == "enum" => "enum",
+            other => return Err(format!("expected struct or enum, found {other:?}")),
+        };
+        pos += 1;
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected type name, found {other:?}")),
+        };
+        pos += 1;
+        let generics = parse_generics(&tokens, &mut pos)?;
+
+        let shape = if kind == "enum" {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Shape::Enum(parse_unit_variants(body)?)
+        } else {
+            match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => return Err(format!("expected struct body, found {other:?}")),
+            }
+        };
+        Ok(Item {
+            name,
+            generics,
+            shape,
+        })
+    }
+
+    /// `impl<T: Bound, ...> Trait for Name<T, ...>` header halves.
+    fn impl_header(&self, bound: &str) -> (String, String) {
+        if self.generics.is_empty() {
+            return (String::new(), String::new());
+        }
+        let params: Vec<String> = self
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        let args = self.generics.join(", ");
+        (format!("<{}>", params.join(", ")), format!("<{args}>"))
+    }
+
+    fn impl_serialize(&self) -> String {
+        let (params, args) = self.impl_header("::serde::Serialize");
+        let name = &self.name;
+        let body = match &self.shape {
+            Shape::Named(fields) => {
+                let mut pushes = String::new();
+                for f in fields {
+                    pushes.push_str(&format!(
+                        "entries.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    ));
+                }
+                format!(
+                    "let mut entries = ::std::vec::Vec::new();\n{pushes}\
+                     ::serde::Value::Map(entries)"
+                )
+            }
+            Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+            }
+            Shape::Unit => "::serde::Value::Null".to_string(),
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| format!("{name}::{v} => {v:?}"))
+                    .collect();
+                format!(
+                    "::serde::Value::Str(::std::string::String::from(match self {{ {} }}))",
+                    arms.join(", ")
+                )
+            }
+        };
+        format!(
+            "impl{params} ::serde::Serialize for {name}{args} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+             }}"
+        )
+    }
+
+    fn impl_deserialize(&self) -> String {
+        let (params, args) = self.impl_header("::serde::Deserialize");
+        let name = &self.name;
+        let body = match &self.shape {
+            Shape::Named(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(map, {f:?})?)?,\n"
+                    ));
+                }
+                format!(
+                    "let map = value.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected map for \", {name:?})))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{inits}}})"
+                )
+            }
+            Shape::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+            ),
+            Shape::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                    .collect();
+                format!(
+                    "let seq = value.as_seq().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected seq for \", {name:?})))?;\n\
+                     if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"wrong tuple length\")); }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+            Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                    .collect();
+                format!(
+                    "let s = value.as_str().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected string for \", {name:?})))?;\n\
+                     match s {{ {}, other => ::std::result::Result::Err(\
+                     ::serde::Error::custom(format!(\"unknown variant {{other}}\"))) }}",
+                    arms.join(", ")
+                )
+            }
+        };
+        format!(
+            "impl{params} ::serde::Deserialize for {name}{args} {{\n\
+                 fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+             }}"
+        )
+    }
+}
+
+/// Advance past `#[...]` attributes and a `pub`/`pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' plus the bracketed group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<A, B, ...>` after the type name into type-parameter idents.
+/// Bounds, lifetimes and const parameters are rejected — the workspace's
+/// serializable types only use plain type parameters.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Result<Vec<String>, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Ok(Vec::new()),
+    }
+    *pos += 1;
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                expect_param = true;
+            }
+            Some(TokenTree::Ident(i)) if depth == 1 && expect_param => {
+                let ident = i.to_string();
+                if ident == "const" {
+                    return Err("const generics are not supported by the derive".into());
+                }
+                params.push(ident);
+                expect_param = false;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                return Err("lifetime parameters are not supported by the derive".into());
+            }
+            Some(_) => {}
+            None => return Err("unterminated generic parameter list".into()),
+        }
+        *pos += 1;
+    }
+    Ok(params)
+}
+
+/// Field names of `{ a: A, b: B }`, skipping attributes, visibility and the
+/// type tokens (commas inside `<...>` do not terminate a field; bracketed
+/// groups arrive as single opaque tokens).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        let mut angle_depth = 0usize;
+        while let Some(tok) = tokens.get(pos) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Number of fields in `(A, B, ...)` (top-level comma count, angle-aware).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1usize;
+    let mut angle_depth = 0usize;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Variant names of a C-like enum; variants with payloads or explicit
+/// discriminants are rejected.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            None => {}
+            other => {
+                return Err(format!(
+                    "only unit enum variants are supported by the derive, found {other:?} \
+                     after variant {name}"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
