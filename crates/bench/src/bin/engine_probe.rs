@@ -1,10 +1,23 @@
 //! Probe the batch `Engine` on whole-network scheduling: cache-hit
-//! behaviour, determinism, and multi-threaded vs single-threaded
-//! wall-clock on ResNet-50 (the acceptance probe for the Engine redesign).
+//! behaviour, determinism, persistent warm starts and multi-threaded vs
+//! single-threaded wall-clock on ResNet-50 (the acceptance probe for the
+//! Engine and cache-store designs).
 //!
 //! Run with: `cargo run --release -p cosa-bench --bin engine_probe`
-//! (`--quick` probes a network prefix; `--suite <name>` picks the suite;
-//! `--scheduler random|hybrid|cosa` picks the scheduler, default cosa).
+//!
+//! Flags: `--quick` probes a network prefix; `--suite <name>` picks the
+//! suite; `--scheduler random|hybrid|cosa` picks the scheduler (default
+//! cosa); `--threads <n>` sets the fan-out width.
+//!
+//! Persistent mode: `--cache-dir <path>` (or the `COSA_CACHE_DIR` env var)
+//! runs one engine against an on-disk schedule cache, `--noc` enables
+//! engine-level NoC evaluation, and `--expect-warm` asserts the run was a
+//! 100% warm start — zero solver calls, zero NoC re-simulations. The
+//! canonical (`without_timings`) report is written to
+//! `results/engine_probe_report.json`; CI runs the probe twice against one
+//! cache dir and byte-compares the two artifacts.
+
+use std::io::Write as _;
 
 use cosa_bench::{parse_flags, write_csv};
 use cosa_core::CosaScheduler;
@@ -13,16 +26,33 @@ use cosa_repro::api::Scheduler;
 use cosa_repro::engine::Engine;
 use cosa_spec::{Arch, Network, Suite};
 
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Write the canonical (volatiles-stripped) report artifact that the CI
+/// warm-cache job byte-compares across cold and warm runs.
+fn write_report_artifact(report: &cosa_repro::engine::NetworkReport) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("engine_probe_report.json");
+    let json = serde_json::to_string_pretty(&report.without_timings()).expect("report serializes");
+    let mut f = std::fs::File::create(&path).expect("create report artifact");
+    f.write_all(json.as_bytes()).expect("write report artifact");
+    path
+}
+
 fn main() {
     let (quick, suite) = parse_flags();
     let args: Vec<String> = std::env::args().collect();
-    let scheduler_name = args
-        .iter()
-        .position(|a| a == "--scheduler")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or("cosa")
-        .to_string();
+    let scheduler_name = flag_value(&args, "--scheduler").unwrap_or_else(|| "cosa".to_string());
+    let cache_dir =
+        flag_value(&args, "--cache-dir").or_else(|| std::env::var("COSA_CACHE_DIR").ok());
+    let with_noc = args.iter().any(|a| a == "--noc");
+    let expect_warm = args.iter().any(|a| a == "--expect-warm");
 
     let arch = Arch::simba_baseline();
     let suite: Suite = suite
@@ -44,6 +74,14 @@ fn main() {
         other => panic!("unknown scheduler `{other}` (random|hybrid|cosa)"),
     };
 
+    let threads = flag_value(&args, "--threads")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+
     println!(
         "engine probe — {} ({} instances, {} unique shapes) with `{}` on {arch}",
         network.name,
@@ -52,34 +90,137 @@ fn main() {
         scheduler.name(),
     );
 
+    if let Some(dir) = cache_dir {
+        run_persistent(
+            &arch,
+            &network,
+            scheduler.as_ref(),
+            threads,
+            &dir,
+            with_noc,
+            expect_warm,
+        );
+    } else {
+        run_in_memory(&arch, &network, scheduler.as_ref(), threads, with_noc);
+    }
+}
+
+/// One engine against a persistent cache directory: the warm-start path
+/// the CI `warm-cache` job exercises twice.
+fn run_persistent(
+    arch: &Arch,
+    network: &Network,
+    scheduler: &dyn Scheduler,
+    threads: usize,
+    dir: &str,
+    with_noc: bool,
+    expect_warm: bool,
+) {
+    let mut engine = Engine::new(arch.clone()).with_threads(threads);
+    if with_noc {
+        engine = engine.with_noc();
+    }
+    let engine = engine.with_cache_dir(dir).expect("open cache dir");
+    let loaded = engine.cache_stats();
+    println!(
+        "  cache dir {dir}: {} entries loaded in {}µs ({} skipped as corrupt) — {} start",
+        loaded.warm_entries,
+        loaded.load_micros,
+        loaded.store_errors,
+        if loaded.warm_entries > 0 {
+            "warm"
+        } else {
+            "cold"
+        },
+    );
+
+    let run = engine.schedule_network(network, scheduler);
+    let stats = engine.cache_stats();
+    println!(
+        "  {threads} threads: {:>10.2?}  ({} solves, {} cache hits, {} NoC sims, {} failed)",
+        run.elapsed, run.cache_misses, run.cache_hits, run.noc_sims, run.report.failed_layers
+    );
+    println!(
+        "  cache: {} entries / {} bytes resident, {} evictions, {} store errors",
+        stats.entries, stats.bytes, stats.evictions, stats.store_errors
+    );
+    if let Some(noc) = run.report.total_noc_cycles {
+        println!(
+            "  whole-network latency {:.3e} cycles (model), {:.3e} cycles (NoC), energy {:.3e} pJ",
+            run.report.total_latency_cycles, noc, run.report.total_energy_pj
+        );
+    } else {
+        println!(
+            "  whole-network latency {:.3e} cycles, energy {:.3e} pJ",
+            run.report.total_latency_cycles, run.report.total_energy_pj
+        );
+    }
+
+    if expect_warm {
+        assert!(
+            stats.warm_entries > 0,
+            "--expect-warm needs a populated cache dir, found none in {dir}"
+        );
+        assert_eq!(
+            run.cache_misses, 0,
+            "warm run must be 100% cache hits (zero solver calls)"
+        );
+        assert_eq!(
+            run.noc_sims, 0,
+            "warm run must not re-simulate NoC for cached verdicts"
+        );
+        assert_eq!(run.cache_hits, network.layers.len() as u64);
+        println!("  warm-start contract holds: all hits, zero solves, zero NoC sims");
+    }
+
+    let path = write_report_artifact(&run.report);
+    println!("  wrote {}", path.display());
+    let rows = vec![format!(
+        "persistent,{},{},{},{},{},{:.6}",
+        scheduler.name(),
+        run.report.network,
+        run.cache_misses,
+        run.cache_hits,
+        run.noc_sims,
+        run.elapsed.as_secs_f64()
+    )];
+    let path = write_csv(
+        "engine_probe.csv",
+        "mode,scheduler,network,solves,cache_hits,noc_sims,seconds",
+        &rows,
+    );
+    println!("  wrote {}", path.display());
+}
+
+/// The original three-engine comparison: single-threaded cold,
+/// multi-threaded cold, then a warm re-run on the multi-threaded engine.
+fn run_in_memory(
+    arch: &Arch,
+    network: &Network,
+    scheduler: &dyn Scheduler,
+    threads: usize,
+    with_noc: bool,
+) {
+    let maybe_noc = |e: Engine| if with_noc { e.with_noc() } else { e };
+
     // Single-threaded, cold cache.
-    let single = Engine::new(arch.clone()).with_threads(1);
-    let run1 = single.schedule_network(&network, scheduler.as_ref());
+    let single = maybe_noc(Engine::new(arch.clone()).with_threads(1));
+    let run1 = single.schedule_network(network, scheduler);
     println!(
         "  1 thread : {:>10.2?}  ({} solves, {} cache hits, {} failed)",
         run1.elapsed, run1.cache_misses, run1.cache_hits, run1.report.failed_layers
     );
 
     // Multi-threaded, cold cache.
-    let threads = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|t| t.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        });
-    let multi = Engine::new(arch.clone()).with_threads(threads);
-    let run_n = multi.schedule_network(&network, scheduler.as_ref());
+    let multi = maybe_noc(Engine::new(arch.clone()).with_threads(threads));
+    let run_n = multi.schedule_network(network, scheduler);
     println!(
         "  {threads} threads: {:>10.2?}  ({} solves, {} cache hits, {} failed)",
         run_n.elapsed, run_n.cache_misses, run_n.cache_hits, run_n.report.failed_layers
     );
 
-    // Warm re-run: everything from cache, byte-identical report.
-    let run_warm = multi.schedule_network(&network, scheduler.as_ref());
+    // Warm re-run: everything from cache, canonical-identical report.
+    let run_warm = multi.schedule_network(network, scheduler);
     println!(
         "  warm     : {:>10.2?}  ({} solves, {} cache hits)",
         run_warm.elapsed, run_warm.cache_misses, run_warm.cache_hits
@@ -97,17 +238,20 @@ fn main() {
             "thread count must not change schedules or totals"
         );
     }
-    let json_multi = serde_json::to_string(&run_n.report).expect("report serializes");
-    let json_warm = serde_json::to_string(&run_warm.report).expect("report serializes");
+    let json_multi =
+        serde_json::to_string(&run_n.report.without_timings()).expect("report serializes");
+    let json_warm =
+        serde_json::to_string(&run_warm.report.without_timings()).expect("report serializes");
     assert_eq!(
         json_multi, json_warm,
-        "warm cache must reproduce the report byte-for-byte"
+        "warm cache must reproduce the canonical report byte-for-byte"
     );
     assert!(run_n.cache_hits >= 1 || network.unique_shapes() == network.layers.len());
     // Errors are deliberately not cached, so a warm run only skips every
     // solve when the cold run scheduled everything.
     if run_n.report.is_complete() {
         assert_eq!(run_warm.cache_misses, 0, "warm run must be all cache hits");
+        assert_eq!(run_warm.noc_sims, 0, "warm run must not re-simulate NoC");
     }
 
     let speedup = run1.elapsed.as_secs_f64() / run_n.elapsed.as_secs_f64().max(1e-9);
@@ -122,24 +266,35 @@ fn main() {
             run_n.elapsed,
             run1.elapsed
         );
+    } else {
+        // Make the un-armed assert visible in CI logs instead of silently
+        // passing on 1-core boxes or fully deduplicated networks.
+        println!(
+            "  skipped multi-thread speedup assert: threads={threads}, fresh solves={} \
+             (needs threads > 1 and at least 2 fresh solves)",
+            run_n.cache_misses
+        );
     }
 
+    let path = write_report_artifact(&run_n.report);
+    println!("  wrote {}", path.display());
     let rows: Vec<String> = [("single", &run1), ("multi", &run_n), ("warm", &run_warm)]
         .iter()
         .map(|(mode, run)| {
             format!(
-                "{mode},{},{},{},{},{:.6}",
+                "{mode},{},{},{},{},{},{:.6}",
                 scheduler.name(),
                 run.report.network,
                 run.cache_misses,
                 run.cache_hits,
+                run.noc_sims,
                 run.elapsed.as_secs_f64()
             )
         })
         .collect();
     let path = write_csv(
         "engine_probe.csv",
-        "mode,scheduler,network,solves,cache_hits,seconds",
+        "mode,scheduler,network,solves,cache_hits,noc_sims,seconds",
         &rows,
     );
     println!("  wrote {}", path.display());

@@ -5,18 +5,18 @@
 //! over [`cosa_repro::engine::Engine`]: each suite becomes a
 //! [`Network`], each of the three schedulers runs through the uniform
 //! [`Scheduler`](cosa_repro::api::Scheduler) trait, and the engine handles
-//! parallel fan-out and schedule caching. The figure binaries keep
-//! consuming the same [`SuiteOutcome`] shape as before.
+//! parallel fan-out, schedule caching and — when `with_noc` is set —
+//! cycle-level NoC evaluation per unique shape (cached alongside the
+//! schedule, so Fig. 10 never re-simulates a repeated or warm-cached
+//! layer). The figure binaries keep consuming the same [`SuiteOutcome`]
+//! shape as before.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 use cosa_core::{CosaScheduler, ObjectiveWeights};
 use cosa_mappers::{HybridConfig, HybridMapper, RandomMapper, SearchLimits, SearchObjective};
-use cosa_noc::NocSimulator;
-use cosa_repro::api::{Scheduled, Scheduler};
-use cosa_repro::engine::Engine;
+use cosa_repro::api::Scheduler;
+use cosa_repro::engine::{Engine, LayerReport};
 use cosa_spec::{workloads::Workload, Arch, Layer, Network, Schedule};
 
 /// Per-scheduler result for one layer.
@@ -144,7 +144,13 @@ impl CampaignConfig {
 /// Run the campaign over `suites` on `arch`: every suite × all three
 /// schedulers through the batch engine.
 pub fn run_campaign(arch: &Arch, suites: &[Workload], cfg: &CampaignConfig) -> Vec<SuiteOutcome> {
-    let engine = Engine::new(arch.clone()).with_threads(cfg.workers);
+    let mut engine = Engine::new(arch.clone()).with_threads(cfg.workers);
+    if cfg.with_noc {
+        // NoC latencies come out of the engine (simulated once per unique
+        // shape, cached alongside the schedule) — the campaign no longer
+        // re-simulates outside it.
+        engine = engine.with_noc();
+    }
     let schedulers = cfg.schedulers(arch);
 
     suites
@@ -157,7 +163,7 @@ pub fn run_campaign(arch: &Arch, suites: &[Workload], cfg: &CampaignConfig) -> V
             let rnd = per_scheduler.next().expect("three schedulers");
             let hyb = per_scheduler.next().expect("three schedulers");
             let cos = per_scheduler.next().expect("three schedulers");
-            let mut layers: Vec<LayerOutcome> = suite
+            let layers: Vec<LayerOutcome> = suite
                 .layers
                 .iter()
                 .zip(rnd)
@@ -165,69 +171,17 @@ pub fn run_campaign(arch: &Arch, suites: &[Workload], cfg: &CampaignConfig) -> V
                 .zip(cos)
                 .map(|(((layer, r), h), c)| LayerOutcome {
                     layer: layer.clone(),
-                    random: to_outcome(r.scheduled),
-                    hybrid: to_outcome(h.scheduled),
-                    cosa: to_outcome(c.scheduled),
+                    random: to_outcome(r),
+                    hybrid: to_outcome(h),
+                    cosa: to_outcome(c),
                 })
                 .collect();
-            if cfg.with_noc {
-                simulate_noc(arch, &mut layers, cfg.workers);
-            }
             SuiteOutcome {
                 name: suite.name,
                 layers,
             }
         })
         .collect()
-}
-
-/// Fill in `noc_latency` for every chosen schedule, fanning the cycle-level
-/// simulations out across `workers` threads (the expensive half of the
-/// Fig. 10 campaign).
-fn simulate_noc(arch: &Arch, layers: &mut [LayerOutcome], workers: usize) {
-    let jobs: Vec<(usize, usize, &Layer, &Schedule)> = layers
-        .iter()
-        .enumerate()
-        .flat_map(|(li, lo)| {
-            [&lo.random, &lo.hybrid, &lo.cosa]
-                .into_iter()
-                .enumerate()
-                .filter_map(move |(slot, so)| {
-                    so.schedule.as_ref().map(|s| (li, slot, &lo.layer, s))
-                })
-        })
-        .collect();
-
-    let results: Mutex<Vec<(usize, usize, Option<f64>)>> = Mutex::new(Vec::new());
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(jobs.len()).max(1) {
-            scope.spawn(|| {
-                let sim = NocSimulator::new(arch);
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((li, slot, layer, schedule)) = jobs.get(i) else {
-                        break;
-                    };
-                    let latency = sim.simulate(layer, schedule).ok().map(|r| r.total_cycles);
-                    results
-                        .lock()
-                        .expect("no poisoned workers")
-                        .push((*li, *slot, latency));
-                }
-            });
-        }
-    });
-
-    for (li, slot, latency) in results.into_inner().expect("no poisoned workers") {
-        let lo = &mut layers[li];
-        let outcome = match slot {
-            0 => &mut lo.random,
-            1 => &mut lo.hybrid,
-            _ => &mut lo.cosa,
-        };
-        outcome.noc_latency = latency;
-    }
 }
 
 /// Schedule and evaluate one layer with all three schedulers.
@@ -240,15 +194,14 @@ pub fn run_layer(arch: &Arch, layer: &Layer, cfg: &CampaignConfig) -> LayerOutco
     out.remove(0).layers.remove(0)
 }
 
-/// Map a uniform [`Scheduled`] (or a failure) onto the campaign's
-/// per-scheduler outcome shape. `noc_latency` is filled in afterwards by
-/// [`simulate_noc`] when the campaign enables the simulator.
-fn to_outcome(scheduled: Option<Scheduled>) -> SchedulerOutcome {
-    match scheduled {
+/// Map an engine [`LayerReport`] (schedule plus optional engine-level NoC
+/// verdict) onto the campaign's per-scheduler outcome shape.
+fn to_outcome(report: LayerReport) -> SchedulerOutcome {
+    match report.scheduled {
         Some(s) => SchedulerOutcome {
             model_latency: s.latency_cycles,
             model_energy: s.energy_pj,
-            noc_latency: None,
+            noc_latency: report.noc.map(|n| n.total_cycles),
             time: s.elapsed,
             samples: s.stats.samples,
             evaluations: s.stats.evaluations,
@@ -287,6 +240,23 @@ mod tests {
         assert!(lo.random.model_latency.is_finite());
         // CoSA should not lose to random sampling on this easy layer.
         assert!(lo.cosa.model_latency <= lo.random.model_latency * 1.5);
+    }
+
+    #[test]
+    fn with_noc_fills_latencies_inside_engine() {
+        let arch = Arch::simba_baseline();
+        let suite = Workload {
+            name: "tiny",
+            layers: vec![Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1)],
+        };
+        let mut cfg = CampaignConfig::quick(&arch);
+        cfg.with_noc = true;
+        let out = run_campaign(&arch, &[suite], &cfg);
+        let lo = &out[0].layers[0];
+        for so in [&lo.random, &lo.hybrid, &lo.cosa] {
+            let noc = so.noc_latency.expect("engine-level NoC verdict");
+            assert!(noc > 0.0);
+        }
     }
 
     #[test]

@@ -49,5 +49,5 @@ mod sim;
 mod traffic;
 
 pub use mesh::{MeshConfig, MeshSim, PacketSpec};
-pub use sim::{NocReport, NocSimulator, TypeTiming};
+pub use sim::{NocReport, NocSimulator, NocSummary, TypeTiming};
 pub use traffic::{IterationType, TrafficPlan};

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use cosa_spec::{Arch, DataTensor, Layer, Schedule, SpecError};
+use serde::{Deserialize, Serialize};
 
 use crate::mesh::{MeshConfig, MeshSim, PacketSpec};
 use crate::traffic::TrafficPlan;
@@ -43,6 +44,43 @@ impl NocReport {
     pub fn communication_bound(&self) -> bool {
         self.total_cycles > 1.05 * self.compute_cycles as f64
     }
+
+    /// The serializable headline numbers (drops per-class timings), the
+    /// shape the batch engine caches and persists alongside schedules.
+    pub fn summary(&self) -> NocSummary {
+        NocSummary {
+            total_cycles: self.total_cycles,
+            compute_cycles: self.compute_cycles,
+            pipeline_cycles: self.pipeline_cycles,
+            dram_cycles: self.dram_cycles,
+            pes_used: self.pes_used,
+        }
+    }
+}
+
+/// The serializable headline of a [`NocReport`]: everything downstream
+/// consumers (the batch engine's cache, Fig. 10 aggregation, persisted
+/// reports) need, without the per-iteration-class breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocSummary {
+    /// End-to-end layer latency in cycles.
+    pub total_cycles: f64,
+    /// Total sequential compute cycles (product of temporal bounds).
+    pub compute_cycles: u64,
+    /// Σ per-iteration `max(compute, NoC)` — the PE/NoC pipeline bound.
+    pub pipeline_cycles: f64,
+    /// Total DRAM service cycles — the memory-stream bound.
+    pub dram_cycles: f64,
+    /// PEs with work mapped to them.
+    pub pes_used: usize,
+}
+
+impl NocSummary {
+    /// `true` when the layer is limited by communication rather than
+    /// compute (mirrors [`NocReport::communication_bound`]).
+    pub fn communication_bound(&self) -> bool {
+        self.total_cycles > 1.05 * self.compute_cycles as f64
+    }
 }
 
 /// Cycle-level NoC evaluation platform (Sec. IV-A).
@@ -68,6 +106,18 @@ impl NocSimulator {
     pub fn simulate(&self, layer: &Layer, schedule: &Schedule) -> Result<NocReport, SpecError> {
         schedule.validate(layer, &self.arch)?;
         Ok(self.simulate_unchecked(layer, schedule))
+    }
+
+    /// Validate, simulate and summarize in one call — the entry point the
+    /// batch engine uses to evaluate (and cache) NoC latency per unique
+    /// layer shape without holding the full per-class breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidSchedule`] for schedules that do not fit
+    /// the architecture.
+    pub fn evaluate(&self, layer: &Layer, schedule: &Schedule) -> Result<NocSummary, SpecError> {
+        self.simulate(layer, schedule).map(|r| r.summary())
     }
 
     /// Simulate without validity checks.

@@ -44,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 mod arch;
+pub mod canon;
 mod dims;
 mod error;
 mod layer;

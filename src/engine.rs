@@ -1,18 +1,37 @@
 //! The batch scheduling [`Engine`]: whole-[`Network`] scheduling with a
-//! content-addressed schedule cache and parallel layer fan-out.
+//! content-addressed, optionally **persistent** schedule cache, engine-level
+//! NoC evaluation and parallel layer fan-out.
 //!
 //! The paper evaluates time-to-solution per network (Table VI); production
-//! use schedules entire networks at once. The engine takes any
-//! [`Scheduler`] (CoSA or a baseline), deduplicates repeated layer shapes
-//! through a cache keyed by the canonical serialization of
-//! `(architecture, layer, scheduler fingerprint)`, fans the remaining
-//! unique layers out across `std::thread` workers and returns a
-//! serializable [`NetworkReport`] with whole-network latency/energy totals
-//! (per-layer results weighted by each entry's repeat count).
+//! use schedules entire networks at once and restarts processes. The engine
+//! takes any [`Scheduler`] (CoSA or a baseline), deduplicates repeated
+//! layer shapes through a cache keyed by the canonical serialization of
+//! `(architecture, layer, scheduler fingerprint)` (digested via
+//! [`cosa_spec::canon`]), fans the remaining unique layers out across
+//! `std::thread` workers and returns a serializable [`NetworkReport`] with
+//! whole-network latency/energy totals (per-layer results weighted by each
+//! entry's repeat count).
+//!
+//! Three tiers of reuse:
+//!
+//! * **within a call** — repeated shapes in one network solve once;
+//! * **across calls** — the in-memory LRU front ([`ScheduleCache`], with
+//!   byte-size accounting) returns earlier results verbatim;
+//! * **across processes** — with [`Engine::with_cache_dir`] every entry is
+//!   written through to a [`store::CacheStore`] directory and loaded back
+//!   on the next start, so warm runs perform zero solver calls.
+//!
+//! With [`Engine::with_noc`] the cycle-level NoC simulator runs *inside*
+//! the engine, once per unique shape, and its verdict is cached (and
+//! persisted) alongside the schedule — the Fig. 10 campaign reads
+//! [`LayerReport::noc`] instead of re-simulating outside.
 //!
 //! Reports are deterministic: scheduling is one-shot/seeded, totals are
-//! accumulated in network order, and cached results are returned verbatim —
-//! two runs against a warm cache serialize to identical bytes.
+//! accumulated in network order, and cached results are returned verbatim.
+//! [`NetworkReport::without_timings`] strips the volatile parts (wall-clock
+//! and cache counters), and two runs against the same warm cache — in one
+//! process or across processes — serialize that canonical form to
+//! identical bytes.
 //!
 //! # Example
 //!
@@ -21,35 +40,69 @@
 //!
 //! let arch = Arch::simba_baseline();
 //! let cosa = CosaScheduler::new(&arch);
-//! let engine = Engine::new(arch);
+//! let engine = Engine::new(arch)
+//!     .with_noc()
+//!     .with_cache_dir(".cosa-cache")
+//!     .expect("cache dir");
 //! let run = engine.schedule_network(&Network::from_suite(Suite::ResNet50), &cosa);
 //! assert!(run.cache_hits >= 1, "ResNet-50 repeats layer shapes");
 //! println!("{}", serde_json::to_string_pretty(&run.report).unwrap());
+//! // A later process with the same cache dir warm-starts: all hits,
+//! // zero solves, zero NoC re-simulations.
 //! ```
 
+pub mod store;
+
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use cosa_spec::{Arch, Layer, Network};
+use cosa_noc::{NocSimulator, NocSummary};
+use cosa_spec::{canon, Arch, Layer, Network};
 use serde::{Deserialize, Serialize};
 
 use crate::api::{ScheduleError, Scheduled, Scheduler};
 
-/// A content-addressed schedule cache.
+pub use store::{CacheEntry, CacheStore, StoreLoad, STORE_VERSION};
+
+/// One resident cache slot: the entry plus LRU/size bookkeeping.
+#[derive(Debug)]
+struct Slot {
+    entry: CacheEntry,
+    /// Serialized size (key + canonical JSON value) this slot accounts for.
+    bytes: u64,
+    /// Logical time of last touch (insert or hit) for LRU eviction.
+    last_use: u64,
+}
+
+/// The in-memory front of the content-addressed schedule cache.
 ///
-/// Keys are the canonical serialization of the architecture and layer plus
-/// the scheduler's [`Scheduler::fingerprint`], so equal inputs hit
-/// regardless of which network (or engine call) first scheduled them.
+/// Keys are the canonical digest of the architecture and layer plus the
+/// scheduler's [`Scheduler::fingerprint`], so equal inputs hit regardless
+/// of which network (or engine call) first scheduled them. Eviction is
+/// **LRU** under an optional entry-count and/or byte budget: every hit or
+/// insert refreshes the slot's logical timestamp, and inserts evict the
+/// least-recently-used slots until the budget holds again. Byte accounting
+/// uses each entry's canonical-JSON size — the same bytes the persistent
+/// [`store::CacheStore`] writes.
+///
+/// Eviction only touches this in-memory front; entries written through to
+/// a cache directory stay on disk (the capacity tier) and can warm-start
+/// later processes.
 #[derive(Debug, Default)]
 pub struct ScheduleCache {
-    entries: HashMap<String, Scheduled>,
-    /// Insertion order for FIFO eviction under a capacity bound.
-    order: Vec<String>,
-    capacity: Option<usize>,
+    entries: HashMap<String, Slot>,
+    /// Logical clock driving LRU timestamps.
+    clock: u64,
+    max_entries: Option<usize>,
+    max_bytes: Option<u64>,
+    bytes: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl ScheduleCache {
@@ -58,20 +111,53 @@ impl ScheduleCache {
         ScheduleCache::default()
     }
 
-    /// A cache evicting oldest entries beyond `capacity`.
+    /// A cache evicting least-recently-used entries beyond `capacity`
+    /// entries.
     pub fn bounded(capacity: usize) -> ScheduleCache {
         ScheduleCache {
-            capacity: Some(capacity.max(1)),
+            max_entries: Some(capacity.max(1)),
             ..ScheduleCache::default()
         }
     }
 
-    /// Look up a key, counting a hit or miss.
-    pub fn get(&mut self, key: &str) -> Option<Scheduled> {
-        match self.entries.get(key) {
-            Some(s) => {
+    /// A cache evicting least-recently-used entries once the resident set
+    /// exceeds `max_bytes` of canonical-JSON size. The most recent insert
+    /// is never evicted, so a single oversized entry still caches.
+    pub fn bounded_bytes(max_bytes: u64) -> ScheduleCache {
+        ScheduleCache {
+            max_bytes: Some(max_bytes),
+            ..ScheduleCache::default()
+        }
+    }
+
+    /// Apply (or tighten) an entry-count bound, evicting LRU entries that
+    /// no longer fit. Existing entries and counters are kept.
+    pub fn bound_entries(&mut self, capacity: usize) {
+        self.max_entries = Some(capacity.max(1));
+        self.shrink_to_budget();
+    }
+
+    /// Apply (or tighten) a byte bound, evicting LRU entries that no
+    /// longer fit. Existing entries and counters are kept.
+    pub fn bound_bytes(&mut self, max_bytes: u64) {
+        self.max_bytes = Some(max_bytes);
+        self.shrink_to_budget();
+    }
+
+    fn shrink_to_budget(&mut self) {
+        while self.over_budget() && self.entries.len() > 1 {
+            self.evict_lru();
+        }
+    }
+
+    /// Look up a key, counting a hit or miss and refreshing LRU order.
+    pub fn get(&mut self, key: &str) -> Option<CacheEntry> {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some(slot) => {
+                slot.last_use = self.clock;
                 self.hits += 1;
-                Some(s.clone())
+                Some(slot.entry.clone())
             }
             None => {
                 self.misses += 1;
@@ -80,16 +166,46 @@ impl ScheduleCache {
         }
     }
 
-    /// Insert a result, evicting the oldest entry if over capacity.
-    pub fn insert(&mut self, key: String, value: Scheduled) {
-        if self.entries.insert(key.clone(), value).is_none() {
-            self.order.push(key);
+    /// Insert (or replace) an entry, then evict least-recently-used slots
+    /// until the entry/byte budgets hold. The just-touched entry survives
+    /// even when it alone exceeds the byte budget.
+    pub fn insert(&mut self, key: String, entry: CacheEntry) {
+        self.clock += 1;
+        let bytes = entry_bytes(&key, &entry);
+        if let Some(old) = self.entries.insert(
+            key,
+            Slot {
+                entry,
+                bytes,
+                last_use: self.clock,
+            },
+        ) {
+            self.bytes -= old.bytes;
         }
-        if let Some(cap) = self.capacity {
-            while self.entries.len() > cap && !self.order.is_empty() {
-                let oldest = self.order.remove(0);
-                self.entries.remove(&oldest);
-            }
+        self.bytes += bytes;
+        self.shrink_to_budget();
+    }
+
+    fn over_budget(&self) -> bool {
+        self.max_entries.is_some_and(|cap| self.entries.len() > cap)
+            || self.max_bytes.is_some_and(|cap| self.bytes > cap)
+    }
+
+    /// Evict the least-recently-used slot. Linear scan: the engine's
+    /// resident sets are tens-to-thousands of entries, where a scan beats
+    /// the constant factors (and code) of an intrusive list.
+    fn evict_lru(&mut self) {
+        let Some(oldest) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, slot)| slot.last_use)
+            .map(|(k, _)| k.clone())
+        else {
+            return;
+        };
+        if let Some(slot) = self.entries.remove(&oldest) {
+            self.bytes -= slot.bytes;
+            self.evictions += 1;
         }
     }
 
@@ -103,22 +219,75 @@ impl ScheduleCache {
         self.entries.is_empty()
     }
 
+    /// Total canonical-JSON bytes accounted to resident entries.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
     /// Drop all entries (counters are kept).
     pub fn clear(&mut self) {
         self.entries.clear();
-        self.order.clear();
+        self.bytes = 0;
     }
 }
 
-/// A snapshot of the engine's cache counters.
+/// Serialized size an entry is accounted at: key plus canonical JSON value
+/// — the same bytes the persistent store writes for it.
+fn entry_bytes(key: &str, entry: &CacheEntry) -> u64 {
+    let value = serde_json::to_string(entry).map(|s| s.len()).unwrap_or(512);
+    (key.len() + value) as u64
+}
+
+/// Run `f` over every item on up to `workers` scoped threads sharing a
+/// work-stealing index — the fan-out used by both the solve and the NoC
+/// backfill passes (the campaign's external NoC pass was a third copy of
+/// this plumbing before engine-level evaluation replaced it).
+fn parallel_for_each<T: Sync>(items: &[T], workers: usize, f: impl Fn(&T) + Sync) {
+    let next = AtomicUsize::new(0);
+    let workers = workers.min(items.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else {
+                    break;
+                };
+                f(item);
+            });
+        }
+    });
+}
+
+/// A snapshot of the engine's cache and evaluation counters, threaded into
+/// every [`NetworkReport`] for provenance.
+///
+/// All fields are volatile run-to-run bookkeeping;
+/// [`NetworkReport::without_timings`] resets them so canonical report
+/// comparisons see only the deterministic content.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lifetime lookup hits.
     pub hits: u64,
     /// Lifetime lookup misses.
     pub misses: u64,
-    /// Schedules currently cached.
+    /// Lifetime LRU evictions from the in-memory front.
+    pub evictions: u64,
+    /// Schedules currently resident in memory.
     pub entries: usize,
+    /// Canonical-JSON bytes accounted to resident entries.
+    pub bytes: u64,
+    /// Lifetime cycle-level NoC simulations actually executed (cache hits
+    /// with a stored verdict do not re-simulate).
+    pub noc_sims: u64,
+    /// Entries restored from the persistent store at engine construction
+    /// (0 for a cold start or a memory-only engine).
+    pub warm_entries: usize,
+    /// Microseconds spent loading the persistent store at construction —
+    /// the cold vs. warm start cost.
+    pub load_micros: u64,
+    /// Persistent-store write failures plus corrupt entries skipped at
+    /// load (non-fatal; the cache degrades to memory-only behaviour).
+    pub store_errors: u64,
 }
 
 /// Per-entry outcome inside a [`NetworkReport`].
@@ -132,6 +301,10 @@ pub struct LayerReport {
     pub count: u64,
     /// The scheduling result, when the scheduler succeeded.
     pub scheduled: Option<Scheduled>,
+    /// The engine-level NoC verdict for the chosen schedule (populated
+    /// when the engine has [`Engine::with_noc`] enabled; served from the
+    /// cache for repeated shapes and warm starts).
+    pub noc: Option<NocSummary>,
     /// The error rendered as text, when it failed.
     pub error: Option<String>,
 }
@@ -140,8 +313,10 @@ pub struct LayerReport {
 ///
 /// Totals weight each entry's per-execution latency/energy by its repeat
 /// count and cover only scheduled entries; `failed_layers` flags gaps.
-/// For identical inputs against a warm cache the report is byte-identical
-/// across runs.
+/// The [`CacheStats`] snapshot records how the engine's cache behaved for
+/// provenance; strip it (and wall-clock) with
+/// [`NetworkReport::without_timings`] before byte-comparing reports across
+/// runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkReport {
     /// Network name.
@@ -162,6 +337,13 @@ pub struct NetworkReport {
     pub total_energy_pj: f64,
     /// Whole-network multiply-accumulates.
     pub total_macs: u64,
+    /// Whole-network NoC-simulator latency (Σ count × per-layer NoC
+    /// cycles over entries with a verdict); `None` when engine-level NoC
+    /// evaluation is disabled.
+    pub total_noc_cycles: Option<f64>,
+    /// The engine's cache/evaluation counters when this report was
+    /// assembled (volatile; zeroed by [`NetworkReport::without_timings`]).
+    pub cache: CacheStats,
 }
 
 impl NetworkReport {
@@ -170,12 +352,13 @@ impl NetworkReport {
         self.failed_layers == 0
     }
 
-    /// A copy with every wall-clock measurement zeroed.
+    /// A copy with every volatile measurement zeroed: per-layer wall-clock
+    /// and the [`CacheStats`] snapshot.
     ///
-    /// Solve times vary run to run while schedules and totals must not, so
-    /// content comparisons across *cold* runs (different engines, different
-    /// thread counts) go through this; warm-cache re-runs of one engine are
-    /// byte-identical even without it.
+    /// Solve times and cache counters vary run to run while schedules and
+    /// totals must not, so content comparisons across runs (different
+    /// engines, thread counts, or cold-vs-warm processes) go through this
+    /// canonical form.
     pub fn without_timings(&self) -> NetworkReport {
         let mut report = self.clone();
         for layer in &mut report.layers {
@@ -183,16 +366,16 @@ impl NetworkReport {
                 s.elapsed = Duration::ZERO;
             }
         }
+        report.cache = CacheStats::default();
         report
     }
 }
 
 /// A [`NetworkReport`] plus this run's volatile execution statistics
-/// (wall-clock and cache behaviour), kept out of the serializable report so
-/// identical inputs keep producing identical bytes.
+/// (wall-clock and cache behaviour).
 #[derive(Debug, Clone)]
 pub struct NetworkRun {
-    /// The deterministic, serializable per-network report.
+    /// The per-network report.
     pub report: NetworkReport,
     /// Entries that received a schedule without a fresh solve (cross-run
     /// cache hits plus within-run deduplication of repeated shapes);
@@ -200,6 +383,9 @@ pub struct NetworkRun {
     pub cache_hits: u64,
     /// Unique shapes that required a fresh solve.
     pub cache_misses: u64,
+    /// Cycle-level NoC simulations executed during this call (0 on a warm
+    /// run whose entries already carry verdicts).
+    pub noc_sims: u64,
     /// Wall-clock time for the whole network call.
     pub elapsed: Duration,
 }
@@ -212,11 +398,19 @@ pub struct Engine {
     arch_json: String,
     threads: usize,
     cache: Option<Mutex<ScheduleCache>>,
+    /// Persistent write-through tier, when a cache dir is configured.
+    store: Option<CacheStore>,
+    /// Run the cycle-level NoC simulator per unique shape.
+    simulate_noc: bool,
+    noc_sims: AtomicU64,
+    store_errors: AtomicU64,
+    warm_entries: usize,
+    load_micros: u64,
 }
 
 impl Engine {
-    /// An engine for `arch` with an unbounded cache and one worker per
-    /// available CPU.
+    /// An engine for `arch` with an unbounded in-memory cache and one
+    /// worker per available CPU.
     pub fn new(arch: Arch) -> Engine {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -227,6 +421,12 @@ impl Engine {
             arch_json,
             threads,
             cache: Some(Mutex::new(ScheduleCache::unbounded())),
+            store: None,
+            simulate_noc: false,
+            noc_sims: AtomicU64::new(0),
+            store_errors: AtomicU64::new(0),
+            warm_entries: 0,
+            load_micros: 0,
         }
     }
 
@@ -236,16 +436,86 @@ impl Engine {
         self
     }
 
-    /// Bound the schedule cache to `capacity` entries (FIFO eviction).
-    pub fn with_cache(mut self, capacity: usize) -> Engine {
-        self.cache = Some(Mutex::new(ScheduleCache::bounded(capacity)));
+    /// Bound the in-memory cache to `capacity` entries (LRU eviction).
+    /// Composes with [`Engine::with_cache_dir`] in either order: entries
+    /// already resident (e.g. warm-loaded) are kept, shrunk to the bound.
+    pub fn with_cache(self, capacity: usize) -> Engine {
+        let engine = self.ensure_cache();
+        if let Some(cache) = &engine.cache {
+            cache.lock().expect("cache lock").bound_entries(capacity);
+        }
+        engine
+    }
+
+    /// Bound the in-memory cache to `max_bytes` of canonical-JSON size
+    /// (LRU eviction with byte accounting). Composes with
+    /// [`Engine::with_cache_dir`] in either order, like [`Engine::with_cache`].
+    pub fn with_cache_bytes(self, max_bytes: u64) -> Engine {
+        let engine = self.ensure_cache();
+        if let Some(cache) = &engine.cache {
+            cache.lock().expect("cache lock").bound_bytes(max_bytes);
+        }
+        engine
+    }
+
+    fn ensure_cache(mut self) -> Engine {
+        if self.cache.is_none() {
+            self.cache = Some(Mutex::new(ScheduleCache::unbounded()));
+        }
         self
     }
 
     /// Disable cross-call caching (within-run deduplication still applies).
+    /// Also detaches any persistent store: with no in-memory front there is
+    /// nothing to warm-start or write through.
     pub fn without_cache(mut self) -> Engine {
         self.cache = None;
+        self.store = None;
+        self.warm_entries = 0;
+        self.load_micros = 0;
         self
+    }
+
+    /// Evaluate every unique shape on the cycle-level NoC simulator inside
+    /// the engine, caching the verdict alongside the schedule. Campaign
+    /// code (Fig. 10) reads [`LayerReport::noc`] instead of re-simulating.
+    pub fn with_noc(mut self) -> Engine {
+        self.simulate_noc = true;
+        self
+    }
+
+    /// Attach a persistent cache directory: existing entries are loaded
+    /// into the in-memory front now (a warm start), and every fresh result
+    /// is written through atomically. Re-enables caching if it was
+    /// disabled. Corrupt on-disk entries are skipped and counted in
+    /// [`CacheStats::store_errors`], never fatal.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the directory cannot be created.
+    pub fn with_cache_dir(mut self, dir: impl AsRef<Path>) -> io::Result<Engine> {
+        let start = Instant::now();
+        let store = CacheStore::open(dir.as_ref())?;
+        let load = store.load();
+        let cache = self
+            .cache
+            .take()
+            .unwrap_or_else(|| Mutex::new(ScheduleCache::unbounded()));
+        {
+            let mut cache = cache.lock().expect("cache lock");
+            for (key, entry) in &load.entries {
+                cache.insert(key.clone(), entry.clone());
+            }
+        }
+        self.warm_entries = load.entries.len();
+        // The whole warm start: directory scan + parse (`load.load_micros`)
+        // plus re-insertion into the LRU front.
+        self.load_micros = start.elapsed().as_micros() as u64;
+        self.store_errors
+            .fetch_add(load.skipped as u64, Ordering::Relaxed);
+        self.cache = Some(cache);
+        self.store = Some(store);
+        Ok(self)
     }
 
     /// The engine's architecture.
@@ -258,22 +528,39 @@ impl Engine {
         self.threads
     }
 
-    /// Current cache counters (zeroes when caching is disabled).
-    pub fn cache_stats(&self) -> CacheStats {
-        match &self.cache {
-            Some(cache) => {
-                let c = cache.lock().expect("cache lock");
-                CacheStats {
-                    hits: c.hits,
-                    misses: c.misses,
-                    entries: c.len(),
-                }
-            }
-            None => CacheStats::default(),
-        }
+    /// `true` when engine-level NoC evaluation is enabled.
+    pub fn noc_enabled(&self) -> bool {
+        self.simulate_noc
     }
 
-    /// Drop all cached schedules.
+    /// The persistent store, when a cache dir is configured.
+    pub fn store(&self) -> Option<&CacheStore> {
+        self.store.as_ref()
+    }
+
+    /// Current cache counters (all zero when caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut stats = CacheStats {
+            noc_sims: self.noc_sims.load(Ordering::Relaxed),
+            warm_entries: self.warm_entries,
+            load_micros: self.load_micros,
+            store_errors: self.store_errors.load(Ordering::Relaxed),
+            ..CacheStats::default()
+        };
+        if let Some(cache) = &self.cache {
+            let c = cache.lock().expect("cache lock");
+            stats.hits = c.hits;
+            stats.misses = c.misses;
+            stats.evictions = c.evictions;
+            stats.entries = c.len();
+            stats.bytes = c.bytes();
+        }
+        stats
+    }
+
+    /// Drop all in-memory cached schedules. Entries persisted to a cache
+    /// dir stay on disk; use [`CacheStore::clear`] via [`Engine::store`]
+    /// to discard those too.
     pub fn clear_cache(&self) {
         if let Some(cache) = &self.cache {
             cache.lock().expect("cache lock").clear();
@@ -281,31 +568,39 @@ impl Engine {
     }
 
     /// The content-addressed cache key for `(self.arch, layer, scheduler)`:
-    /// a 128-bit FNV-1a digest (as hex) of the canonical serialization of
-    /// the architecture and layer plus the scheduler fingerprint. Digest
-    /// keys keep the cache map and the per-network dedup scan cheap instead
-    /// of comparing and storing multi-kilobyte JSON strings.
+    /// the [`canon::cache_digest`] of the scheduler fingerprint plus the
+    /// canonical serializations of the architecture and layer. Digest keys
+    /// keep the cache map and the per-network dedup scan cheap instead of
+    /// comparing and storing multi-kilobyte JSON strings, and double as the
+    /// persistent store's file names.
     pub fn cache_key(&self, scheduler: &dyn Scheduler, layer: &Layer) -> String {
         let layer = serde_json::to_string(layer).expect("layer serializes");
-        let canonical = format!(
-            "{}\u{1}{}\u{1}{}",
-            scheduler.fingerprint(),
-            self.arch_json,
-            layer
-        );
-        let fnv = |basis: u64| {
-            canonical.bytes().fold(basis, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
-            })
-        };
-        format!(
-            "{:016x}{:016x}",
-            fnv(0xcbf2_9ce4_8422_2325),
-            fnv(0x6c62_272e_07bb_0142)
-        )
+        canon::cache_digest(&[&scheduler.fingerprint(), &self.arch_json, &layer])
+    }
+
+    /// Run the NoC simulator on a chosen schedule, counting the sim.
+    fn noc_verdict(&self, layer: &Layer, scheduled: &Scheduled) -> Option<NocSummary> {
+        self.noc_sims.fetch_add(1, Ordering::Relaxed);
+        NocSimulator::new(&self.arch)
+            .evaluate(layer, &scheduled.schedule)
+            .ok()
+    }
+
+    /// Write-through one entry to the persistent store (best-effort;
+    /// failures are counted, not propagated).
+    fn persist(&self, key: &str, entry: &CacheEntry) {
+        if let Some(store) = &self.store {
+            if store.save(key, entry).is_err() {
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Schedule a single layer through the cache.
+    ///
+    /// With [`Engine::with_noc`] enabled the NoC verdict is computed (or
+    /// served from the cache) and stored alongside the schedule; retrieve
+    /// it via [`Engine::schedule_network`] reports or the cache itself.
     ///
     /// # Errors
     ///
@@ -317,87 +612,153 @@ impl Engine {
     ) -> Result<Scheduled, ScheduleError> {
         let key = self.cache_key(scheduler, layer);
         if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.lock().expect("cache lock").get(&key) {
-                return Ok(hit);
+            let hit = cache.lock().expect("cache lock").get(&key);
+            if let Some(mut entry) = hit {
+                // Catch a schedule-only entry up with NoC evaluation so
+                // warm runs after enabling `with_noc` converge too.
+                if self.simulate_noc && entry.noc.is_none() {
+                    entry.noc = self.noc_verdict(layer, &entry.scheduled);
+                    if entry.noc.is_some() {
+                        cache
+                            .lock()
+                            .expect("cache lock")
+                            .insert(key.clone(), entry.clone());
+                        self.persist(&key, &entry);
+                    }
+                }
+                return Ok(entry.scheduled);
             }
         }
-        let result = scheduler.schedule(&self.arch, layer)?;
+        let scheduled = scheduler.schedule(&self.arch, layer)?;
+        let mut entry = CacheEntry::new(scheduled.clone());
+        if self.simulate_noc {
+            entry.noc = self.noc_verdict(layer, &entry.scheduled);
+        }
         if let Some(cache) = &self.cache {
             cache
                 .lock()
                 .expect("cache lock")
-                .insert(key, result.clone());
+                .insert(key.clone(), entry.clone());
         }
-        Ok(result)
+        self.persist(&key, &entry);
+        Ok(scheduled)
     }
 
     /// Schedule every entry of `network` with `scheduler`.
     ///
     /// Repeated layer shapes are scheduled once: entries are deduplicated
     /// against the cache and within the call, and the remaining unique
-    /// shapes are solved in parallel on up to [`Engine::threads`] workers.
+    /// shapes are solved (and, with [`Engine::with_noc`], NoC-simulated)
+    /// in parallel on up to [`Engine::threads`] workers. Fresh results are
+    /// written through to the persistent store when one is attached.
     /// Per-entry failures are recorded in the report rather than aborting
     /// the network.
     pub fn schedule_network(&self, network: &Network, scheduler: &dyn Scheduler) -> NetworkRun {
         let start = Instant::now();
+        let noc_sims_before = self.noc_sims.load(Ordering::Relaxed);
 
-        // Unique shapes in first-occurrence order, then drop already-cached.
+        // Unique shapes in first-occurrence order.
         let keys: Vec<String> = network
             .layers
             .iter()
             .map(|e| self.cache_key(scheduler, &e.layer))
             .collect();
-        let mut jobs: Vec<(&str, &Layer)> = Vec::new();
+        let mut unique: Vec<(&str, &Layer)> = Vec::new();
         let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
         for (key, entry) in keys.iter().zip(&network.layers) {
             if seen.insert(key.as_str()) {
-                jobs.push((key.as_str(), &entry.layer));
+                unique.push((key.as_str(), &entry.layer));
             }
         }
+
         // Capture cache hits by value now: under a bounded cache the entry
         // could be evicted (by this call's own inserts or a concurrent one)
         // before report assembly reads it back.
-        let mut resolved: HashMap<&str, Scheduled> = HashMap::new();
+        let mut resolved: HashMap<&str, CacheEntry> = HashMap::new();
+        let mut jobs: Vec<(&str, &Layer)> = Vec::new();
         if let Some(cache) = &self.cache {
             let mut cache = cache.lock().expect("cache lock");
-            jobs.retain(|(key, _)| match cache.get(key) {
-                Some(hit) => {
-                    resolved.insert(key, hit);
-                    false
+            for (key, layer) in &unique {
+                match cache.get(key) {
+                    Some(hit) => {
+                        resolved.insert(key, hit);
+                    }
+                    None => jobs.push((key, layer)),
                 }
-                None => true,
-            });
+            }
+        } else {
+            jobs = unique.clone();
         }
 
-        // Fan the fresh solves out across workers.
-        let solved: Mutex<HashMap<String, Result<Scheduled, ScheduleError>>> =
-            Mutex::new(HashMap::new());
-        let next = AtomicUsize::new(0);
-        let workers = self.threads.min(jobs.len()).max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((key, layer)) = jobs.get(i) else {
-                        break;
-                    };
-                    let outcome = scheduler.schedule(&self.arch, layer);
-                    solved
-                        .lock()
-                        .expect("no poisoned workers")
-                        .insert(key.to_string(), outcome);
-                });
+        // Cache hits solved before NoC evaluation existed (or by a
+        // schedule-only engine) may lack a verdict; catch them up.
+        let mut noc_jobs: Vec<(&str, &Layer, Scheduled)> = Vec::new();
+        if self.simulate_noc {
+            for (key, layer) in &unique {
+                if let Some(entry) = resolved.get(key) {
+                    if entry.noc.is_none() {
+                        noc_jobs.push((key, layer, entry.scheduled.clone()));
+                    }
+                }
             }
+        }
+
+        // Fan the fresh solves (plus their NoC evaluation) out across
+        // workers.
+        let solved: Mutex<HashMap<String, Result<CacheEntry, ScheduleError>>> =
+            Mutex::new(HashMap::new());
+        parallel_for_each(&jobs, self.threads, |(key, layer)| {
+            let outcome = scheduler.schedule(&self.arch, layer).map(|scheduled| {
+                let noc = self
+                    .simulate_noc
+                    .then(|| self.noc_verdict(layer, &scheduled))
+                    .flatten();
+                CacheEntry { scheduled, noc }
+            });
+            solved
+                .lock()
+                .expect("no poisoned workers")
+                .insert(key.to_string(), outcome);
         });
         let solved = solved.into_inner().expect("no poisoned workers");
 
-        // Fold fresh successes into the cache.
+        // Backfill NoC verdicts for warm entries that lacked one.
+        if !noc_jobs.is_empty() {
+            let filled: Mutex<Vec<(String, NocSummary)>> = Mutex::new(Vec::new());
+            parallel_for_each(&noc_jobs, self.threads, |(key, layer, scheduled)| {
+                if let Some(noc) = self.noc_verdict(layer, scheduled) {
+                    filled
+                        .lock()
+                        .expect("no poisoned workers")
+                        .push((key.to_string(), noc));
+                }
+            });
+            for (key, noc) in filled.into_inner().expect("no poisoned workers") {
+                if let Some(entry) = resolved.get_mut(key.as_str()) {
+                    entry.noc = Some(noc);
+                    if let Some(cache) = &self.cache {
+                        cache
+                            .lock()
+                            .expect("cache lock")
+                            .insert(key.clone(), entry.clone());
+                    }
+                    self.persist(&key, entry);
+                }
+            }
+        }
+
+        // Fold fresh successes into the cache and the persistent store.
         if let Some(cache) = &self.cache {
             let mut cache = cache.lock().expect("cache lock");
             for (key, outcome) in &solved {
-                if let Ok(s) = outcome {
-                    cache.insert(key.clone(), s.clone());
+                if let Ok(entry) = outcome {
+                    cache.insert(key.clone(), entry.clone());
                 }
+            }
+        }
+        for (key, outcome) in &solved {
+            if let Ok(entry) = outcome {
+                self.persist(key, entry);
             }
         }
 
@@ -408,6 +769,7 @@ impl Engine {
         let mut layers = Vec::with_capacity(network.layers.len());
         let mut total_latency = 0.0;
         let mut total_energy = 0.0;
+        let mut total_noc = 0.0;
         let mut scheduled_layers = 0usize;
         let mut failed_layers = 0usize;
         let mut cache_hits = 0u64;
@@ -416,26 +778,29 @@ impl Engine {
             // Every unique key either stayed a job (→ `solved`) or was
             // captured from the cache before solving (→ `resolved`).
             let fresh = first_use.insert(key.as_str()) && solved.contains_key(key);
-            let outcome: Result<Scheduled, ScheduleError> = match solved.get(key) {
+            let outcome: Result<CacheEntry, ScheduleError> = match solved.get(key) {
                 Some(res) => res.clone(),
                 None => Ok(resolved
                     .get(key.as_str())
                     .expect("deduplicated key is solved or cache-resolved")
                     .clone()),
             };
-            let (scheduled, error) = match outcome {
-                Ok(s) => {
-                    total_latency += entry.count as f64 * s.latency_cycles;
-                    total_energy += entry.count as f64 * s.energy_pj;
+            let (scheduled, noc, error) = match outcome {
+                Ok(e) => {
+                    total_latency += entry.count as f64 * e.scheduled.latency_cycles;
+                    total_energy += entry.count as f64 * e.scheduled.energy_pj;
+                    if let Some(noc) = &e.noc {
+                        total_noc += entry.count as f64 * noc.total_cycles;
+                    }
                     scheduled_layers += 1;
                     if !fresh {
                         cache_hits += 1;
                     }
-                    (Some(s), None)
+                    (Some(e.scheduled), e.noc, None)
                 }
                 Err(e) => {
                     failed_layers += 1;
-                    (None, Some(e.to_string()))
+                    (None, None, Some(e.to_string()))
                 }
             };
             layers.push(LayerReport {
@@ -443,6 +808,7 @@ impl Engine {
                 layer: entry.layer.name().to_string(),
                 count: entry.count,
                 scheduled,
+                noc,
                 error,
             });
         }
@@ -458,9 +824,12 @@ impl Engine {
                 total_latency_cycles: total_latency,
                 total_energy_pj: total_energy,
                 total_macs: network.total_macs(),
+                total_noc_cycles: self.simulate_noc.then_some(total_noc),
+                cache: self.cache_stats(),
             },
             cache_hits,
             cache_misses: jobs.len() as u64,
+            noc_sims: self.noc_sims.load(Ordering::Relaxed) - noc_sims_before,
             elapsed: start.elapsed(),
         }
     }
@@ -493,6 +862,10 @@ mod tests {
         assert_eq!(run.cache_misses, 2);
         assert_eq!(run.cache_hits, 1);
         assert_eq!(engine.cache_stats().entries, 2);
+        assert!(engine.cache_stats().bytes > 0, "byte accounting is live");
+        // NoC evaluation is off by default.
+        assert_eq!(run.noc_sims, 0);
+        assert_eq!(run.report.total_noc_cycles, None);
     }
 
     #[test]
@@ -526,22 +899,22 @@ mod tests {
     }
 
     #[test]
-    fn bounded_cache_evicts_oldest() {
+    fn bounded_cache_evicts_least_recently_used() {
         let mut cache = ScheduleCache::bounded(2);
         let engine = Engine::new(Arch::simba_baseline()).with_threads(1);
-        let net = tiny_network();
-        let run = engine.schedule_network(&net, &quick_random());
-        let mut reports: Vec<Scheduled> = run
+        let run = engine.schedule_network(&tiny_network(), &quick_random());
+        let mut entries: Vec<CacheEntry> = run
             .report
             .layers
             .iter()
             .filter_map(|l| l.scheduled.clone())
+            .map(CacheEntry::new)
             .collect();
-        for (i, s) in reports.drain(..).enumerate() {
-            cache.insert(format!("k{i}"), s);
+        for (i, e) in entries.drain(..).enumerate() {
+            cache.insert(format!("k{i}"), e);
         }
         assert_eq!(cache.len(), 2);
-        assert!(cache.get("k0").is_none());
+        assert!(cache.get("k0").is_none(), "oldest untouched entry evicted");
         assert!(cache.get("k2").is_some());
     }
 
@@ -549,7 +922,7 @@ mod tests {
     fn bounded_cache_eviction_does_not_panic_network_assembly() {
         // Regression: a warm entry resolved as a hit used to be re-read from
         // the cache at assembly time, after this call's own inserts could
-        // have FIFO-evicted it from a bounded cache.
+        // have evicted it from a bounded cache.
         let engine = Engine::new(Arch::simba_baseline())
             .with_cache(1)
             .with_threads(2);
@@ -566,6 +939,7 @@ mod tests {
         assert!(run.report.is_complete());
         assert_eq!(run.cache_hits, 1, "warm entry resolves from the cache");
         assert_eq!(engine.cache_stats().entries, 1, "capacity still enforced");
+        assert!(engine.cache_stats().evictions >= 2, "evictions counted");
     }
 
     #[test]
@@ -579,5 +953,59 @@ mod tests {
         let stats = engine.cache_stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn engine_noc_evaluates_once_per_unique_shape() {
+        let engine = Engine::new(Arch::simba_baseline())
+            .with_noc()
+            .with_threads(2);
+        let run = engine.schedule_network(&tiny_network(), &quick_random());
+        assert!(run.report.is_complete());
+        // Three entries, two unique shapes: exactly two simulations.
+        assert_eq!(run.noc_sims, 2);
+        for l in &run.report.layers {
+            let noc = l.noc.as_ref().expect("verdict for every entry");
+            assert!(noc.total_cycles > 0.0);
+        }
+        let total = run.report.total_noc_cycles.expect("noc enabled");
+        let by_hand: f64 = run
+            .report
+            .layers
+            .iter()
+            .map(|l| l.count as f64 * l.noc.as_ref().unwrap().total_cycles)
+            .sum();
+        assert!((total - by_hand).abs() < 1e-9);
+
+        // Warm re-run: verdicts served from cache, zero re-simulations.
+        let warm = engine.schedule_network(&tiny_network(), &quick_random());
+        assert_eq!(warm.noc_sims, 0);
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.report.without_timings(), run.report.without_timings());
+    }
+
+    #[test]
+    fn byte_bounded_cache_respects_budget_and_recency() {
+        let engine = Engine::new(Arch::simba_baseline()).with_threads(1);
+        let run = engine.schedule_network(&tiny_network(), &quick_random());
+        let entries: Vec<CacheEntry> = run
+            .report
+            .layers
+            .iter()
+            .filter_map(|l| l.scheduled.clone())
+            .map(CacheEntry::new)
+            .collect();
+        let one = entry_bytes("k0", &entries[0]);
+        // Budget for roughly two entries.
+        let mut cache = ScheduleCache::bounded_bytes(one * 2 + one / 2);
+        cache.insert("k0".into(), entries[0].clone());
+        cache.insert("k1".into(), entries[1].clone());
+        // Touch k0 so k1 becomes the LRU victim.
+        assert!(cache.get("k0").is_some());
+        cache.insert("k2".into(), entries[2].clone());
+        assert!(cache.get("k1").is_none(), "LRU entry evicted");
+        assert!(cache.get("k0").is_some(), "recently touched entry kept");
+        assert!(cache.get("k2").is_some());
+        assert!(cache.bytes() <= one * 2 + one / 2);
     }
 }

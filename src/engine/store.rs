@@ -1,0 +1,238 @@
+//! The persistent tier of the [`Engine`](super::Engine)'s schedule cache:
+//! a directory of versioned, content-addressed entry files.
+//!
+//! CoSA's one-shot solves make schedules for repeated layer shapes
+//! perfectly reusable artifacts, so the engine persists every cache entry
+//! (the [`Scheduled`] result plus its optional NoC verdict) to disk and
+//! warm-starts from the same directory in later processes — repeated bench
+//! runs and serving restarts skip both the MILP solve and the cycle-level
+//! NoC simulation.
+//!
+//! # On-disk layout
+//!
+//! One file per entry under the cache directory:
+//!
+//! ```text
+//! <cache-dir>/<digest>.json      # digest = 32-hex canonical cache key
+//! ```
+//!
+//! Each file holds a versioned JSON envelope
+//! `{"version": 1, "key": "<digest>", "entry": {...}}`. Writes are atomic
+//! (write to a hidden temp file in the same directory, then rename), so a
+//! crashed or concurrent writer can never leave a half-written entry
+//! visible. Loading is corruption-tolerant: unreadable files, malformed
+//! JSON, version mismatches and key/file-name disagreements are *skipped
+//! and counted*, never fatal — a damaged cache degrades to a partial warm
+//! start.
+//!
+//! The in-memory LRU front may evict entries under its byte budget; the
+//! store keeps them (disk is the capacity tier), so a later run can still
+//! warm-start fully. Use [`CacheStore::clear`] to discard the directory's
+//! entries.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use cosa_noc::NocSummary;
+use serde::{Deserialize, Serialize};
+
+use crate::api::Scheduled;
+
+/// Version tag written into every entry envelope. Bump when the entry
+/// schema (or the canonical serialization feeding the digests) changes;
+/// loaders skip entries from other versions.
+pub const STORE_VERSION: u32 = 1;
+
+/// One cached value: the scheduling result plus the engine-level NoC
+/// verdict when simulation was enabled for (or has caught up with) the
+/// entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// The cached scheduling result.
+    pub scheduled: Scheduled,
+    /// The cached NoC evaluation of `scheduled.schedule`. `None` when the
+    /// entry was produced without engine-level NoC evaluation (or the
+    /// simulator rejected the schedule, which cannot happen for schedules
+    /// the engine itself validated and cached); NoC-enabled engines
+    /// re-attempt missing verdicts rather than negatively caching them.
+    pub noc: Option<NocSummary>,
+}
+
+impl CacheEntry {
+    /// An entry with no NoC verdict yet.
+    pub fn new(scheduled: Scheduled) -> CacheEntry {
+        CacheEntry {
+            scheduled,
+            noc: None,
+        }
+    }
+}
+
+/// The versioned on-disk envelope wrapping one [`CacheEntry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StoredEntry {
+    version: u32,
+    key: String,
+    entry: CacheEntry,
+}
+
+/// The outcome of loading a cache directory.
+#[derive(Debug, Default)]
+pub struct StoreLoad {
+    /// Valid entries, sorted by key for deterministic load order.
+    pub entries: Vec<(String, CacheEntry)>,
+    /// Files skipped as corrupt, mis-keyed or version-mismatched.
+    pub skipped: usize,
+    /// Wall-clock microseconds the load took (cold vs. warm start cost).
+    pub load_micros: u64,
+}
+
+/// A persistent schedule-cache directory. See the [module docs](self) for
+/// the format.
+#[derive(Debug)]
+pub struct CacheStore {
+    dir: PathBuf,
+}
+
+impl CacheStore {
+    /// Open (creating if needed) the store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<CacheStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CacheStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry file for `key`.
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Load every valid entry, skipping (and counting) damaged ones.
+    pub fn load(&self) -> StoreLoad {
+        let start = Instant::now();
+        let mut load = StoreLoad::default();
+        let Ok(dir) = fs::read_dir(&self.dir) else {
+            load.load_micros = start.elapsed().as_micros() as u64;
+            return load;
+        };
+        for dir_entry in dir.flatten() {
+            let path = dir_entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default();
+            match read_entry(&path) {
+                Some(stored) if stored.version == STORE_VERSION && stored.key == stem => {
+                    load.entries.push((stored.key, stored.entry));
+                }
+                _ => load.skipped += 1,
+            }
+        }
+        load.entries.sort_by(|a, b| a.0.cmp(&b.0));
+        load.load_micros = start.elapsed().as_micros() as u64;
+        load
+    }
+
+    /// Persist one entry atomically (write to a temp file, then rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O or serialization error; the previous
+    /// version of the entry (if any) stays intact on failure.
+    pub fn save(&self, key: &str, entry: &CacheEntry) -> io::Result<()> {
+        if key.is_empty() || !key.bytes().all(|b| b.is_ascii_alphanumeric()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("cache key `{key}` is not a digest"),
+            ));
+        }
+        let stored = StoredEntry {
+            version: STORE_VERSION,
+            key: key.to_string(),
+            entry: entry.clone(),
+        };
+        let json = serde_json::to_string(&stored)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        // Hidden temp name (never matches the `*.json` load glob), unique
+        // per process so concurrent writers cannot clobber each other's
+        // in-flight file; the final rename is atomic within the directory.
+        let tmp = self.dir.join(format!(".{key}.{}.tmp", std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.sync_all()?;
+        }
+        match fs::rename(&tmp, self.entry_path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Remove one entry (missing entries are not an error).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error for anything but "not found".
+    pub fn remove(&self, key: &str) -> io::Result<()> {
+        match fs::remove_file(self.entry_path(key)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Number of entry files currently on disk (including ones a load
+    /// would skip).
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|dir| {
+                dir.flatten()
+                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// `true` when no entry files exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Delete every entry file, returning how many were removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for dir_entry in fs::read_dir(&self.dir)?.flatten() {
+            let path = dir_entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("json") {
+                fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+fn read_entry(path: &Path) -> Option<StoredEntry> {
+    let text = fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}

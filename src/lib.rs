@@ -16,7 +16,8 @@
 //! * [`gpu`] — the K80 case study and the TVM-style tuner
 //! * [`api`] — the uniform [`Scheduler`](api::Scheduler) trait over all
 //!   three schedulers
-//! * [`engine`] — batch whole-network scheduling with caching and
+//! * [`engine`] — batch whole-network scheduling with an LRU +
+//!   persistent-on-disk schedule cache, engine-level NoC evaluation and
 //!   parallel fan-out
 //!
 //! # Quickstart
@@ -65,14 +66,15 @@ pub mod engine;
 pub mod prelude {
     pub use crate::api::{ScheduleError, ScheduleStats, Scheduled, Scheduler};
     pub use crate::engine::{
-        CacheStats, Engine, LayerReport, NetworkReport, NetworkRun, ScheduleCache,
+        CacheEntry, CacheStats, CacheStore, Engine, LayerReport, NetworkReport, NetworkRun,
+        ScheduleCache,
     };
     pub use cosa_core::{CosaResult, CosaScheduler, ObjectiveWeights};
     pub use cosa_mappers::{
         HybridConfig, HybridMapper, RandomMapper, SearchLimits, SearchObjective,
     };
     pub use cosa_model::CostModel;
-    pub use cosa_noc::NocSimulator;
+    pub use cosa_noc::{NocSimulator, NocSummary};
     pub use cosa_spec::{
         Arch, ArchBuilder, DataTensor, Dim, Layer, Loop, Network, NetworkLayer, Schedule, Suite,
     };

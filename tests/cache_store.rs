@@ -1,0 +1,303 @@
+//! Integration tests for the persistent schedule-cache store: round-trip
+//! persistence and warm starts, corruption tolerance, LRU/byte interaction
+//! with the disk tier, and digest stability across save/load.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cosa_repro::engine::{CacheEntry, CacheStore, STORE_VERSION};
+use cosa_repro::prelude::*;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh, empty scratch directory unique to this test invocation.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cosa-cache-test-{}-{}-{tag}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small network with repeated shapes (two unique, four entries).
+fn tiny_network() -> Network {
+    let a = Layer::conv("block_a", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+    let b = Layer::conv("block_b", 1, 1, 8, 8, 16, 32, 1, 1, 1);
+    Network::new("tiny-resnet")
+        .with_layer("stem", a.clone(), 1)
+        .with_layer("stage1", b.clone(), 2)
+        .with_layer("stage2", a, 1)
+        .with_layer("stage3", b, 3)
+}
+
+fn quick_random() -> RandomMapper {
+    RandomMapper::new(11).with_limits(SearchLimits::quick())
+}
+
+#[test]
+fn warm_start_round_trips_schedules_and_noc_verdicts() {
+    let dir = scratch_dir("roundtrip");
+    let network = tiny_network();
+    let mapper = quick_random();
+
+    // Cold process: solve, simulate NoC, write through.
+    let cold_engine = Engine::new(Arch::simba_baseline())
+        .with_noc()
+        .with_cache_dir(&dir)
+        .expect("open cache dir");
+    assert_eq!(
+        cold_engine.cache_stats().warm_entries,
+        0,
+        "dir starts empty"
+    );
+    let cold = cold_engine.schedule_network(&network, &mapper);
+    assert!(cold.report.is_complete());
+    assert_eq!(cold.cache_misses, 2);
+    assert_eq!(cold.noc_sims, 2, "one sim per unique shape");
+    assert_eq!(cold_engine.store().expect("store attached").len(), 2);
+    drop(cold_engine);
+
+    // "Next process": a fresh engine warm-starts from the same directory.
+    let warm_engine = Engine::new(Arch::simba_baseline())
+        .with_noc()
+        .with_cache_dir(&dir)
+        .expect("open cache dir");
+    let stats = warm_engine.cache_stats();
+    assert_eq!(stats.warm_entries, 2, "both unique shapes restored");
+    let warm = warm_engine.schedule_network(&network, &mapper);
+    assert_eq!(warm.cache_misses, 0, "zero solver calls on a warm start");
+    assert_eq!(warm.noc_sims, 0, "zero NoC re-simulations on a warm start");
+    assert_eq!(warm.cache_hits, network.layers.len() as u64);
+
+    // Persisted entries come back verbatim: the raw per-layer reports
+    // (including solve wall-clock and NoC verdicts) are identical, and the
+    // canonical reports serialize to identical bytes.
+    assert_eq!(warm.report.layers, cold.report.layers);
+    assert_eq!(
+        serde_json::to_string(&warm.report.without_timings()).unwrap(),
+        serde_json::to_string(&cold.report.without_timings()).unwrap(),
+        "cold and warm canonical reports must be byte-identical"
+    );
+    assert_eq!(warm.report.total_noc_cycles, cold.report.total_noc_cycles);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_entries_are_skipped_not_fatal() {
+    let dir = scratch_dir("corrupt");
+    let network = tiny_network();
+    let mapper = quick_random();
+
+    let engine = Engine::new(Arch::simba_baseline())
+        .with_cache_dir(&dir)
+        .expect("open cache dir");
+    engine.schedule_network(&network, &mapper);
+    drop(engine);
+
+    // Damage the store four different ways.
+    let valid: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+        .collect();
+    assert_eq!(valid.len(), 2);
+    let text = std::fs::read_to_string(&valid[0]).unwrap();
+    // (1) Not JSON at all.
+    std::fs::write(
+        dir.join("aaaa1111aaaa1111aaaa1111aaaa1111.json"),
+        "not json",
+    )
+    .unwrap();
+    // (2) Truncated JSON (a torn non-atomic write would look like this).
+    std::fs::write(
+        dir.join("bbbb2222bbbb2222bbbb2222bbbb2222.json"),
+        &text[..text.len() / 2],
+    )
+    .unwrap();
+    // (3) Future format version, otherwise valid.
+    std::fs::write(
+        &valid[0],
+        text.replacen(
+            &format!("\"version\":{STORE_VERSION}"),
+            &format!("\"version\":{}", STORE_VERSION + 1),
+            1,
+        ),
+    )
+    .unwrap();
+    // (4) Envelope key disagrees with the file name.
+    std::fs::write(dir.join("cccc3333cccc3333cccc3333cccc3333.json"), &text).unwrap();
+
+    let store = CacheStore::open(&dir).unwrap();
+    let load = store.load();
+    assert_eq!(load.entries.len(), 1, "only the untouched entry survives");
+    assert_eq!(load.skipped, 4, "all four damaged files skipped");
+
+    // An engine over the damaged dir still works: partial warm start, the
+    // missing shape re-solves and is re-persisted.
+    let engine = Engine::new(Arch::simba_baseline())
+        .with_cache_dir(&dir)
+        .expect("open cache dir");
+    let stats = engine.cache_stats();
+    assert_eq!(stats.warm_entries, 1);
+    assert_eq!(stats.store_errors, 4, "skipped entries are counted");
+    let run = engine.schedule_network(&network, &mapper);
+    assert!(run.report.is_complete());
+    assert_eq!(run.cache_misses, 1, "only the damaged shape re-solves");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn memory_eviction_keeps_disk_tier_for_warm_starts() {
+    let dir = scratch_dir("evict");
+    let network = tiny_network();
+    let mapper = quick_random();
+
+    // A 1-entry LRU front cannot hold both unique shapes...
+    let engine = Engine::new(Arch::simba_baseline())
+        .with_cache(1)
+        .with_cache_dir(&dir)
+        .expect("open cache dir");
+    let run = engine.schedule_network(&network, &mapper);
+    assert!(run.report.is_complete());
+    let stats = engine.cache_stats();
+    assert_eq!(stats.entries, 1, "memory front bounded");
+    assert!(stats.evictions >= 1);
+    // ...but the disk tier keeps everything the run produced.
+    assert_eq!(engine.store().unwrap().len(), 2);
+    drop(engine);
+
+    // An unbounded engine over the same dir warm-starts fully.
+    let warm = Engine::new(Arch::simba_baseline())
+        .with_cache_dir(&dir)
+        .expect("open cache dir");
+    assert_eq!(warm.cache_stats().warm_entries, 2);
+    let rerun = warm.schedule_network(&network, &mapper);
+    assert_eq!(rerun.cache_misses, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_bounds_after_cache_dir_keep_warm_entries() {
+    let dir = scratch_dir("compose");
+    let network = tiny_network();
+    let mapper = quick_random();
+
+    let engine = Engine::new(Arch::simba_baseline())
+        .with_cache_dir(&dir)
+        .expect("open cache dir");
+    engine.schedule_network(&network, &mapper);
+    drop(engine);
+
+    // Bounding the cache *after* attaching the dir must not discard the
+    // warm-loaded entries (both unique shapes fit a 16-entry bound).
+    let engine = Engine::new(Arch::simba_baseline())
+        .with_cache_dir(&dir)
+        .expect("open cache dir")
+        .with_cache(16);
+    assert_eq!(engine.cache_stats().warm_entries, 2);
+    assert_eq!(engine.cache_stats().entries, 2);
+    let run = engine.schedule_network(&network, &mapper);
+    assert_eq!(run.cache_misses, 0, "warm start survives re-bounding");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn byte_budget_lru_prefers_recently_used_entries() {
+    let engine = Engine::new(Arch::simba_baseline()).with_threads(1);
+    let mapper = quick_random();
+    let layers = [
+        Layer::conv("s0", 3, 3, 8, 8, 16, 16, 1, 1, 1),
+        Layer::conv("s1", 1, 1, 8, 8, 32, 16, 1, 1, 1),
+        Layer::conv("s2", 1, 1, 4, 4, 16, 16, 1, 1, 1),
+    ];
+    let entries: Vec<(String, CacheEntry)> = layers
+        .iter()
+        .map(|l| {
+            let s = engine.schedule_layer(&mapper, l).expect("valid");
+            (engine.cache_key(&mapper, l), CacheEntry::new(s))
+        })
+        .collect();
+
+    // Budget two entries' worth of canonical JSON.
+    let budget: u64 = entries
+        .iter()
+        .take(2)
+        .map(|(k, e)| k.len() as u64 + serde_json::to_string(e).unwrap().len() as u64)
+        .sum::<u64>()
+        + 64;
+    let mut cache = ScheduleCache::bounded_bytes(budget);
+    cache.insert(entries[0].0.clone(), entries[0].1.clone());
+    cache.insert(entries[1].0.clone(), entries[1].1.clone());
+    assert!(cache.bytes() <= budget);
+    // Refresh entry 0, then force an eviction: entry 1 is the LRU victim.
+    assert!(cache.get(&entries[0].0).is_some());
+    cache.insert(entries[2].0.clone(), entries[2].1.clone());
+    assert!(cache.bytes() <= budget);
+    assert!(cache.get(&entries[1].0).is_none(), "LRU entry evicted");
+    assert!(cache.get(&entries[0].0).is_some(), "refreshed entry kept");
+    assert!(cache.get(&entries[2].0).is_some(), "newest entry kept");
+}
+
+#[test]
+fn digests_are_stable_across_engines_and_save_load() {
+    let dir = scratch_dir("digest");
+    let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+    let mapper = quick_random();
+
+    // The same (arch, layer, fingerprint) digests identically in any
+    // engine instance.
+    let a = Engine::new(Arch::simba_baseline());
+    let b = Engine::new(Arch::simba_baseline());
+    let key = a.cache_key(&mapper, &layer);
+    assert_eq!(key, b.cache_key(&mapper, &layer));
+    assert_eq!(key.len(), 32);
+    assert!(key.bytes().all(|c| c.is_ascii_hexdigit()));
+
+    // The store files are named by that digest, and a save/load round trip
+    // preserves both key and value exactly.
+    let engine = Engine::new(Arch::simba_baseline())
+        .with_cache_dir(&dir)
+        .expect("open cache dir");
+    let scheduled = engine.schedule_layer(&mapper, &layer).expect("valid");
+    assert!(
+        dir.join(format!("{key}.json")).is_file(),
+        "entry file named by the canonical digest"
+    );
+    let load = CacheStore::open(&dir).unwrap().load();
+    assert_eq!(load.skipped, 0);
+    assert_eq!(load.entries.len(), 1);
+    assert_eq!(load.entries[0].0, key);
+    assert_eq!(load.entries[0].1.scheduled, scheduled);
+
+    // Saving again (same content) keeps the load stable — the atomic
+    // write-then-rename replaces rather than duplicates.
+    let store = CacheStore::open(&dir).unwrap();
+    store.save(&key, &load.entries[0].1).expect("re-save");
+    let reload = store.load();
+    assert_eq!(reload.entries.len(), 1);
+    assert_eq!(reload.entries[0], load.entries[0]);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_rejects_non_digest_keys() {
+    let dir = scratch_dir("badkey");
+    let store = CacheStore::open(&dir).unwrap();
+    let engine = Engine::new(Arch::simba_baseline());
+    let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+    let mapper = quick_random();
+    let scheduled = engine.schedule_layer(&mapper, &layer).expect("valid");
+    let entry = CacheEntry::new(scheduled);
+    assert!(store.save("../escape", &entry).is_err());
+    assert!(store.save("", &entry).is_err());
+    assert!(store.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}

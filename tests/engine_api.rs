@@ -71,9 +71,13 @@ fn engine_runs_are_cached_and_byte_identical() {
     assert_eq!(second.cache_misses, 0, "warm run re-solves nothing");
     assert_eq!(second.cache_hits, network.layers.len() as u64);
 
-    let a = serde_json::to_string(&first.report).expect("serializes");
-    let b = serde_json::to_string(&second.report).expect("serializes");
-    assert_eq!(a, b, "two engine runs must be byte-identical");
+    // Cached results are returned verbatim, so the per-layer reports match
+    // exactly; the canonical form (cache counters stripped) is
+    // byte-identical.
+    assert_eq!(second.report.layers, first.report.layers);
+    let a = serde_json::to_string(&first.report.without_timings()).expect("serializes");
+    let b = serde_json::to_string(&second.report.without_timings()).expect("serializes");
+    assert_eq!(a, b, "two engine runs must be canonically byte-identical");
 }
 
 #[test]
@@ -144,8 +148,8 @@ fn resnet50_stage_cosa_engine_acceptance() {
 
     let again = engine.schedule_network(&network, &cosa);
     assert_eq!(
-        serde_json::to_string(&run.report).unwrap(),
-        serde_json::to_string(&again.report).unwrap(),
+        serde_json::to_string(&run.report.without_timings()).unwrap(),
+        serde_json::to_string(&again.report.without_timings()).unwrap(),
         "deterministic across runs"
     );
 }
