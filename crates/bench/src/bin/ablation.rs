@@ -16,6 +16,10 @@ use cosa_core::{CosaProgram, CosaScheduler, ObjectiveKind, ObjectiveWeights};
 use cosa_model::CostModel;
 use cosa_spec::{workloads, Arch};
 
+/// One ablation variant: a label plus the latency it reaches on a layer
+/// (`None` when the variant fails to schedule it).
+type Variant<'a> = (&'a str, Box<dyn Fn(&cosa_spec::Layer) -> Option<f64> + 'a>);
+
 fn main() {
     let arch = Arch::simba_baseline();
     let model = CostModel::new(&arch);
@@ -29,7 +33,7 @@ fn main() {
     ];
     let weights = ObjectiveWeights::default();
 
-    let variants: Vec<(&str, Box<dyn Fn(&cosa_spec::Layer) -> Option<f64>>)> = vec![
+    let variants: Vec<Variant> = vec![
         (
             "weighted",
             Box::new(|layer| {

@@ -16,22 +16,22 @@
 //! canonical (`without_timings`) report is written to
 //! `results/engine_probe_report.json`; CI runs the probe twice against one
 //! cache dir and byte-compares the two artifacts.
+//!
+//! Offline GC: `--gc-max-bytes <n>` / `--gc-max-age-secs <n>` sweep the
+//! cache dir's disk tier under that policy before scheduling (the same
+//! [`cosa_repro::engine::GcPolicy`] the serving daemon enforces online),
+//! then verify every surviving entry still loads cleanly. `--gc-only`
+//! exits after the sweep — the CI `cache-gc` step uses it to keep
+//! long-lived cache dirs bounded.
 
 use std::io::Write as _;
+use std::time::Duration;
 
-use cosa_bench::{parse_flags, write_csv};
-use cosa_core::CosaScheduler;
-use cosa_mappers::{HybridConfig, HybridMapper, RandomMapper, SearchLimits};
+use cosa_bench::{flag_value, parse_flags, write_csv};
 use cosa_repro::api::Scheduler;
-use cosa_repro::engine::Engine;
+use cosa_repro::engine::{CacheStore, Engine, GcPolicy};
+use cosa_repro::serve::scheduler_from_name;
 use cosa_spec::{Arch, Network, Suite};
-
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 /// Write the canonical (volatiles-stripped) report artifact that the CI
 /// warm-cache job byte-compares across cold and warm runs.
@@ -54,6 +54,30 @@ fn main() {
     let with_noc = args.iter().any(|a| a == "--noc");
     let expect_warm = args.iter().any(|a| a == "--expect-warm");
 
+    // Offline disk-tier GC: sweep before scheduling so the run below sees
+    // exactly the surviving entries.
+    let mut gc = GcPolicy::default();
+    if let Some(max_bytes) = flag_value(&args, "--gc-max-bytes") {
+        gc = gc.with_max_bytes(max_bytes.parse().expect("numeric --gc-max-bytes"));
+    }
+    if let Some(secs) = flag_value(&args, "--gc-max-age-secs") {
+        gc = gc.with_max_age(Duration::from_secs(
+            secs.parse().expect("numeric --gc-max-age-secs"),
+        ));
+    }
+    // `--gc-only` without a bound still sweeps (stale temp files) and
+    // must never fall through to a full scheduling run.
+    let gc_only = args.iter().any(|a| a == "--gc-only");
+    if !gc.is_unbounded() || gc_only {
+        let dir = cache_dir
+            .as_deref()
+            .expect("GC flags need --cache-dir (or COSA_CACHE_DIR)");
+        run_offline_gc(dir, &gc);
+        if gc_only {
+            return;
+        }
+    }
+
     let arch = Arch::simba_baseline();
     let suite: Suite = suite
         .as_deref()
@@ -65,14 +89,12 @@ fn main() {
         network.layers.truncate(8);
     }
 
-    let scheduler: Box<dyn Scheduler> = match scheduler_name.as_str() {
-        "random" => Box::new(RandomMapper::new(7).with_limits(SearchLimits::quick())),
-        "hybrid" => Box::new(HybridMapper::new(HybridConfig::quick())),
-        // Node-limited so the probe's cold-run determinism check holds even
-        // when the budget binds (time-limited solves race the clock).
-        "cosa" => Box::new(CosaScheduler::new(&arch).with_deterministic_limits(300)),
-        other => panic!("unknown scheduler `{other}` (random|hybrid|cosa)"),
-    };
+    // The shared serving registry: the same fixed configurations the
+    // `cosa-serve` daemon uses (node-limited CoSA, so the cold-run
+    // determinism check holds even when the budget binds), which means the
+    // probe and the daemon share warm cache entries.
+    let scheduler: Box<dyn Scheduler> =
+        scheduler_from_name(&scheduler_name, &arch).unwrap_or_else(|e| panic!("{e}"));
 
     let threads = flag_value(&args, "--threads")
         .and_then(|t| t.parse().ok())
@@ -103,6 +125,56 @@ fn main() {
     } else {
         run_in_memory(&arch, &network, scheduler.as_ref(), threads, with_noc);
     }
+}
+
+/// Sweep the cache dir's disk tier under `policy`, then prove the
+/// survivors are intact: a full reload must skip zero entries and fit the
+/// byte budget. Panics (failing CI) when the contract is violated.
+fn run_offline_gc(dir: &str, policy: &GcPolicy) {
+    let store = CacheStore::open(dir).expect("open cache dir");
+    let before_bytes = store.total_bytes();
+    // Damaged or version-mismatched entries may predate the sweep (a
+    // crashed writer, an old STORE_VERSION); only corruption the sweep
+    // itself would introduce is a failure.
+    let skipped_before = store.load().skipped;
+    let report = store.gc(policy).expect("gc sweep");
+    println!(
+        "  gc {dir}: {} -> {} entries ({} removed), {} -> {} bytes, {} delete errors",
+        report.examined,
+        report.retained,
+        report.removed,
+        before_bytes,
+        report.retained_bytes,
+        report.delete_errors,
+    );
+    assert_eq!(report.delete_errors, 0, "gc must delete cleanly");
+    if let Some(max_bytes) = policy.max_bytes {
+        assert!(
+            report.retained_bytes <= max_bytes || report.retained <= 1,
+            "disk tier ({} bytes) must fit the budget ({max_bytes} bytes)",
+            report.retained_bytes,
+        );
+    }
+    // Survivors must still load cleanly — GC deletes whole entries, never
+    // truncates or rewrites them — so the sweep must not have *added* any
+    // skipped files beyond the pre-existing damage.
+    let load = store.load();
+    assert!(
+        load.skipped <= skipped_before,
+        "gc corrupted surviving entries ({} skipped before, {} after)",
+        skipped_before,
+        load.skipped,
+    );
+    assert_eq!(
+        load.entries.len() + load.skipped,
+        report.retained,
+        "survivors all load"
+    );
+    println!(
+        "  gc survivors verified: {} entries load cleanly ({} pre-existing damaged files)",
+        load.entries.len(),
+        load.skipped,
+    );
 }
 
 /// One engine against a persistent cache directory: the warm-start path

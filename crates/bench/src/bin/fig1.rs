@@ -16,7 +16,7 @@ fn main() {
     let arch = Arch::simba_baseline();
     // Sec. II-A's motivating layer: 3x3, 256 channels, 14x14 output.
     let layer = Layer::conv("resnet_3x3_256", 3, 3, 14, 14, 256, 256, 1, 1, 1);
-    let samples = sample_valid_schedules(&arch, &layer, target, 60 * target as u64, 0xF16_1);
+    let samples = sample_valid_schedules(&arch, &layer, target, 60 * target as u64, 0xF161);
 
     let latencies: Vec<f64> = samples.iter().map(|s| s.latency_cycles / 1.0e6).collect();
     let best = latencies.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -1,0 +1,238 @@
+//! Load generator for the `cosa-serve` scheduling daemon: fire M
+//! concurrent `POST /schedule` requests, assert every answer is 200 and
+//! canonically byte-identical, and summarize client-observed latency.
+//!
+//! Run with: `cargo run --release -p cosa-bench --bin serve_probe -- \
+//!     --addr 127.0.0.1:7878 --quick`
+//!
+//! Flags:
+//!
+//! * `--addr HOST:PORT` — daemon address (default `127.0.0.1:7878`).
+//! * `--requests M` / `--concurrency C` — load shape (defaults 12 / 4).
+//! * `--quick` / `--suite NAME` — request payload: the suite's network
+//!   (`--quick` truncates to the first 8 instances), sent inline so the
+//!   daemon needs no matching flags.
+//! * `--scheduler cosa|random|hybrid` — serving scheduler (default cosa).
+//! * `--wait-secs N` — poll `/healthz` until ready (default 60).
+//! * `--expect-warm` — assert the whole run was served from cache: zero
+//!   new solver calls and zero new NoC simulations in `/stats`, p99
+//!   client latency under `--max-warm-p99-millis` (default 2000).
+//! * `--artifact PATH` — where to write the canonical (volatile-stripped)
+//!   response body (default `results/serve_probe_response.json`); CI
+//!   `cmp`s the cold and warm artifacts.
+//! * `--latency-csv NAME` — per-request latency CSV file name under
+//!   `results/` (default `serve_probe_latency.csv`; CI names the cold and
+//!   warm passes differently so both ship as artifacts).
+//! * `--shutdown` — `POST /shutdown` after probing and wait for the
+//!   daemon to exit (so CI needs no extra HTTP client).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use cosa_bench::{flag_value, parse_flag, write_csv};
+use cosa_repro::serve::{LatencyRecorder, ScheduleRequest, ScheduleResponse, StatsResponse};
+use cosa_serve::http;
+use cosa_spec::{Network, Suite};
+
+/// Poll `/healthz` until the daemon answers 200 or the deadline passes.
+fn wait_ready(addr: SocketAddr, wait: Duration) {
+    let deadline = Instant::now() + wait;
+    loop {
+        if let Ok(resp) = http::request(addr, "GET", "/healthz", "") {
+            if resp.is_ok() {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon at {addr} not ready within {wait:?}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn stats(addr: SocketAddr) -> StatsResponse {
+    let resp = http::request(addr, "GET", "/stats", "").expect("GET /stats");
+    assert!(resp.is_ok(), "/stats answered {}", resp.status);
+    serde_json::from_str(&resp.body).expect("stats parse")
+}
+
+/// The canonical (volatile-stripped) serialization of a response body —
+/// what byte-identity across cold/warm daemon runs is asserted on.
+fn canonicalize(body: &str) -> String {
+    let response: ScheduleResponse = serde_json::from_str(body).expect("response parse");
+    assert!(
+        response.error.is_none(),
+        "daemon answered an error: {:?}",
+        response.error
+    );
+    serde_json::to_string(&response.without_timings()).expect("canonical form serializes")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr: SocketAddr = flag_value(&args, "--addr")
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string())
+        .parse()
+        .expect("valid --addr HOST:PORT");
+    let requests: usize = parse_flag(&args, "--requests").unwrap_or(12);
+    let concurrency: usize = parse_flag(&args, "--concurrency").unwrap_or(4);
+    let quick = args.iter().any(|a| a == "--quick");
+    let suite: Suite = flag_value(&args, "--suite")
+        .as_deref()
+        .unwrap_or("resnet50")
+        .parse()
+        .expect("known suite (alexnet|resnet50|resnext50|deepbench)");
+    let scheduler = flag_value(&args, "--scheduler").unwrap_or_else(|| "cosa".to_string());
+    let wait = Duration::from_secs(parse_flag(&args, "--wait-secs").unwrap_or(60));
+    let expect_warm = args.iter().any(|a| a == "--expect-warm");
+    let max_warm_p99 =
+        Duration::from_millis(parse_flag(&args, "--max-warm-p99-millis").unwrap_or(2000));
+    let artifact = flag_value(&args, "--artifact")
+        .unwrap_or_else(|| "results/serve_probe_response.json".to_string());
+    let latency_csv =
+        flag_value(&args, "--latency-csv").unwrap_or_else(|| "serve_probe_latency.csv".to_string());
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+
+    let mut network = Network::from_suite(suite);
+    if quick {
+        network.layers.truncate(8);
+    }
+    let body = serde_json::to_string(
+        &ScheduleRequest::for_network(network.clone()).with_scheduler(&scheduler),
+    )
+    .expect("request serializes");
+
+    println!(
+        "serve probe — {requests} requests x{concurrency} to {addr} ({}, {} instances, `{scheduler}`)",
+        network.name,
+        network.num_instances(),
+    );
+    wait_ready(addr, wait);
+    let before = stats(addr);
+
+    // Fire the request set from a fixed-width client pool sharing a
+    // work-stealing index (mirrors the engine's own fan-out helper).
+    let outcomes: Mutex<Vec<(usize, u64, u16, String)>> = Mutex::new(Vec::new());
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency.clamp(1, requests) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= requests {
+                    break;
+                }
+                // The daemon sheds load with 429 once its bounded queue
+                // fills; back off and retry a few times so the probe
+                // measures the serving path, not the shedding path.
+                let mut attempt = 0;
+                let (micros, resp) = loop {
+                    let sent = Instant::now();
+                    let resp =
+                        http::request(addr, "POST", "/schedule", &body).expect("POST /schedule");
+                    if resp.status == 429 && attempt < 5 {
+                        attempt += 1;
+                        std::thread::sleep(Duration::from_millis(50 * attempt));
+                        continue;
+                    }
+                    break (sent.elapsed().as_micros() as u64, resp);
+                };
+                outcomes
+                    .lock()
+                    .expect("outcomes lock")
+                    .push((i, micros, resp.status, resp.body));
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let mut outcomes = outcomes.into_inner().expect("outcomes lock");
+    outcomes.sort_by_key(|(i, ..)| *i);
+
+    // Every answer must be 200 and canonically identical to the first.
+    let mut canonical: Option<String> = None;
+    for (i, _, status, resp_body) in &outcomes {
+        assert_eq!(*status, 200, "request {i} answered {status}: {resp_body}");
+        let c = canonicalize(resp_body);
+        match &canonical {
+            None => canonical = Some(c),
+            Some(first) => assert_eq!(
+                first, &c,
+                "request {i} answered a canonically different body"
+            ),
+        }
+    }
+    let canonical = canonical.expect("at least one request");
+
+    // The daemon's own /stats percentiles come from this recorder type,
+    // so client- and server-side numbers use the same definition.
+    let mut recorder = LatencyRecorder::new();
+    for (_, micros, ..) in &outcomes {
+        recorder.record(*micros);
+    }
+    let (p50, p99, max) = (
+        recorder.percentile(0.50),
+        recorder.percentile(0.99),
+        recorder.max(),
+    );
+    println!(
+        "  {requests} ok in {elapsed:.2?} — client latency p50 {p50}µs, p99 {p99}µs, max {max}µs"
+    );
+
+    let after = stats(addr);
+    let solves = after.cache.misses - before.cache.misses;
+    let noc_sims = after.cache.noc_sims - before.cache.noc_sims;
+    println!(
+        "  /stats: +{} served, {solves} fresh solves, {noc_sims} NoC sims, {} rejected, daemon p99 {}µs, {} gc runs",
+        after.served - before.served,
+        after.rejected,
+        after.p99_micros,
+        after.gc_runs,
+    );
+
+    if expect_warm {
+        assert_eq!(solves, 0, "warm pass must add zero solver calls");
+        assert_eq!(noc_sims, 0, "warm pass must add zero NoC simulations");
+        assert_eq!(
+            after.served - before.served,
+            requests as u64,
+            "every probe request must be served"
+        );
+        let p99 = Duration::from_micros(p99);
+        assert!(
+            p99 <= max_warm_p99,
+            "warm p99 {p99:?} exceeds bound {max_warm_p99:?}"
+        );
+        println!("  warm contract holds: all hits, zero solves, zero NoC sims, p99 {p99:?}");
+    }
+
+    if let Some(dir) = std::path::Path::new(&artifact).parent() {
+        std::fs::create_dir_all(dir).expect("create artifact dir");
+    }
+    std::fs::write(&artifact, &canonical).expect("write response artifact");
+    println!("  wrote {artifact}");
+
+    let rows: Vec<String> = outcomes
+        .iter()
+        .map(|(i, micros, status, _)| format!("{i},{micros},{status}"))
+        .collect();
+    let path = write_csv(&latency_csv, "request,micros,status", &rows);
+    println!("  wrote {}", path.display());
+
+    if shutdown {
+        let resp = http::request(addr, "POST", "/shutdown", "").expect("POST /shutdown");
+        assert!(resp.is_ok(), "shutdown answered {}", resp.status);
+        // The daemon drains and exits; wait until the port stops answering.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while http::request(addr, "GET", "/healthz", "").is_ok() {
+            assert!(
+                Instant::now() < deadline,
+                "daemon did not exit after /shutdown"
+            );
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        println!("  daemon shut down cleanly");
+    }
+}

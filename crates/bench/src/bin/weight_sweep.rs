@@ -30,9 +30,11 @@ fn main() {
             w_comp: wc,
             w_traf: wt,
         };
-        let mut opts = cosa_milp::SolveOptions::default();
-        opts.gap_tol = 0.03;
-        opts.time_limit = Some(std::time::Duration::from_secs(6));
+        let opts = cosa_milp::SolveOptions {
+            gap_tol: 0.03,
+            time_limit: Some(std::time::Duration::from_secs(6)),
+            ..Default::default()
+        };
         let scheduler = CosaScheduler::with_weights(&arch, weights).with_solve_options(opts);
         let mut row = format!("({wu:.1},{wc:.1},{wt:.1})  ");
         let mut geo = 0.0;

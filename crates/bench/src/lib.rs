@@ -35,13 +35,13 @@ pub use report::{geomean, write_csv};
 pub fn parse_flags() -> (bool, Option<String>) {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let suite = args
-        .iter()
-        .position(|a| a == "--suite")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let suite = flag_value(&args, "--suite");
     (quick, suite)
 }
+
+// The probe binaries share the daemon's `--flag value` CLI convention;
+// one implementation lives in `cosa_serve::cli`.
+pub use cosa_serve::cli::{flag_value, parse_flag};
 
 /// The four paper suites, optionally filtered by `--suite` or truncated in
 /// `--quick` mode (2 layers per suite).

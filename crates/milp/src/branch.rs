@@ -370,8 +370,8 @@ mod tests {
             let row: Vec<_> = (0..3).map(|j| m.add_binary(format!("a{i}{j}"))).collect();
             vars.push(row);
         }
-        for i in 0..3 {
-            m.add_constraint(LinExpr::sum(vars[i].iter().copied()), Cmp::Eq, 1.0);
+        for (i, row) in vars.iter().enumerate() {
+            m.add_constraint(LinExpr::sum(row.iter().copied()), Cmp::Eq, 1.0);
             m.add_constraint(LinExpr::sum((0..3).map(|r| vars[r][i])), Cmp::Eq, 1.0);
         }
         let mut obj = LinExpr::new();

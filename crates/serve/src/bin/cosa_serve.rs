@@ -1,0 +1,69 @@
+//! The `cosa-serve` daemon binary: a long-lived scheduling service over
+//! the batch `Engine`.
+//!
+//! Run with: `cargo run --release -p cosa-serve --bin cosa_serve -- \
+//!     --addr 127.0.0.1:7878 --cache-dir .cosa-cache --noc`
+//!
+//! Flags:
+//!
+//! * `--addr HOST:PORT` — bind address (default `127.0.0.1:7878`; port 0
+//!   picks an ephemeral port, printed at startup).
+//! * `--workers N` / `--queue N` — worker pool width and bounded-queue
+//!   capacity.
+//! * `--cache-dir PATH` (or `COSA_CACHE_DIR`) — shared persistent
+//!   schedule cache; restarts warm-start from it.
+//! * `--noc` — engine-level NoC evaluation per unique shape.
+//! * `--gc-max-bytes N` / `--gc-max-age-secs N` — disk-tier GC policy,
+//!   run at startup and every `--gc-every N` served requests (default 64).
+//! * `--request-delay-micros N` — artificial service delay (load-test
+//!   instrumentation only).
+//!
+//! The daemon logs one line per request to stdout and exits cleanly on
+//! `POST /shutdown`, draining queued requests first.
+
+use std::time::Duration;
+
+use cosa_repro::engine::GcPolicy;
+use cosa_serve::cli::{flag_value, parse_flag};
+use cosa_serve::{ServeConfig, Server};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = ServeConfig {
+        addr: flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        log_requests: true,
+        ..ServeConfig::default()
+    };
+    if let Some(workers) = parse_flag(&args, "--workers") {
+        config.workers = workers;
+    }
+    if let Some(queue) = parse_flag(&args, "--queue") {
+        config.queue_capacity = queue;
+    }
+    config.cache_dir = flag_value(&args, "--cache-dir")
+        .or_else(|| std::env::var("COSA_CACHE_DIR").ok())
+        .map(Into::into);
+    config.noc = args.iter().any(|a| a == "--noc");
+    let mut gc = GcPolicy::default();
+    if let Some(max_bytes) = parse_flag(&args, "--gc-max-bytes") {
+        gc = gc.with_max_bytes(max_bytes);
+    }
+    if let Some(secs) = parse_flag::<u64>(&args, "--gc-max-age-secs") {
+        gc = gc.with_max_age(Duration::from_secs(secs));
+    }
+    config.gc = gc;
+    if let Some(every) = parse_flag(&args, "--gc-every") {
+        config.gc_every = every;
+    }
+    if let Some(micros) = parse_flag::<u64>(&args, "--request-delay-micros") {
+        config.request_delay = Some(Duration::from_micros(micros));
+    }
+
+    let handle = Server::start(config).expect("start daemon");
+    println!(
+        "[serve] ready at http://{} — POST /schedule, GET /stats, GET /healthz, POST /shutdown",
+        handle.addr()
+    );
+    handle.join().expect("daemon threads exit cleanly");
+    println!("[serve] shut down cleanly");
+}

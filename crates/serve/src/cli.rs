@@ -1,0 +1,41 @@
+//! The `--flag value` CLI convention shared by the daemon and probe
+//! binaries (`cosa_serve`, `serve_probe`, `engine_probe`) — one
+//! implementation so a parsing change (say, `--flag=value` support)
+//! lands everywhere at once.
+
+/// The value following `--flag` in `args`, when present.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parse the value following `--flag`, panicking with the flag name on
+/// malformed input (the binaries fail fast on bad invocations).
+pub fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("bad value `{v}` for {flag}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_value_finds_pairs_and_tolerates_absence() {
+        let args: Vec<String> = ["bin", "--addr", "1.2.3.4:80", "--noc"]
+            .map(String::from)
+            .to_vec();
+        assert_eq!(flag_value(&args, "--addr").as_deref(), Some("1.2.3.4:80"));
+        assert_eq!(flag_value(&args, "--workers"), None);
+        assert_eq!(
+            flag_value(&args, "--noc"),
+            None,
+            "trailing flag has no value"
+        );
+        assert_eq!(parse_flag::<u16>(&args, "--workers"), None);
+    }
+}

@@ -1,0 +1,240 @@
+//! A deliberately minimal HTTP/1.1 subset over [`std::net`] — just enough
+//! for the daemon's JSON endpoints and its load-generator clients, with no
+//! vendored dependencies.
+//!
+//! Supported: request line + headers + `Content-Length` bodies, one
+//! request per connection (`Connection: close` semantics on both sides).
+//! Not supported (and not needed by the protocol): keep-alive, chunked
+//! transfer, multi-line headers, trailers. Both sides bound header and
+//! body sizes so a misbehaving peer cannot balloon a worker.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Bound on the request line + headers (a schedule request's headers are
+/// a few hundred bytes).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Bound on a request body (an inline ResNet-50 network is ~100 KB of
+/// JSON; 16 MB leaves two orders of magnitude of headroom).
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Per-connection socket read/write timeout: a stalled peer frees its
+/// worker instead of wedging it.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Client-side response-read timeout. Deliberately much longer than
+/// [`IO_TIMEOUT`]: a cold `POST /schedule` answer arrives only after the
+/// MILP solve, which can take tens of seconds per unique shape (the warm
+/// path answers in microseconds).
+pub const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// One parsed request: method, path and (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Absolute path, e.g. `/schedule`.
+    pub path: String,
+    /// The raw body bytes as UTF-8 (JSON for every protocol endpoint).
+    pub body: String,
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Read one request from `stream`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed or oversized requests and any
+/// underlying socket error (including read-timeout) verbatim.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+
+    // Read until the blank line separating head from body, keeping any
+    // body bytes that arrived in the same segment.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(invalid("request head exceeds 16 KiB"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| invalid("head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) if !m.is_empty() && p.starts_with('/') => (m, p),
+        _ => return Err(invalid(format!("bad request line `{request_line}`"))),
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| invalid("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(invalid("request body exceeds 16 MiB"));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| invalid("body is not UTF-8"))?;
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The standard reason phrase for the status codes the daemon uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write one `application/json` response and flush. The connection is
+/// single-request, so `Connection: close` is always sent.
+///
+/// # Errors
+///
+/// Returns the underlying socket error.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A client-side response: status code plus body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (JSON for every protocol endpoint).
+    pub body: String,
+}
+
+impl Response {
+    /// `true` for 2xx statuses.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// One-shot client request: connect, send, read the full response.
+///
+/// The protocol is one request per connection, so this is the entire
+/// client surface — `serve_probe`, the integration tests and the example
+/// all go through here.
+///
+/// # Errors
+///
+/// Returns connect/socket errors and `InvalidData` for malformed
+/// responses.
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let head_end = find_head_end(&raw).ok_or_else(|| invalid("response missing head"))?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| invalid("response head is not UTF-8"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid(format!("bad status line `{head}`")))?;
+    let body = String::from_utf8(raw[head_end + 4..].to_vec())
+        .map_err(|_| invalid("response body is not UTF-8"))?;
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn round_trips_one_request() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let req = read_request(&mut conn).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/echo");
+            write_response(&mut conn, 200, &req.body).unwrap();
+        });
+        let resp = request(addr, "POST", "/echo", r#"{"x":1}"#).unwrap();
+        assert!(resp.is_ok());
+        assert_eq!(resp.body, r#"{"x":1}"#);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            assert!(read_request(&mut conn).is_err());
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,72 @@
+//! Serving quickstart: start an in-process `cosa-serve` daemon with a
+//! persistent cache dir, schedule a layer and a network over HTTP, show
+//! the cache doing its job via `/stats`, then shut down gracefully.
+//!
+//! Run with: `cargo run --release --example serve_client`
+//!
+//! Run it twice: the second process warm-starts from the cache directory
+//! and answers the same requests with zero solver calls.
+
+use cosa_repro::prelude::*;
+use cosa_serve::{http, ServeConfig, Server};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A daemon on an ephemeral port, persisting schedules next to the
+    // other example/bench artifacts. `cosa_serve` is the standalone
+    // binary with the same knobs.
+    let handle = Server::start(ServeConfig {
+        cache_dir: Some(".cosa-serve-example-cache".into()),
+        gc: GcPolicy::default().with_max_bytes(64 * 1024 * 1024),
+        ..ServeConfig::default()
+    })?;
+    let addr = handle.addr();
+    println!("daemon listening on http://{addr}");
+
+    let health: HealthResponse =
+        serde_json::from_str(&http::request(addr, "GET", "/healthz", "")?.body)?;
+    println!(
+        "healthz: {} ({} warm entries)\n",
+        health.status, health.warm_entries
+    );
+
+    // One layer through the fast `random` scheduler.
+    let layer = Layer::conv("demo", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+    let request = ScheduleRequest::for_layer(layer).with_scheduler("random");
+    let resp = http::request(addr, "POST", "/schedule", &serde_json::to_string(&request)?)?;
+    let answer: ScheduleResponse = serde_json::from_str(&resp.body)?;
+    let scheduled = answer.scheduled.expect("layer answer");
+    println!(
+        "layer `{}` via `{}`: {:.0} cycles, {:.1} uJ",
+        scheduled.layer,
+        scheduled.scheduler,
+        scheduled.latency_cycles,
+        scheduled.energy_pj / 1e6,
+    );
+
+    // A whole network; repeated shapes dedupe through the daemon's cache.
+    let mut network = Network::from_suite(Suite::ResNet50);
+    network.layers.truncate(8);
+    network.name = "ResNet-50 (conv1 + conv2 stage)".to_string();
+    let request = ScheduleRequest::for_network(network).with_scheduler("random");
+    let resp = http::request(addr, "POST", "/schedule", &serde_json::to_string(&request)?)?;
+    let answer: ScheduleResponse = serde_json::from_str(&resp.body)?;
+    let report = answer.report.expect("network answer");
+    println!(
+        "network `{}`: {}/{} layers scheduled, {:.3e} cycles total",
+        report.network,
+        report.scheduled_layers,
+        report.layers.len(),
+        report.total_latency_cycles,
+    );
+
+    let stats: StatsResponse =
+        serde_json::from_str(&http::request(addr, "GET", "/stats", "")?.body)?;
+    println!(
+        "stats: {} served, cache {} hits / {} misses, p99 {}µs, {} gc runs\n",
+        stats.served, stats.cache.hits, stats.cache.misses, stats.p99_micros, stats.gc_runs,
+    );
+
+    handle.shutdown()?;
+    println!("daemon drained and shut down; rerun to see a warm start");
+    Ok(())
+}

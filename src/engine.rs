@@ -66,7 +66,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::api::{ScheduleError, Scheduled, Scheduler};
 
-pub use store::{CacheEntry, CacheStore, StoreLoad, STORE_VERSION};
+pub use store::{CacheEntry, CacheStore, GcPolicy, GcReport, StoreLoad, STORE_VERSION};
 
 /// One resident cache slot: the entry plus LRU/size bookkeeping.
 #[derive(Debug)]
@@ -556,6 +556,24 @@ impl Engine {
             stats.bytes = c.bytes();
         }
         stats
+    }
+
+    /// Run a [`GcPolicy`] sweep over the persistent store, when one is
+    /// attached. Only the disk tier is touched: entries already resident
+    /// in memory stay served from the LRU front, so a GC'd daemon keeps
+    /// answering from cache while the directory shrinks. Cache hits do
+    /// not re-persist, so a collected entry returns to disk only when it
+    /// is re-solved (e.g. by a later cold process) — the byte/age budget
+    /// genuinely bounds what survives a restart.
+    ///
+    /// Returns `None` for a memory-only engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the store directory cannot be
+    /// scanned.
+    pub fn gc_store(&self, policy: &GcPolicy) -> Option<io::Result<GcReport>> {
+        self.store.as_ref().map(|store| store.gc(policy))
     }
 
     /// Drop all in-memory cached schedules. Entries persisted to a cache

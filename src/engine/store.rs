@@ -29,11 +29,25 @@
 //! store keeps them (disk is the capacity tier), so a later run can still
 //! warm-start fully. Use [`CacheStore::clear`] to discard the directory's
 //! entries.
+//!
+//! # Garbage collection
+//!
+//! Disk is the capacity tier, but it is not unbounded: [`CacheStore::gc`]
+//! enforces a [`GcPolicy`] (byte budget and/or maximum entry age) by
+//! deleting whole entry files, oldest-modified first. Every write rewrites
+//! its entry file, so mtime approximates recency of *use* on the
+//! write-through path, and age eviction doubles as a TTL. The serving
+//! daemon runs GC at startup and every N requests; `engine_probe
+//! --gc-max-bytes/--gc-max-age-secs` runs the same policy offline so
+//! long-lived CI cache dirs stay bounded. The sweep also removes temp
+//! files orphaned by killed writers (older than a minute). Surviving
+//! entries are never rewritten or truncated by GC — a collected
+//! directory still loads cleanly.
 
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant, SystemTime};
 
 use cosa_noc::NocSummary;
 use serde::{Deserialize, Serialize};
@@ -87,6 +101,62 @@ pub struct StoreLoad {
     pub skipped: usize,
     /// Wall-clock microseconds the load took (cold vs. warm start cost).
     pub load_micros: u64,
+}
+
+/// A size/TTL policy for the disk tier, enforced by [`CacheStore::gc`].
+///
+/// Age eviction runs first (any entry whose file mtime is older than
+/// `max_age` is deleted), then byte eviction deletes the
+/// oldest-modified survivors until the directory fits in `max_bytes`.
+/// The newest entry is never evicted for size — a single oversized entry
+/// still persists, mirroring the in-memory LRU's contract. A policy with
+/// neither bound set is a no-op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcPolicy {
+    /// Byte budget for the sum of entry-file sizes, when set.
+    pub max_bytes: Option<u64>,
+    /// Maximum entry age (time since last write), when set.
+    pub max_age: Option<Duration>,
+}
+
+impl GcPolicy {
+    /// `true` when neither bound is set (GC would be a no-op).
+    pub fn is_unbounded(&self) -> bool {
+        self.max_bytes.is_none() && self.max_age.is_none()
+    }
+
+    /// Set the byte budget.
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> GcPolicy {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Set the maximum entry age.
+    pub fn with_max_age(mut self, max_age: Duration) -> GcPolicy {
+        self.max_age = Some(max_age);
+        self
+    }
+}
+
+/// The outcome of one [`CacheStore::gc`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcReport {
+    /// Entry files considered.
+    pub examined: usize,
+    /// Entry files deleted.
+    pub removed: usize,
+    /// Bytes reclaimed by the deletions.
+    pub removed_bytes: u64,
+    /// Entry files kept.
+    pub retained: usize,
+    /// Bytes still on disk after the sweep.
+    pub retained_bytes: u64,
+    /// Files that could not be deleted (permission races etc.); the sweep
+    /// continues past them.
+    pub delete_errors: usize,
+    /// Orphaned temp files (left by killed writers) swept alongside the
+    /// entries.
+    pub stale_tmp_removed: usize,
 }
 
 /// A persistent schedule-cache directory. See the [module docs](self) for
@@ -212,6 +282,111 @@ impl CacheStore {
     /// `true` when no entry files exist.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total size in bytes of all entry files currently on disk.
+    pub fn total_bytes(&self) -> u64 {
+        fs::read_dir(&self.dir)
+            .map(|dir| {
+                dir.flatten()
+                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("json"))
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Enforce `policy` on the disk tier, deleting entry files until both
+    /// budgets hold. See [`GcPolicy`] for the eviction order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the directory cannot be scanned;
+    /// per-file deletion failures are counted in
+    /// [`GcReport::delete_errors`] instead of aborting the sweep.
+    pub fn gc(&self, policy: &GcPolicy) -> io::Result<GcReport> {
+        self.gc_at(policy, SystemTime::now())
+    }
+
+    /// [`CacheStore::gc`] with an explicit "now" for the age cutoff, so
+    /// tests can age entries deterministically instead of sleeping.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the directory cannot be scanned.
+    pub fn gc_at(&self, policy: &GcPolicy, now: SystemTime) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        // (mtime, size, path) for every entry file, oldest first. Files
+        // with unreadable metadata are treated as epoch-old so a damaged
+        // entry is the first victim rather than an immortal one.
+        let mut entries: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+        for dir_entry in fs::read_dir(&self.dir)?.flatten() {
+            let path = dir_entry.path();
+            let extension = path.extension().and_then(|e| e.to_str());
+            let (mtime, size) = dir_entry
+                .metadata()
+                .map(|m| (m.modified().unwrap_or(SystemTime::UNIX_EPOCH), m.len()))
+                .unwrap_or((SystemTime::UNIX_EPOCH, 0));
+            // A live writer holds its `.tmp` for milliseconds before the
+            // rename; anything older was orphaned by a killed process
+            // (e.g. a CI run cancelled mid-write) and would otherwise
+            // accumulate invisibly — no budget ever counts it.
+            if extension == Some("tmp") {
+                let stale = now
+                    .duration_since(mtime)
+                    .map(|age| age > Duration::from_secs(60))
+                    .unwrap_or(false);
+                if stale && fs::remove_file(&path).is_ok() {
+                    report.stale_tmp_removed += 1;
+                }
+                continue;
+            }
+            if extension != Some("json") {
+                continue;
+            }
+            entries.push((mtime, size, path));
+        }
+        entries.sort();
+        report.examined = entries.len();
+        let mut total: u64 = entries.iter().map(|(_, size, _)| size).sum();
+
+        let expired = |mtime: &SystemTime| {
+            policy.max_age.is_some_and(|max_age| {
+                now.duration_since(*mtime)
+                    .map(|age| age > max_age)
+                    .unwrap_or(false)
+            })
+        };
+        for (i, (mtime, size, path)) in entries.iter().enumerate() {
+            let over_bytes = policy
+                .max_bytes
+                .is_some_and(|max| total > max && i + 1 < entries.len());
+            if !expired(mtime) && !over_bytes {
+                continue;
+            }
+            match fs::remove_file(path) {
+                // NotFound means a concurrent sweeper (the daemon's
+                // periodic GC racing an offline one on a shared dir) beat
+                // us to this victim; either way the file is gone, and the
+                // report's retained/examined arithmetic tracks what
+                // remains, not who deleted it.
+                Ok(()) => {
+                    report.removed += 1;
+                    report.removed_bytes += size;
+                    total -= size;
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    report.removed += 1;
+                    report.removed_bytes += size;
+                    total -= size;
+                }
+                Err(_) => report.delete_errors += 1,
+            }
+        }
+        report.retained = report.examined - report.removed;
+        report.retained_bytes = total;
+        Ok(report)
     }
 
     /// Delete every entry file, returning how many were removed.

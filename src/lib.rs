@@ -17,8 +17,11 @@
 //! * [`api`] — the uniform [`Scheduler`](api::Scheduler) trait over all
 //!   three schedulers
 //! * [`engine`] — batch whole-network scheduling with an LRU +
-//!   persistent-on-disk schedule cache, engine-level NoC evaluation and
-//!   parallel fan-out
+//!   persistent-on-disk schedule cache (GC'd under a [`engine::GcPolicy`]),
+//!   engine-level NoC evaluation and parallel fan-out
+//! * [`serve`] — the wire protocol of the `cosa-serve` scheduling daemon
+//!   (the long-lived HTTP front-end over the engine lives in
+//!   `crates/serve`)
 //!
 //! # Quickstart
 //!
@@ -61,13 +64,17 @@ pub use cosa_spec as spec;
 
 pub mod api;
 pub mod engine;
+pub mod serve;
 
 /// The types most programs need.
 pub mod prelude {
     pub use crate::api::{ScheduleError, ScheduleStats, Scheduled, Scheduler};
     pub use crate::engine::{
-        CacheEntry, CacheStats, CacheStore, Engine, LayerReport, NetworkReport, NetworkRun,
-        ScheduleCache,
+        CacheEntry, CacheStats, CacheStore, Engine, GcPolicy, GcReport, LayerReport, NetworkReport,
+        NetworkRun, ScheduleCache,
+    };
+    pub use crate::serve::{
+        scheduler_from_name, HealthResponse, ScheduleRequest, ScheduleResponse, StatsResponse,
     };
     pub use cosa_core::{CosaResult, CosaScheduler, ObjectiveWeights};
     pub use cosa_mappers::{

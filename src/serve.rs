@@ -1,0 +1,416 @@
+//! Wire protocol for the `cosa-serve` scheduling daemon.
+//!
+//! CoSA's one-shot solves are deterministic and perfectly cacheable, so a
+//! schedule is a *servable artifact*: the `cosa-serve` crate runs a
+//! long-lived daemon over the batch [`Engine`](crate::engine::Engine)
+//! answering HTTP/1.1 JSON requests. This module owns the request/response
+//! types (and the scheduler-by-name registry) so the daemon, the
+//! `serve_probe` load generator and in-process clients all speak the exact
+//! same schema — responses are canonically serialized by the workspace
+//! serde, so identical inputs yield byte-identical bodies.
+//!
+//! Endpoints (served by `cosa-serve`):
+//!
+//! * `POST /schedule` — a [`ScheduleRequest`] naming a layer, an inline
+//!   network or a suite; answers a [`ScheduleResponse`].
+//! * `GET /stats` — a [`StatsResponse`]: cache counters plus request
+//!   counters and latency percentiles.
+//! * `GET /healthz` — a [`HealthResponse`]; ready means the warm start
+//!   (cache-dir load) already happened.
+//! * `POST /shutdown` — graceful shutdown: stop accepting, drain in-flight
+//!   requests, exit.
+//!
+//! The offline serde treats a missing request field as an error, so
+//! [`ScheduleRequest`] deserialization is hand-written: absent and `null`
+//! fields both mean "default". Responses always carry every field.
+
+use std::time::Duration;
+
+use cosa_core::CosaScheduler;
+use cosa_mappers::{HybridConfig, HybridMapper, RandomMapper, SearchLimits};
+use cosa_spec::{Arch, Layer, Network, Suite};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+use crate::api::{Scheduled, Scheduler};
+use crate::engine::CacheStats;
+use crate::engine::NetworkReport;
+
+/// Node budget for the default (`"cosa"`) serving scheduler — the same
+/// bound `engine_probe` uses, so the daemon and the probes share cache
+/// entries and both stay bit-reproducible when the budget binds.
+pub const SERVE_COSA_NODE_LIMIT: usize = 300;
+
+/// Seed for the `"random"` serving scheduler (matches `engine_probe`).
+pub const SERVE_RANDOM_SEED: u64 = 7;
+
+/// Build the serving scheduler registry entry for `name`.
+///
+/// The configurations are fixed (and match `engine_probe`'s) on purpose:
+/// the cache key includes [`Scheduler::fingerprint`], so every process
+/// that constructs schedulers through this function shares warm cache
+/// entries with every other.
+///
+/// # Errors
+///
+/// Returns a message naming the valid schedulers for an unknown `name`.
+pub fn scheduler_from_name(name: &str, arch: &Arch) -> Result<Box<dyn Scheduler>, String> {
+    match name {
+        "cosa" => Ok(Box::new(
+            CosaScheduler::new(arch).with_deterministic_limits(SERVE_COSA_NODE_LIMIT),
+        )),
+        "random" => Ok(Box::new(
+            RandomMapper::new(SERVE_RANDOM_SEED).with_limits(SearchLimits::quick()),
+        )),
+        "hybrid" => Ok(Box::new(HybridMapper::new(HybridConfig::quick()))),
+        other => Err(format!(
+            "unknown scheduler `{other}` (expected cosa|random|hybrid)"
+        )),
+    }
+}
+
+/// A `POST /schedule` body: what to schedule and with which scheduler.
+///
+/// Exactly one of `layer`, `network` or `suite` must be set. `arch`
+/// defaults to the daemon's configured architecture and `scheduler` to
+/// `"cosa"`. Missing and `null` fields are equivalent.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ScheduleRequest {
+    /// Architecture to schedule for; `None` uses the daemon's default.
+    pub arch: Option<Arch>,
+    /// Scheduler name (`cosa`|`random`|`hybrid`); `None` means `cosa`.
+    pub scheduler: Option<String>,
+    /// Schedule one layer, answering [`ScheduleResponse::scheduled`].
+    pub layer: Option<Layer>,
+    /// Schedule an inline network, answering [`ScheduleResponse::report`].
+    pub network: Option<Network>,
+    /// Schedule a named suite (e.g. `"resnet50"`), answering
+    /// [`ScheduleResponse::report`].
+    pub suite: Option<String>,
+}
+
+/// Read an optional field: absent and `null` both deserialize to `None`.
+fn opt_field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<Option<T>, SerdeError> {
+    match map.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, v)) => Option::<T>::from_value(v),
+    }
+}
+
+impl Deserialize for ScheduleRequest {
+    fn from_value(value: &Value) -> Result<ScheduleRequest, SerdeError> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| SerdeError::custom("expected map for ScheduleRequest"))?;
+        // Lenient about *missing* fields, strict about *unknown* ones: a
+        // misspelled "schedulr" must fail loudly, not silently fall back
+        // to the default scheduler.
+        const KNOWN: [&str; 5] = ["arch", "scheduler", "layer", "network", "suite"];
+        if let Some((unknown, _)) = map.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
+            return Err(SerdeError::custom(format!(
+                "unknown request field `{unknown}` (expected one of {KNOWN:?})"
+            )));
+        }
+        Ok(ScheduleRequest {
+            arch: opt_field(map, "arch")?,
+            scheduler: opt_field(map, "scheduler")?,
+            layer: opt_field(map, "layer")?,
+            network: opt_field(map, "network")?,
+            suite: opt_field(map, "suite")?,
+        })
+    }
+}
+
+impl ScheduleRequest {
+    /// A request for one layer on the daemon's default arch and scheduler.
+    pub fn for_layer(layer: Layer) -> ScheduleRequest {
+        ScheduleRequest {
+            layer: Some(layer),
+            ..ScheduleRequest::default()
+        }
+    }
+
+    /// A request for a named suite on the daemon's default arch/scheduler.
+    pub fn for_suite(suite: Suite) -> ScheduleRequest {
+        ScheduleRequest {
+            suite: Some(suite.name().to_string()),
+            ..ScheduleRequest::default()
+        }
+    }
+
+    /// A request for an inline network.
+    pub fn for_network(network: Network) -> ScheduleRequest {
+        ScheduleRequest {
+            network: Some(network),
+            ..ScheduleRequest::default()
+        }
+    }
+
+    /// Pick a scheduler by name (`cosa`|`random`|`hybrid`).
+    pub fn with_scheduler(mut self, name: impl Into<String>) -> ScheduleRequest {
+        self.scheduler = Some(name.into());
+        self
+    }
+
+    /// Pin the architecture instead of using the daemon's default.
+    pub fn with_arch(mut self, arch: Arch) -> ScheduleRequest {
+        self.arch = Some(arch);
+        self
+    }
+
+    /// Validate the "exactly one work item" rule, naming the violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-readable message when zero or multiple of
+    /// `layer`/`network`/`suite` are set.
+    pub fn work_item(&self) -> Result<(), String> {
+        let set = [
+            self.layer.is_some(),
+            self.network.is_some(),
+            self.suite.is_some(),
+        ]
+        .iter()
+        .filter(|b| **b)
+        .count();
+        match set {
+            1 => Ok(()),
+            0 => Err("request must set one of `layer`, `network` or `suite`".to_string()),
+            _ => Err("request must set only one of `layer`, `network` or `suite`".to_string()),
+        }
+    }
+}
+
+/// A `POST /schedule` answer: exactly one of the three fields is set.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleResponse {
+    /// The single-layer result, for [`ScheduleRequest::layer`] requests.
+    pub scheduled: Option<Scheduled>,
+    /// The whole-network report, for network/suite requests.
+    pub report: Option<NetworkReport>,
+    /// The failure rendered as text (HTTP status carries the class).
+    pub error: Option<String>,
+}
+
+impl ScheduleResponse {
+    /// A single-layer success.
+    pub fn from_scheduled(scheduled: Scheduled) -> ScheduleResponse {
+        ScheduleResponse {
+            scheduled: Some(scheduled),
+            ..ScheduleResponse::default()
+        }
+    }
+
+    /// A whole-network success.
+    pub fn from_report(report: NetworkReport) -> ScheduleResponse {
+        ScheduleResponse {
+            report: Some(report),
+            ..ScheduleResponse::default()
+        }
+    }
+
+    /// An error answer.
+    pub fn from_error(error: impl Into<String>) -> ScheduleResponse {
+        ScheduleResponse {
+            error: Some(error.into()),
+            ..ScheduleResponse::default()
+        }
+    }
+
+    /// A copy with every volatile measurement zeroed (per-layer wall-clock
+    /// and cache counters) — the form byte-identity comparisons across
+    /// cold/warm daemon runs use, mirroring
+    /// [`NetworkReport::without_timings`].
+    pub fn without_timings(&self) -> ScheduleResponse {
+        let mut resp = self.clone();
+        if let Some(s) = &mut resp.scheduled {
+            s.elapsed = Duration::ZERO;
+        }
+        if let Some(r) = &resp.report {
+            resp.report = Some(r.without_timings());
+        }
+        resp
+    }
+}
+
+/// A `GET /stats` answer: request counters, latency percentiles, GC
+/// activity and the cache counters summed over the daemon's engines.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Schedule requests answered 200 (`/stats` and `/healthz` hits are
+    /// not counted).
+    pub served: u64,
+    /// Requests answered 4xx/5xx (excluding queue rejections).
+    pub errors: u64,
+    /// Connections rejected 429 by the bounded queue.
+    pub rejected: u64,
+    /// Connections currently queued for a worker.
+    pub queue_depth: usize,
+    /// Bound on `queue_depth` beyond which connections are rejected.
+    pub queue_capacity: usize,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Architecture-keyed engines resident (requests for new architectures
+    /// instantiate engines lazily).
+    pub engines: usize,
+    /// p50 request service time over the recent-latency window, in µs.
+    pub p50_micros: u64,
+    /// p99 request service time over the recent-latency window, in µs.
+    pub p99_micros: u64,
+    /// Maximum request service time over the recent-latency window, in µs.
+    pub max_micros: u64,
+    /// Disk-tier GC sweeps run (startup + every-N-requests).
+    pub gc_runs: u64,
+    /// Entry files GC has deleted.
+    pub gc_removed: u64,
+    /// Cache counters summed across all resident engines.
+    pub cache: CacheStats,
+}
+
+/// A `GET /healthz` answer. The daemon only listens after its warm start
+/// (cache-dir load) completed, so any answer at all means ready.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` once the daemon answers.
+    pub status: String,
+    /// Entries warm-loaded from the cache dir at startup (0 = cold).
+    pub warm_entries: usize,
+    /// The shared cache directory, when persistence is on.
+    pub cache_dir: Option<String>,
+    /// Whether engine-level NoC evaluation is on.
+    pub noc: bool,
+}
+
+/// A bounded window of request service times with percentile readout.
+///
+/// Keeps the most recent [`LatencyRecorder::WINDOW`] samples (overwriting
+/// the oldest), so `/stats` percentiles track current behaviour instead of
+/// averaging over the daemon's whole lifetime; memory stays constant under
+/// heavy traffic.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+    /// Total samples ever recorded; `total % WINDOW` is the ring cursor.
+    total: u64,
+}
+
+impl LatencyRecorder {
+    /// Resident sample bound.
+    pub const WINDOW: usize = 4096;
+
+    /// An empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Record one service time in microseconds.
+    pub fn record(&mut self, micros: u64) {
+        let cursor = (self.total % Self::WINDOW as u64) as usize;
+        if self.samples.len() < Self::WINDOW {
+            self.samples.push(micros);
+        } else {
+            self.samples[cursor] = micros;
+        }
+        self.total += 1;
+    }
+
+    /// Samples ever recorded (resident window is smaller).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `p`-th percentile (0.0–1.0) of the resident window, in µs;
+    /// 0 when nothing was recorded. Nearest-rank on a sorted copy — the
+    /// window is small and `/stats` is rare, so simplicity wins.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(sorted.len() - 1);
+        sorted[rank]
+    }
+
+    /// Maximum resident sample, in µs.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_missing_fields_deserialize_to_none() {
+        let req: ScheduleRequest = serde_json::from_str(r#"{"suite": "resnet50"}"#).unwrap();
+        assert_eq!(req.suite.as_deref(), Some("resnet50"));
+        assert!(req.arch.is_none() && req.layer.is_none() && req.network.is_none());
+        assert!(req.work_item().is_ok());
+        // And the empty object is a well-formed (if unserviceable) request.
+        let empty: ScheduleRequest = serde_json::from_str("{}").unwrap();
+        assert!(empty.work_item().is_err());
+    }
+
+    #[test]
+    fn request_rejects_unknown_fields() {
+        let err = serde_json::from_str::<ScheduleRequest>(
+            r#"{"suite": "resnet50", "schedulr": "random"}"#,
+        )
+        .expect_err("typo'd field must not silently fall back to defaults");
+        assert!(err.to_string().contains("schedulr"), "{err}");
+    }
+
+    #[test]
+    fn request_round_trips_through_canonical_json() {
+        let req = ScheduleRequest::for_layer(Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1))
+            .with_scheduler("random");
+        let json = serde_json::to_string(&req).unwrap();
+        let back: ScheduleRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn work_item_requires_exactly_one() {
+        let both = ScheduleRequest {
+            layer: Some(Layer::conv("t", 1, 1, 4, 4, 8, 8, 1, 1, 1)),
+            suite: Some("alexnet".to_string()),
+            ..ScheduleRequest::default()
+        };
+        assert!(both.work_item().is_err());
+        assert!(ScheduleRequest::for_suite(Suite::AlexNet)
+            .work_item()
+            .is_ok());
+    }
+
+    #[test]
+    fn scheduler_registry_matches_probe_configs() {
+        let arch = Arch::simba_baseline();
+        for name in ["cosa", "random", "hybrid"] {
+            let s = scheduler_from_name(name, &arch).expect("known scheduler");
+            assert_eq!(s.name(), name);
+        }
+        assert!(scheduler_from_name("simulated-annealing", &arch).is_err());
+    }
+
+    #[test]
+    fn latency_recorder_percentiles_and_window() {
+        let mut rec = LatencyRecorder::new();
+        assert_eq!(rec.percentile(0.5), 0);
+        for v in 1..=100u64 {
+            rec.record(v);
+        }
+        assert_eq!(rec.percentile(0.5), 50);
+        assert_eq!(rec.percentile(0.99), 99);
+        assert_eq!(rec.max(), 100);
+        // The ring overwrites the oldest samples once past the window.
+        for v in 0..(LatencyRecorder::WINDOW as u64) {
+            rec.record(1000 + v);
+        }
+        assert!(rec.percentile(0.0) >= 1000, "old samples aged out");
+        assert_eq!(rec.total(), 100 + LatencyRecorder::WINDOW as u64);
+    }
+}
