@@ -17,6 +17,12 @@
 //! * `--expect-warm` — assert the whole run was served from cache: zero
 //!   new solver calls and zero new NoC simulations in `/stats`, p99
 //!   client latency under `--max-warm-p99-millis` (default 2000).
+//! * `--concurrency-storm` — single-flight acceptance mode: every request
+//!   becomes the *same single layer* (the first of the selected network),
+//!   fired concurrently at a cold daemon, and the probe asserts via
+//!   `/stats` deltas that the whole storm cost **exactly one** solver
+//!   call — the engine's in-process wait map and the store's per-digest
+//!   solve locks must deduplicate the rest (reported as `dedup_waits`).
 //! * `--artifact PATH` — where to write the canonical (volatile-stripped)
 //!   response body (default `results/serve_probe_response.json`); CI
 //!   `cmp`s the cold and warm artifacts.
@@ -95,20 +101,32 @@ fn main() {
     let latency_csv =
         flag_value(&args, "--latency-csv").unwrap_or_else(|| "serve_probe_latency.csv".to_string());
     let shutdown = args.iter().any(|a| a == "--shutdown");
+    let storm = args.iter().any(|a| a == "--concurrency-storm");
 
     let mut network = Network::from_suite(suite);
     if quick {
         network.layers.truncate(8);
     }
-    let body = serde_json::to_string(
-        &ScheduleRequest::for_network(network.clone()).with_scheduler(&scheduler),
-    )
-    .expect("request serializes");
+    // Storm mode fires M copies of one identical layer request (a single
+    // unique digest), so "exactly one solve" is assertable on /stats.
+    let request = if storm {
+        let layer = network
+            .layers
+            .first()
+            .expect("non-empty network")
+            .layer
+            .clone();
+        ScheduleRequest::for_layer(layer).with_scheduler(&scheduler)
+    } else {
+        ScheduleRequest::for_network(network.clone()).with_scheduler(&scheduler)
+    };
+    let body = serde_json::to_string(&request).expect("request serializes");
 
     println!(
-        "serve probe — {requests} requests x{concurrency} to {addr} ({}, {} instances, `{scheduler}`)",
+        "serve probe — {requests} requests x{concurrency} to {addr} ({}, {} instances, `{scheduler}`{})",
         network.name,
         network.num_instances(),
+        if storm { ", concurrency storm" } else { "" },
     );
     wait_ready(addr, wait);
     let before = stats(addr);
@@ -185,12 +203,31 @@ fn main() {
     let solves = after.cache.misses - before.cache.misses;
     let noc_sims = after.cache.noc_sims - before.cache.noc_sims;
     println!(
-        "  /stats: +{} served, {solves} fresh solves, {noc_sims} NoC sims, {} rejected, daemon p99 {}µs, {} gc runs",
+        "  /stats: +{} served, {solves} fresh solves, {} dedup waits, {noc_sims} NoC sims, {} rejected, daemon p99 {}µs, {} gc runs",
         after.served - before.served,
+        after.cache.dedup_waits - before.cache.dedup_waits,
         after.rejected,
         after.p99_micros,
         after.gc_runs,
     );
+
+    if storm {
+        let dedup_waits = after.cache.dedup_waits - before.cache.dedup_waits;
+        // The single-flight acceptance criterion: M identical cold
+        // requests, one unique digest, exactly one solver call. (On a
+        // box where the daemon drained the storm serially, the remaining
+        // requests are plain cache hits — still exactly one solve.)
+        assert_eq!(
+            solves, 1,
+            "concurrency storm: {requests} identical cold requests for one \
+             unique digest must cost exactly 1 solve, /stats shows {solves}"
+        );
+        println!(
+            "  storm contract holds: 1 solve for 1 unique digest across {requests} requests, \
+             {dedup_waits} dedup waits, in-flight peak {}",
+            after.cache.in_flight_peak
+        );
+    }
 
     if expect_warm {
         assert_eq!(solves, 0, "warm pass must add zero solver calls");

@@ -12,6 +12,9 @@
 //!   capacity.
 //! * `--cache-dir PATH` (or `COSA_CACHE_DIR`) — shared persistent
 //!   schedule cache; restarts warm-start from it.
+//! * `--lock-staleness-secs N` — how old a per-digest solve-lock file
+//!   must be before it is presumed orphaned and taken over (default
+//!   300 s; keep it above the worst-case solve time).
 //! * `--noc` — engine-level NoC evaluation per unique shape.
 //! * `--gc-max-bytes N` / `--gc-max-age-secs N` — disk-tier GC policy,
 //!   run at startup and every `--gc-every N` served requests (default 64).
@@ -43,6 +46,8 @@ fn main() {
     config.cache_dir = flag_value(&args, "--cache-dir")
         .or_else(|| std::env::var("COSA_CACHE_DIR").ok())
         .map(Into::into);
+    config.lock_staleness =
+        parse_flag::<u64>(&args, "--lock-staleness-secs").map(Duration::from_secs);
     config.noc = args.iter().any(|a| a == "--noc");
     let mut gc = GcPolicy::default();
     if let Some(max_bytes) = parse_flag(&args, "--gc-max-bytes") {

@@ -85,6 +85,11 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Shared persistent schedule-cache directory, when set.
     pub cache_dir: Option<PathBuf>,
+    /// Cross-process solve-lock staleness bound (`None` = the engine's
+    /// default). Must comfortably exceed the worst-case solve time, or
+    /// another daemon sharing the cache dir takes over a *live* solver's
+    /// lock and duplicates its work.
+    pub lock_staleness: Option<Duration>,
     /// Enable engine-level NoC evaluation.
     pub noc: bool,
     /// Disk-tier GC policy (no-op when unbounded or memory-only).
@@ -110,6 +115,7 @@ impl Default for ServeConfig {
                 .unwrap_or(4),
             queue_capacity: 64,
             cache_dir: None,
+            lock_staleness: None,
             noc: false,
             gc: GcPolicy::default(),
             gc_every: 64,
@@ -308,6 +314,9 @@ fn build_engine(config: &ServeConfig, arch: Arch, cache_bytes: u64) -> io::Resul
     if config.noc {
         engine = engine.with_noc();
     }
+    if let Some(staleness) = config.lock_staleness {
+        engine = engine.with_lock_staleness(staleness);
+    }
     if let Some(dir) = &config.cache_dir {
         engine = engine.with_cache_dir(dir)?;
     }
@@ -325,6 +334,10 @@ fn add_cache_stats(total: &mut CacheStats, s: CacheStats) {
     total.warm_entries += s.warm_entries;
     total.load_micros += s.load_micros;
     total.store_errors += s.store_errors;
+    total.dedup_waits += s.dedup_waits;
+    // A peak is a high-water mark, not a flow: summing engines' peaks
+    // would overstate concurrency that never coincided.
+    total.in_flight_peak = total.in_flight_peak.max(s.in_flight_peak);
 }
 
 /// The daemon. [`Server::start`] warm-starts the default engine, runs the

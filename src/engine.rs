@@ -21,6 +21,16 @@
 //!   written through to a [`store::CacheStore`] directory and loaded back
 //!   on the next start, so warm runs perform zero solver calls.
 //!
+//! Cold requests are additionally **single-flighted**: when N concurrent
+//! requests (threads in this process, or processes sharing a cache
+//! directory) ask for the same uncached digest, exactly one runs the MILP
+//! and the rest wait for its result — in-process through a per-digest
+//! wait map, cross-process through advisory [`store::SolveLock`] files
+//! plus disk read-through. [`CacheStats::dedup_waits`] and
+//! [`CacheStats::in_flight_peak`] surface the dedup activity; waiters
+//! receive the leader's entry verbatim, so deduplicated responses stay
+//! byte-identical.
+//!
 //! With [`Engine::with_noc`] the cycle-level NoC simulator runs *inside*
 //! the engine, once per unique shape, and its verdict is cached (and
 //! persisted) alongside the schedule — the Fig. 10 campaign reads
@@ -57,7 +67,7 @@ use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use cosa_noc::{NocSimulator, NocSummary};
@@ -66,7 +76,23 @@ use serde::{Deserialize, Serialize};
 
 use crate::api::{ScheduleError, Scheduled, Scheduler};
 
-pub use store::{CacheEntry, CacheStore, GcPolicy, GcReport, StoreLoad, STORE_VERSION};
+pub use store::{
+    CacheEntry, CacheStore, GcPolicy, GcReport, SolveLock, StoreLoad, DEFAULT_LOCK_STALENESS,
+    STORE_VERSION,
+};
+
+/// How often a cross-process waiter re-checks the shared store for the
+/// entry (or the lock for staleness) while another process solves.
+const CROSS_PROCESS_POLL: Duration = Duration::from_millis(25);
+
+/// Extra wait beyond the lock-staleness bound before a cross-process
+/// waiter gives up on a foreign lock entirely and solves unlocked. A
+/// healthy holder persists within the staleness bound and a crashed one
+/// is taken over at it, so this only triggers when the lock file is
+/// unreclaimable (mtime in the future after a clock step, undeletable
+/// file) — fail-open to a duplicated solve rather than wedging the
+/// worker forever.
+const CROSS_PROCESS_WAIT_GRACE: Duration = Duration::from_secs(30);
 
 /// One resident cache slot: the entry plus LRU/size bookkeeping.
 #[derive(Debug)]
@@ -152,6 +178,21 @@ impl ScheduleCache {
 
     /// Look up a key, counting a hit or miss and refreshing LRU order.
     pub fn get(&mut self, key: &str) -> Option<CacheEntry> {
+        match self.peek(key) {
+            Some(entry) => Some(entry),
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up a key without counting a miss on absence: a present entry
+    /// still counts a hit and refreshes LRU order. The engine's
+    /// single-flight path uses this so that `misses` counts *solver
+    /// invocations* — an absent key whose solve is deduplicated against
+    /// an in-flight leader is a [`CacheStats::dedup_waits`], not a miss.
+    pub fn peek(&mut self, key: &str) -> Option<CacheEntry> {
         self.clock += 1;
         match self.entries.get_mut(key) {
             Some(slot) => {
@@ -159,11 +200,19 @@ impl ScheduleCache {
                 self.hits += 1;
                 Some(slot.entry.clone())
             }
-            None => {
-                self.misses += 1;
-                None
-            }
+            None => None,
         }
+    }
+
+    /// Count one miss: a single-flight leader is about to run the solver.
+    pub fn note_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Count one hit served from outside the resident set (an entry
+    /// read through from the disk tier after another process solved it).
+    pub fn note_hit(&mut self) {
+        self.hits += 1;
     }
 
     /// Insert (or replace) an entry, then evict least-recently-used slots
@@ -238,6 +287,86 @@ fn entry_bytes(key: &str, entry: &CacheEntry) -> u64 {
     (key.len() + value) as u64
 }
 
+/// One in-flight solve in the engine's single-flight map. The leader
+/// publishes its outcome exactly once; followers block on the condvar
+/// and receive a clone of the published entry verbatim.
+#[derive(Debug, Default)]
+struct Flight {
+    outcome: Mutex<Option<Result<CacheEntry, ScheduleError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn publish(&self, outcome: Result<CacheEntry, ScheduleError>) {
+        *self.outcome.lock().expect("flight lock") = Some(outcome);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<CacheEntry, ScheduleError> {
+        let mut outcome = self.outcome.lock().expect("flight lock");
+        while outcome.is_none() {
+            outcome = self.done.wait(outcome).expect("flight lock");
+        }
+        outcome.clone().expect("flight published")
+    }
+}
+
+/// The single-flight verdict for one uncached lookup.
+enum Ticket {
+    /// The entry was in the in-memory cache after all.
+    Hit(CacheEntry),
+    /// This request leads: it must solve and publish through the flight.
+    Lead(Arc<Flight>),
+    /// Another request is already solving this digest; wait on its flight.
+    Wait(Arc<Flight>),
+}
+
+/// Clears a leader's flight on every exit path: removes the wait-map
+/// entry, then publishes the outcome so followers wake. If the leader
+/// unwinds before recording an outcome (a panicking scheduler), followers
+/// receive an error instead of blocking forever.
+struct FlightLead<'a> {
+    engine: &'a Engine,
+    key: &'a str,
+    flight: Arc<Flight>,
+    /// Names for the panic-path error message.
+    scheduler: String,
+    layer: String,
+    outcome: Option<Result<CacheEntry, ScheduleError>>,
+}
+
+impl Drop for FlightLead<'_> {
+    fn drop(&mut self) {
+        // Order matters: the successful outcome is already in the cache
+        // (the leader inserts before this guard drops), so removing the
+        // flight first means a new request either sees the cache entry or
+        // starts a fresh flight — it can never miss both.
+        self.engine
+            .flights
+            .lock()
+            .expect("flights lock")
+            .remove(self.key);
+        let outcome = self.outcome.take().unwrap_or_else(|| {
+            Err(ScheduleError::Solver {
+                scheduler: self.scheduler.clone(),
+                layer: self.layer.clone(),
+                message: "in-flight solve aborted before publishing a result".to_string(),
+            })
+        });
+        self.flight.publish(outcome);
+    }
+}
+
+/// The outcome of consulting the shared store before a leader solves.
+enum CrossProcess {
+    /// Another process already persisted the entry; serve it.
+    Entry(CacheEntry),
+    /// The per-digest solve lock was acquired; solve while holding it.
+    Locked(SolveLock),
+    /// Locking is unavailable (I/O trouble); solve unlocked (fail-open).
+    Unlocked,
+}
+
 /// Run `f` over every item on up to `workers` scoped threads sharing a
 /// work-stealing index — the fan-out used by both the solve and the NoC
 /// backfill passes (the campaign's external NoC pass was a third copy of
@@ -288,6 +417,13 @@ pub struct CacheStats {
     /// Persistent-store write failures plus corrupt entries skipped at
     /// load (non-fatal; the cache degrades to memory-only behaviour).
     pub store_errors: u64,
+    /// Requests that waited on another request's in-flight solve instead
+    /// of re-running the solver: in-process single-flight followers plus
+    /// cross-process waits on another process's solve lock.
+    pub dedup_waits: u64,
+    /// Peak number of digests simultaneously in flight (the high-water
+    /// mark of the single-flight wait map).
+    pub in_flight_peak: u64,
 }
 
 /// Per-entry outcome inside a [`NetworkReport`].
@@ -381,7 +517,10 @@ pub struct NetworkRun {
     /// cache hits plus within-run deduplication of repeated shapes);
     /// duplicate entries of a failed solve count as neither hit nor miss.
     pub cache_hits: u64,
-    /// Unique shapes that required a fresh solve.
+    /// Unique shapes this call actually solved fresh. Digests resolved by
+    /// waiting on a concurrent call's in-flight solve, or read through
+    /// from an entry another process persisted, count as neither hit nor
+    /// miss here (they surface in [`CacheStats::dedup_waits`]).
     pub cache_misses: u64,
     /// Cycle-level NoC simulations executed during this call (0 on a warm
     /// run whose entries already carry verdicts).
@@ -406,6 +545,17 @@ pub struct Engine {
     store_errors: AtomicU64,
     warm_entries: usize,
     load_micros: u64,
+    /// Per-digest single-flight wait map: at most one solve per digest is
+    /// in flight at a time; concurrent requests for it wait here.
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+    /// Requests deduplicated against an in-flight solve (in-process
+    /// followers + cross-process lock waits).
+    dedup_waits: AtomicU64,
+    /// High-water mark of `flights`.
+    in_flight_peak: AtomicU64,
+    /// Solve-lock staleness override, applied to the store (kept so the
+    /// builder methods compose in either order).
+    lock_staleness: Option<Duration>,
 }
 
 impl Engine {
@@ -427,7 +577,24 @@ impl Engine {
             store_errors: AtomicU64::new(0),
             warm_entries: 0,
             load_micros: 0,
+            flights: Mutex::new(HashMap::new()),
+            dedup_waits: AtomicU64::new(0),
+            in_flight_peak: AtomicU64::new(0),
+            lock_staleness: None,
         }
+    }
+
+    /// Set the cross-process solve-lock staleness bound (default
+    /// [`DEFAULT_LOCK_STALENESS`]): locks older than this are presumed
+    /// orphaned and taken over, so it must comfortably exceed the
+    /// worst-case solve time. Composes with [`Engine::with_cache_dir`]
+    /// in either order; a no-op for memory-only engines.
+    pub fn with_lock_staleness(mut self, staleness: Duration) -> Engine {
+        self.lock_staleness = Some(staleness);
+        if let Some(store) = &mut self.store {
+            store.set_lock_staleness(staleness);
+        }
+        self
     }
 
     /// Set the number of worker threads for network fan-out (min 1).
@@ -495,7 +662,10 @@ impl Engine {
     /// Returns the I/O error when the directory cannot be created.
     pub fn with_cache_dir(mut self, dir: impl AsRef<Path>) -> io::Result<Engine> {
         let start = Instant::now();
-        let store = CacheStore::open(dir.as_ref())?;
+        let mut store = CacheStore::open(dir.as_ref())?;
+        if let Some(staleness) = self.lock_staleness {
+            store.set_lock_staleness(staleness);
+        }
         let load = store.load();
         let cache = self
             .cache
@@ -545,6 +715,8 @@ impl Engine {
             warm_entries: self.warm_entries,
             load_micros: self.load_micros,
             store_errors: self.store_errors.load(Ordering::Relaxed),
+            dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
+            in_flight_peak: self.in_flight_peak.load(Ordering::Relaxed),
             ..CacheStats::default()
         };
         if let Some(cache) = &self.cache {
@@ -614,7 +786,200 @@ impl Engine {
         }
     }
 
+    /// Solve one layer fresh (no cache interaction), attaching the NoC
+    /// verdict when engine-level evaluation is enabled.
+    fn solve_fresh(
+        &self,
+        scheduler: &dyn Scheduler,
+        layer: &Layer,
+    ) -> Result<CacheEntry, ScheduleError> {
+        scheduler.schedule(&self.arch, layer).map(|scheduled| {
+            let noc = self
+                .simulate_noc
+                .then(|| self.noc_verdict(layer, &scheduled))
+                .flatten();
+            CacheEntry { scheduled, noc }
+        })
+    }
+
+    /// Catch a schedule-only entry up with NoC evaluation so warm runs
+    /// after enabling `with_noc` converge too.
+    fn catch_up_noc(
+        &self,
+        cache: &Mutex<ScheduleCache>,
+        key: &str,
+        mut entry: CacheEntry,
+        layer: &Layer,
+    ) -> CacheEntry {
+        if self.simulate_noc && entry.noc.is_none() {
+            entry.noc = self.noc_verdict(layer, &entry.scheduled);
+            if entry.noc.is_some() {
+                cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(key.to_string(), entry.clone());
+                self.persist(key, &entry);
+            }
+        }
+        entry
+    }
+
+    /// The single-flight admission decision for an uncached-looking key.
+    /// The cache check happens *under the wait-map lock* so a leader's
+    /// publish (insert cache, then clear flight) can never slip between a
+    /// joiner's two checks.
+    fn join_flight(&self, cache: &Mutex<ScheduleCache>, key: &str) -> Ticket {
+        let mut flights = self.flights.lock().expect("flights lock");
+        if let Some(hit) = cache.lock().expect("cache lock").peek(key) {
+            return Ticket::Hit(hit);
+        }
+        if let Some(flight) = flights.get(key) {
+            self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+            return Ticket::Wait(flight.clone());
+        }
+        let flight = Arc::new(Flight::default());
+        flights.insert(key.to_string(), flight.clone());
+        self.in_flight_peak
+            .fetch_max(flights.len() as u64, Ordering::Relaxed);
+        Ticket::Lead(flight)
+    }
+
+    /// Consult the shared store before a leader solves: read through for
+    /// an entry another process persisted after our warm start, then take
+    /// the per-digest solve lock — waiting out (or taking over) another
+    /// process's in-flight solve when the lock is held.
+    fn cross_process_entry(&self, store: &CacheStore, key: &str) -> CrossProcess {
+        if let Some(entry) = store.load_entry(key) {
+            return CrossProcess::Entry(entry);
+        }
+        // Liveness bound: a healthy holder persists well within the
+        // staleness bound and a crashed one is taken over at it, so
+        // waiting longer means the lock file is unreclaimable (future
+        // mtime after a clock step, undeletable file). Give up then and
+        // solve unlocked — the documented worst case is a duplicated
+        // solve, never a wedged worker.
+        let deadline = Instant::now() + store.lock_staleness() + CROSS_PROCESS_WAIT_GRACE;
+        let mut waited = false;
+        loop {
+            match store.try_lock(key) {
+                Ok(Some(lock)) => {
+                    // Re-check under the lock: the previous holder may
+                    // have persisted between our read and this acquire.
+                    if let Some(entry) = store.load_entry(key) {
+                        return CrossProcess::Entry(entry);
+                    }
+                    return CrossProcess::Locked(lock);
+                }
+                Ok(None) => {
+                    // Another process is solving this digest: wait for
+                    // its entry to land (or for its lock to go stale, at
+                    // which point try_lock takes over and we solve).
+                    if !waited {
+                        waited = true;
+                        self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if Instant::now() >= deadline {
+                        self.store_errors.fetch_add(1, Ordering::Relaxed);
+                        return CrossProcess::Unlocked;
+                    }
+                    std::thread::sleep(CROSS_PROCESS_POLL);
+                    if let Some(entry) = store.load_entry(key) {
+                        return CrossProcess::Entry(entry);
+                    }
+                }
+                Err(_) => {
+                    // Advisory locking is an optimization: degrade to a
+                    // (possibly duplicated) solve rather than failing.
+                    self.store_errors.fetch_add(1, Ordering::Relaxed);
+                    return CrossProcess::Unlocked;
+                }
+            }
+        }
+    }
+
+    /// The leader's solve path: cross-process coordination (when a store
+    /// is attached), then the actual solve, publishing successes to the
+    /// cache and the store *before* the solve lock releases. Returns the
+    /// outcome plus whether this call ran the solver.
+    fn lead_flight(
+        &self,
+        cache: &Mutex<ScheduleCache>,
+        scheduler: &dyn Scheduler,
+        key: &str,
+        layer: &Layer,
+    ) -> (Result<CacheEntry, ScheduleError>, bool) {
+        let mut lock = None;
+        if let Some(store) = &self.store {
+            match self.cross_process_entry(store, key) {
+                CrossProcess::Entry(entry) => {
+                    // Another process solved it: a disk-tier hit, not a
+                    // miss — no solver ran here.
+                    let mut c = cache.lock().expect("cache lock");
+                    c.note_hit();
+                    c.insert(key.to_string(), entry.clone());
+                    drop(c);
+                    return (Ok(self.catch_up_noc(cache, key, entry, layer)), false);
+                }
+                CrossProcess::Locked(held) => lock = Some(held),
+                CrossProcess::Unlocked => {}
+            }
+        }
+        cache.lock().expect("cache lock").note_miss();
+        let outcome = self.solve_fresh(scheduler, layer);
+        if let Ok(entry) = &outcome {
+            cache
+                .lock()
+                .expect("cache lock")
+                .insert(key.to_string(), entry.clone());
+            // Persist before releasing the lock: a waiter that acquires
+            // the lock next re-checks the disk and must find the entry.
+            self.persist(key, entry);
+        }
+        drop(lock);
+        (outcome, true)
+    }
+
+    /// Resolve one `(key, layer)` through every dedup tier: the in-memory
+    /// cache, the in-process single-flight map and (when a store is
+    /// attached) the cross-process solve lock plus disk read-through.
+    /// Returns the outcome plus whether *this call* ran the solver.
+    fn resolve_entry(
+        &self,
+        scheduler: &dyn Scheduler,
+        key: &str,
+        layer: &Layer,
+    ) -> (Result<CacheEntry, ScheduleError>, bool) {
+        let Some(cache) = &self.cache else {
+            // No cache tier to publish through (and `without_cache`
+            // detaches the store): solve directly. Within-call dedup in
+            // `schedule_network` still applies.
+            return (self.solve_fresh(scheduler, layer), true);
+        };
+        match self.join_flight(cache, key) {
+            Ticket::Hit(entry) => (Ok(self.catch_up_noc(cache, key, entry, layer)), false),
+            Ticket::Wait(flight) => (flight.wait(), false),
+            Ticket::Lead(flight) => {
+                let mut lead = FlightLead {
+                    engine: self,
+                    key,
+                    flight,
+                    scheduler: scheduler.name().to_string(),
+                    layer: layer.name().to_string(),
+                    outcome: None,
+                };
+                let (outcome, led) = self.lead_flight(cache, scheduler, key, layer);
+                lead.outcome = Some(outcome.clone());
+                drop(lead); // Publishes to followers and clears the flight.
+                (outcome, led)
+            }
+        }
+    }
+
     /// Schedule a single layer through the cache.
+    ///
+    /// Concurrent calls for the same uncached digest are single-flighted:
+    /// exactly one runs the solver, the others wait and receive the same
+    /// entry verbatim (counted in [`CacheStats::dedup_waits`]).
     ///
     /// With [`Engine::with_noc`] enabled the NoC verdict is computed (or
     /// served from the cache) and stored alongside the schedule; retrieve
@@ -622,44 +987,17 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Propagates the scheduler's [`ScheduleError`]; errors are not cached.
+    /// Propagates the scheduler's [`ScheduleError`]; errors are not
+    /// cached (followers of a failed flight receive the leader's error,
+    /// and the next request re-solves).
     pub fn schedule_layer(
         &self,
         scheduler: &dyn Scheduler,
         layer: &Layer,
     ) -> Result<Scheduled, ScheduleError> {
         let key = self.cache_key(scheduler, layer);
-        if let Some(cache) = &self.cache {
-            let hit = cache.lock().expect("cache lock").get(&key);
-            if let Some(mut entry) = hit {
-                // Catch a schedule-only entry up with NoC evaluation so
-                // warm runs after enabling `with_noc` converge too.
-                if self.simulate_noc && entry.noc.is_none() {
-                    entry.noc = self.noc_verdict(layer, &entry.scheduled);
-                    if entry.noc.is_some() {
-                        cache
-                            .lock()
-                            .expect("cache lock")
-                            .insert(key.clone(), entry.clone());
-                        self.persist(&key, &entry);
-                    }
-                }
-                return Ok(entry.scheduled);
-            }
-        }
-        let scheduled = scheduler.schedule(&self.arch, layer)?;
-        let mut entry = CacheEntry::new(scheduled.clone());
-        if self.simulate_noc {
-            entry.noc = self.noc_verdict(layer, &entry.scheduled);
-        }
-        if let Some(cache) = &self.cache {
-            cache
-                .lock()
-                .expect("cache lock")
-                .insert(key.clone(), entry.clone());
-        }
-        self.persist(&key, &entry);
-        Ok(scheduled)
+        let (outcome, _led) = self.resolve_entry(scheduler, &key, layer);
+        outcome.map(|entry| entry.scheduled)
     }
 
     /// Schedule every entry of `network` with `scheduler`.
@@ -691,13 +1029,16 @@ impl Engine {
 
         // Capture cache hits by value now: under a bounded cache the entry
         // could be evicted (by this call's own inserts or a concurrent one)
-        // before report assembly reads it back.
+        // before report assembly reads it back. `peek` (not `get`) so a
+        // miss here is not yet counted — the job's single-flight leader
+        // counts it only if an actual solve happens (a concurrent call or
+        // another process may resolve the digest first).
         let mut resolved: HashMap<&str, CacheEntry> = HashMap::new();
         let mut jobs: Vec<(&str, &Layer)> = Vec::new();
         if let Some(cache) = &self.cache {
             let mut cache = cache.lock().expect("cache lock");
             for (key, layer) in &unique {
-                match cache.get(key) {
+                match cache.peek(key) {
                     Some(hit) => {
                         resolved.insert(key, hit);
                     }
@@ -721,24 +1062,26 @@ impl Engine {
             }
         }
 
-        // Fan the fresh solves (plus their NoC evaluation) out across
-        // workers.
+        // Fan the remaining jobs out across workers. Each goes through
+        // the full single-flight path, so a digest being solved by a
+        // concurrent call (or another process sharing the store) is
+        // waited on, not re-solved; successes are published to the cache
+        // and the persistent store inside `resolve_entry`.
         let solved: Mutex<HashMap<String, Result<CacheEntry, ScheduleError>>> =
             Mutex::new(HashMap::new());
+        let fresh_solves = AtomicU64::new(0);
         parallel_for_each(&jobs, self.threads, |(key, layer)| {
-            let outcome = scheduler.schedule(&self.arch, layer).map(|scheduled| {
-                let noc = self
-                    .simulate_noc
-                    .then(|| self.noc_verdict(layer, &scheduled))
-                    .flatten();
-                CacheEntry { scheduled, noc }
-            });
+            let (outcome, led) = self.resolve_entry(scheduler, key, layer);
+            if led {
+                fresh_solves.fetch_add(1, Ordering::Relaxed);
+            }
             solved
                 .lock()
                 .expect("no poisoned workers")
                 .insert(key.to_string(), outcome);
         });
         let solved = solved.into_inner().expect("no poisoned workers");
+        let fresh_solves = fresh_solves.into_inner();
 
         // Backfill NoC verdicts for warm entries that lacked one.
         if !noc_jobs.is_empty() {
@@ -765,20 +1108,9 @@ impl Engine {
             }
         }
 
-        // Fold fresh successes into the cache and the persistent store.
-        if let Some(cache) = &self.cache {
-            let mut cache = cache.lock().expect("cache lock");
-            for (key, outcome) in &solved {
-                if let Ok(entry) = outcome {
-                    cache.insert(key.clone(), entry.clone());
-                }
-            }
-        }
-        for (key, outcome) in &solved {
-            if let Ok(entry) = outcome {
-                self.persist(key, entry);
-            }
-        }
+        // Fresh successes were already folded into the cache and the
+        // persistent store inside `resolve_entry` (before the per-digest
+        // solve lock released, so cross-process waiters find them).
 
         // Assemble the report in network order. An entry is a cache hit
         // when it received a *schedule* without a fresh solve — a pre-warm
@@ -846,7 +1178,7 @@ impl Engine {
                 cache: self.cache_stats(),
             },
             cache_hits,
-            cache_misses: jobs.len() as u64,
+            cache_misses: fresh_solves,
             noc_sims: self.noc_sims.load(Ordering::Relaxed) - noc_sims_before,
             elapsed: start.elapsed(),
         }

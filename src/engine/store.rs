@@ -40,13 +40,41 @@
 //! daemon runs GC at startup and every N requests; `engine_probe
 //! --gc-max-bytes/--gc-max-age-secs` runs the same policy offline so
 //! long-lived CI cache dirs stay bounded. The sweep also removes temp
-//! files orphaned by killed writers (older than a minute). Surviving
-//! entries are never rewritten or truncated by GC — a collected
-//! directory still loads cleanly.
+//! files orphaned by killed writers (older than a minute) and solve-lock
+//! files older than the staleness bound. Surviving entries are never
+//! rewritten or truncated by GC — a collected directory still loads
+//! cleanly.
+//!
+//! # Cross-process solve locks
+//!
+//! Multiple processes (e.g. two `cosa-serve` daemons) may share one cache
+//! directory. Atomic write-then-rename already makes concurrent *writers*
+//! safe, but without coordination two cold processes asked for the same
+//! digest would each run the solver. [`CacheStore::try_lock`] provides
+//! advisory per-digest coordination:
+//!
+//! ```text
+//! <cache-dir>/<digest>.lock      # held while a process solves <digest>
+//! ```
+//!
+//! A lock is acquired by creating the file exclusively (`create_new`, the
+//! cross-platform atomic primitive — no POSIX `flock` semantics assumed,
+//! closing the ROADMAP's non-POSIX-rename caveat) and released by
+//! deleting it; [`SolveLock`] deletes on drop, and only while the file
+//! still holds the owner's token, so a staleness-takeover victim cannot
+//! delete its thief's lock. A lock whose mtime is older than
+//! [`CacheStore::lock_staleness`] (default [`DEFAULT_LOCK_STALENESS`]) is
+//! presumed orphaned by a crashed process and is *taken over*: the next
+//! [`CacheStore::try_lock`] deletes and re-acquires it, and
+//! [`CacheStore::gc`] sweeps such files too. The locking is advisory and
+//! fail-open — an I/O error or a takeover race degrades to a duplicated
+//! solve, never to corruption or an unserved request, because entry
+//! writes stay atomic and idempotent.
 
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant, SystemTime};
 
 use cosa_noc::NocSummary;
@@ -58,6 +86,55 @@ use crate::api::Scheduled;
 /// schema (or the canonical serialization feeding the digests) changes;
 /// loaders skip entries from other versions.
 pub const STORE_VERSION: u32 = 1;
+
+/// Default bound past which a solve-lock file is presumed orphaned by a
+/// crashed holder and may be taken over (see [`CacheStore::try_lock`]).
+/// Generous relative to the worst MILP solves the workspace runs
+/// (seconds): a takeover of a *live* slow solver merely duplicates work,
+/// but it should stay rare.
+pub const DEFAULT_LOCK_STALENESS: Duration = Duration::from_secs(300);
+
+/// Process-wide sequence distinguishing lock tokens issued by this
+/// process, so two locks taken and released by one process never confuse
+/// each other's ownership checks.
+static LOCK_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide sequence distinguishing concurrent writers *within* one
+/// process: two threads (e.g. two engines sharing a cache dir in one
+/// daemon process) saving the same key at once must not share a temp
+/// file, or the slower one's rename finds its temp already consumed.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A held per-digest solve lock (see the [module docs](self)).
+///
+/// Dropping (or [`SolveLock::release`]-ing) deletes the lock file —
+/// but only while it still contains this holder's token, so a holder
+/// whose stale lock was taken over cannot delete the new holder's file.
+#[derive(Debug)]
+pub struct SolveLock {
+    path: PathBuf,
+    token: String,
+}
+
+impl SolveLock {
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Release the lock now (equivalent to dropping it).
+    pub fn release(self) {}
+}
+
+impl Drop for SolveLock {
+    fn drop(&mut self) {
+        // Token check before deletion: if a staleness takeover replaced
+        // this file, it belongs to the thief now and must survive.
+        if fs::read_to_string(&self.path).is_ok_and(|content| content == self.token) {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
 
 /// One cached value: the scheduling result plus the engine-level NoC
 /// verdict when simulation was enabled for (or has caught up with) the
@@ -157,6 +234,9 @@ pub struct GcReport {
     /// Orphaned temp files (left by killed writers) swept alongside the
     /// entries.
     pub stale_tmp_removed: usize,
+    /// Solve-lock files older than the staleness bound (orphaned by
+    /// crashed holders) swept alongside the entries.
+    pub stale_locks_removed: usize,
 }
 
 /// A persistent schedule-cache directory. See the [module docs](self) for
@@ -164,6 +244,8 @@ pub struct GcReport {
 #[derive(Debug)]
 pub struct CacheStore {
     dir: PathBuf,
+    /// Age past which a solve-lock file may be taken over / GC-swept.
+    lock_staleness: Duration,
 }
 
 impl CacheStore {
@@ -175,7 +257,29 @@ impl CacheStore {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<CacheStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(CacheStore { dir })
+        Ok(CacheStore {
+            dir,
+            lock_staleness: DEFAULT_LOCK_STALENESS,
+        })
+    }
+
+    /// Set the solve-lock staleness bound (see [`CacheStore::try_lock`]).
+    /// Must comfortably exceed the worst-case solve time, or a live slow
+    /// solver's lock gets taken over and the solve duplicated.
+    pub fn with_lock_staleness(mut self, staleness: Duration) -> CacheStore {
+        self.set_lock_staleness(staleness);
+        self
+    }
+
+    /// In-place form of [`CacheStore::with_lock_staleness`], for stores
+    /// already attached to an engine.
+    pub fn set_lock_staleness(&mut self, staleness: Duration) {
+        self.lock_staleness = staleness;
+    }
+
+    /// The configured solve-lock staleness bound.
+    pub fn lock_staleness(&self) -> Duration {
+        self.lock_staleness
     }
 
     /// The store's directory.
@@ -186,6 +290,98 @@ impl CacheStore {
     /// Path of the entry file for `key`.
     fn entry_path(&self, key: &str) -> PathBuf {
         self.dir.join(format!("{key}.json"))
+    }
+
+    /// Path of the solve-lock file for `key`.
+    fn lock_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.lock"))
+    }
+
+    /// Reject keys that are not bare digests (they name files directly).
+    fn validate_key(key: &str) -> io::Result<()> {
+        if key.is_empty() || !key.bytes().all(|b| b.is_ascii_alphanumeric()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("cache key `{key}` is not a digest"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Load the single entry for `key`, if present and valid. Unlike the
+    /// bulk [`CacheStore::load`] this re-reads the disk on every call, so
+    /// a process can observe entries persisted by *other* processes after
+    /// its own warm start (the cross-process read-through path).
+    pub fn load_entry(&self, key: &str) -> Option<CacheEntry> {
+        let stored = read_entry(&self.entry_path(key))?;
+        (stored.version == STORE_VERSION && stored.key == key).then_some(stored.entry)
+    }
+
+    /// Try to acquire the advisory solve lock for `key` without blocking.
+    ///
+    /// Returns `Ok(None)` when another (live) holder has it. A lock file
+    /// older than [`CacheStore::lock_staleness`] is presumed orphaned and
+    /// taken over. See the [module docs](self) for the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error for anything but contention (a bad key, an
+    /// unwritable directory); callers should degrade to solving unlocked.
+    pub fn try_lock(&self, key: &str) -> io::Result<Option<SolveLock>> {
+        self.try_lock_at(key, SystemTime::now())
+    }
+
+    /// [`CacheStore::try_lock`] with an explicit "now" for the staleness
+    /// cutoff, so tests can age locks deterministically instead of
+    /// sleeping (mirrors [`CacheStore::gc_at`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error for anything but contention.
+    pub fn try_lock_at(&self, key: &str, now: SystemTime) -> io::Result<Option<SolveLock>> {
+        Self::validate_key(key)?;
+        let path = self.lock_path(key);
+        let token = format!(
+            "pid={} seq={}",
+            std::process::id(),
+            LOCK_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        // At most one takeover attempt: if the lock is re-held after we
+        // reclaimed the stale file, a racing taker won — report busy.
+        for attempt in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    // Best-effort token write; an unreadable token only
+                    // weakens the release-ownership check, never safety.
+                    let _ = file.write_all(token.as_bytes());
+                    let _ = file.sync_all();
+                    return Ok(Some(SolveLock { path, token }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let stale = fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|mtime| now.duration_since(mtime).ok())
+                        .is_some_and(|age| age > self.lock_staleness);
+                    if !stale || attempt > 0 {
+                        return Ok(None);
+                    }
+                    // Takeover: delete the orphaned lock and retry the
+                    // exclusive create (which serializes racing takers).
+                    match fs::remove_file(&path) {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                        Err(_) => return Ok(None),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
     }
 
     /// Load every valid entry, skipping (and counting) damaged ones.
@@ -224,12 +420,7 @@ impl CacheStore {
     /// Returns the underlying I/O or serialization error; the previous
     /// version of the entry (if any) stays intact on failure.
     pub fn save(&self, key: &str, entry: &CacheEntry) -> io::Result<()> {
-        if key.is_empty() || !key.bytes().all(|b| b.is_ascii_alphanumeric()) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("cache key `{key}` is not a digest"),
-            ));
-        }
+        Self::validate_key(key)?;
         let stored = StoredEntry {
             version: STORE_VERSION,
             key: key.to_string(),
@@ -238,9 +429,15 @@ impl CacheStore {
         let json = serde_json::to_string(&stored)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         // Hidden temp name (never matches the `*.json` load glob), unique
-        // per process so concurrent writers cannot clobber each other's
-        // in-flight file; the final rename is atomic within the directory.
-        let tmp = self.dir.join(format!(".{key}.{}.tmp", std::process::id()));
+        // per process *and* per write so concurrent writers — other
+        // processes or other threads of this one — cannot clobber each
+        // other's in-flight file; the final rename is atomic within the
+        // directory.
+        let tmp = self.dir.join(format!(
+            ".{key}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(json.as_bytes())?;
@@ -339,6 +536,20 @@ impl CacheStore {
                     .unwrap_or(false);
                 if stale && fs::remove_file(&path).is_ok() {
                     report.stale_tmp_removed += 1;
+                }
+                continue;
+            }
+            // Solve locks orphaned by crashed holders: past the staleness
+            // bound they would otherwise only be reclaimed when someone
+            // re-requests that exact digest, so the sweep retires them too
+            // (a live holder's lock is younger than the bound and spared).
+            if extension == Some("lock") {
+                let stale = now
+                    .duration_since(mtime)
+                    .map(|age| age > self.lock_staleness)
+                    .unwrap_or(false);
+                if stale && fs::remove_file(&path).is_ok() {
+                    report.stale_locks_removed += 1;
                 }
                 continue;
             }

@@ -234,6 +234,13 @@ impl ScheduleResponse {
 
 /// A `GET /stats` answer: request counters, latency percentiles, GC
 /// activity and the cache counters summed over the daemon's engines.
+///
+/// `cache.misses` counts *solver invocations*, so a `/stats` delta across
+/// a burst of traffic is the number of MILP solves it cost; concurrent
+/// identical cold requests that were deduplicated against an in-flight
+/// solve (in this process or another daemon sharing the cache dir) show
+/// up in `cache.dedup_waits` instead, with `cache.in_flight_peak` the
+/// high-water mark of simultaneously in-flight digests.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StatsResponse {
     /// Schedule requests answered 200 (`/stats` and `/healthz` hits are

@@ -1,24 +1,20 @@
 //! Integration tests for the persistent schedule-cache store: round-trip
 //! persistence and warm starts, corruption tolerance, LRU/byte interaction
-//! with the disk tier, and digest stability across save/load.
+//! with the disk tier, digest stability across save/load, and the
+//! cross-process solve-lock protocol (exclusivity, staleness takeover,
+//! GC sweep, and engine-level lock waiting / disk read-through).
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant, SystemTime};
 
 use cosa_repro::engine::{CacheEntry, CacheStore, STORE_VERSION};
 use cosa_repro::prelude::*;
 
-static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+mod common;
 
 /// A fresh, empty scratch directory unique to this test invocation.
 fn scratch_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "cosa-cache-test-{}-{}-{tag}",
-        std::process::id(),
-        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+    common::scratch_dir("cosa-cache-test", tag)
 }
 
 /// A small network with repeated shapes (two unique, four entries).
@@ -299,5 +295,194 @@ fn store_rejects_non_digest_keys() {
     assert!(store.save("../escape", &entry).is_err());
     assert!(store.save("", &entry).is_err());
     assert!(store.is_empty());
+    assert!(store.try_lock("../escape").is_err(), "locks validate keys");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn solve_locks_are_exclusive_until_released() {
+    let dir = scratch_dir("lock-excl");
+    // Two handles on one dir model two processes.
+    let a = CacheStore::open(&dir).unwrap();
+    let b = CacheStore::open(&dir).unwrap();
+
+    let held = a.try_lock("aaa1").expect("io ok").expect("first acquire");
+    assert!(dir.join("aaa1.lock").is_file());
+    assert!(
+        b.try_lock("aaa1").expect("io ok").is_none(),
+        "second process sees the lock as held"
+    );
+    // Other digests stay independently lockable.
+    let other = b.try_lock("bbb2").expect("io ok").expect("other digest");
+    other.release();
+
+    held.release();
+    assert!(!dir.join("aaa1.lock").exists(), "release deletes the file");
+    assert!(
+        b.try_lock("aaa1").expect("io ok").is_some(),
+        "released lock is re-acquirable"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_solve_locks_are_taken_over_and_survive_victim_release() {
+    let dir = scratch_dir("lock-stale");
+    let staleness = Duration::from_secs(60);
+    let store = CacheStore::open(&dir)
+        .unwrap()
+        .with_lock_staleness(staleness);
+    assert_eq!(store.lock_staleness(), staleness);
+
+    // A holder whose solve outlives the staleness bound (to a taker it is
+    // indistinguishable from a crashed process).
+    let victim = store.try_lock("aaa1").expect("io ok").expect("acquire");
+
+    // Within the staleness bound the lock holds...
+    assert!(store.try_lock("aaa1").expect("io ok").is_none());
+    // ...but from past it (pinned "now", no sleeping) it is taken over.
+    let future = SystemTime::now() + staleness * 2;
+    let thief = store
+        .try_lock_at("aaa1", future)
+        .expect("io ok")
+        .expect("stale lock taken over");
+
+    // The victim's late release must not free the thief's lock: the
+    // token-checked drop leaves a file it no longer owns in place.
+    victim.release();
+    assert!(
+        store.try_lock("aaa1").expect("io ok").is_none(),
+        "thief still holds the lock after the victim's release"
+    );
+    thief.release();
+    assert!(store.try_lock("aaa1").expect("io ok").is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gc_sweeps_stale_solve_locks() {
+    let dir = scratch_dir("lock-gc");
+    let staleness = Duration::from_secs(60);
+    let store = CacheStore::open(&dir)
+        .unwrap()
+        .with_lock_staleness(staleness);
+    let orphan = store.try_lock("aaa1").expect("io ok").expect("acquire");
+    std::mem::forget(orphan);
+    let live = store.try_lock("bbb2").expect("io ok").expect("acquire");
+
+    // A sweep "now" spares both (neither is past the bound)...
+    let report = store
+        .gc_at(&GcPolicy::default(), SystemTime::now())
+        .expect("gc");
+    assert_eq!(report.stale_locks_removed, 0);
+    // ...while a sweep from past the bound reclaims them (GC cannot tell
+    // a live long-holder from a crashed one — the staleness bound is the
+    // contract, which is why it must exceed the worst-case solve time).
+    let future = SystemTime::now() + staleness * 2;
+    let report = store.gc_at(&GcPolicy::default(), future).expect("gc");
+    assert_eq!(report.stale_locks_removed, 2, "stale locks swept");
+    assert!(!dir.join("aaa1.lock").exists());
+    drop(live);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn engine_lock_staleness_reaches_the_store_in_either_builder_order() {
+    let staleness = Duration::from_secs(1234);
+    let dir = scratch_dir("staleness-a");
+    let before = Engine::new(Arch::simba_baseline())
+        .with_lock_staleness(staleness)
+        .with_cache_dir(&dir)
+        .expect("open cache dir");
+    assert_eq!(before.store().unwrap().lock_staleness(), staleness);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let dir = scratch_dir("staleness-b");
+    let after = Engine::new(Arch::simba_baseline())
+        .with_cache_dir(&dir)
+        .expect("open cache dir")
+        .with_lock_staleness(staleness);
+    assert_eq!(after.store().unwrap().lock_staleness(), staleness);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cold_engine_reads_through_entries_persisted_by_another_process() {
+    let dir = scratch_dir("read-through");
+    let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+    let mapper = quick_random();
+
+    // Both engines open the (empty) dir before any solve, so neither
+    // warm-loads anything — the classic stale-warm-start gap.
+    let a = Engine::new(Arch::simba_baseline())
+        .with_cache_dir(&dir)
+        .expect("open cache dir");
+    let b = Engine::new(Arch::simba_baseline())
+        .with_cache_dir(&dir)
+        .expect("open cache dir");
+    assert_eq!(b.cache_stats().warm_entries, 0);
+
+    let from_a = a.schedule_layer(&mapper, &layer).expect("valid");
+    assert_eq!(a.cache_stats().misses, 1, "process A solves");
+
+    // Process B's cold request must read A's entry through from disk
+    // instead of re-solving.
+    let from_b = b.schedule_layer(&mapper, &layer).expect("valid");
+    let stats_b = b.cache_stats();
+    assert_eq!(stats_b.misses, 0, "process B never runs the solver");
+    assert_eq!(stats_b.hits, 1, "the disk read-through counts as a hit");
+    assert_eq!(
+        serde_json::to_string(&from_b).unwrap(),
+        serde_json::to_string(&from_a).unwrap(),
+        "read-through serves A's entry verbatim"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn engine_waits_out_another_processes_solve_lock() {
+    let dir = scratch_dir("lock-wait");
+    let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+    let mapper = quick_random();
+    let engine = Engine::new(Arch::simba_baseline())
+        .with_cache_dir(&dir)
+        .expect("open cache dir");
+    let store = CacheStore::open(&dir).unwrap();
+    let key = engine.cache_key(&mapper, &layer);
+
+    // "Another process" holds the digest's solve lock.
+    let held = store.try_lock(&key).expect("io ok").expect("acquire");
+
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(|| engine.schedule_layer(&mapper, &layer).expect("valid"));
+        // The engine must park on the lock rather than solve.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while engine.cache_stats().dedup_waits < 1 {
+            assert!(
+                Instant::now() < deadline,
+                "engine never waited on the foreign solve lock"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(engine.cache_stats().misses, 0, "no solve while parked");
+
+        // The foreign process finishes: persists its entry, releases.
+        let foreign = CacheEntry::new(
+            Scheduler::schedule(&mapper, &Arch::simba_baseline(), &layer).expect("valid"),
+        );
+        store.save(&key, &foreign).expect("persist");
+        held.release();
+
+        let scheduled = worker.join().expect("worker");
+        assert_eq!(
+            serde_json::to_string(&scheduled).unwrap(),
+            serde_json::to_string(&foreign.scheduled).unwrap(),
+            "the waiter serves the foreign entry verbatim"
+        );
+    });
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 0, "the whole wait cost zero solver calls");
+    assert_eq!(stats.dedup_waits, 1);
+    assert_eq!(stats.hits, 1, "the foreign entry lands as a hit");
     let _ = std::fs::remove_dir_all(&dir);
 }

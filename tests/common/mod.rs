@@ -1,0 +1,18 @@
+//! Helpers shared by the integration-test binaries.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh, empty scratch directory unique to this test invocation:
+/// `<tmp>/<prefix>-<pid>-<seq>-<tag>`, pre-wiped if it somehow exists.
+pub fn scratch_dir(prefix: &str, tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "{prefix}-{}-{}-{tag}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}

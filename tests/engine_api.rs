@@ -1,6 +1,10 @@
 //! Integration tests for the unified `Scheduler` trait and the batch
-//! `Engine`: trait-object usage, cache-hit determinism, and
-//! `NetworkReport` serde round-trips.
+//! `Engine`: trait-object usage, cache-hit determinism, single-flight
+//! solve deduplication under a thread storm, and `NetworkReport` serde
+//! round-trips.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use cosa_repro::prelude::*;
 
@@ -152,6 +156,94 @@ fn resnet50_stage_cosa_engine_acceptance() {
         serde_json::to_string(&again.report.without_timings()).unwrap(),
         "deterministic across runs"
     );
+}
+
+/// A scheduler whose solve blocks until the test releases it, so a solve
+/// can be *held in flight* while follower threads pile up — the storm
+/// below is deterministic instead of racing the solver's wall-clock.
+struct GatedScheduler {
+    inner: RandomMapper,
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Scheduler for GatedScheduler {
+    fn name(&self) -> &str {
+        "gated"
+    }
+
+    fn fingerprint(&self) -> String {
+        format!("gated:{}", Scheduler::fingerprint(&self.inner))
+    }
+
+    fn schedule(&self, arch: &Arch, layer: &Layer) -> Result<Scheduled, ScheduleError> {
+        let (open, released) = &*self.gate;
+        let mut open = open.lock().expect("gate lock");
+        while !*open {
+            open = released.wait(open).expect("gate lock");
+        }
+        drop(open);
+        Scheduler::schedule(&self.inner, arch, layer)
+    }
+}
+
+#[test]
+fn thread_storm_single_flights_one_cold_solve() {
+    // 16 threads request the same cold digest through one engine: exactly
+    // one runs the solver (misses == 1), the other 15 wait on the flight
+    // (dedup_waits == 15), and all 16 results are byte-identical.
+    let engine = Engine::new(Arch::simba_baseline());
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let scheduler = GatedScheduler {
+        inner: RandomMapper::new(17).with_limits(SearchLimits::quick()),
+        gate: gate.clone(),
+    };
+    let layer = Layer::conv("storm", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+
+    let results: Vec<Scheduled> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..16)
+            .map(|_| {
+                let (engine, scheduler, layer) = (&engine, &scheduler, &layer);
+                scope.spawn(move || engine.schedule_layer(scheduler, layer).expect("valid"))
+            })
+            .collect();
+        // Hold the leader inside the solver until every follower has
+        // parked on the flight, so the dedup count is exact by design.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while engine.cache_stats().dedup_waits < 15 {
+            assert!(
+                Instant::now() < deadline,
+                "followers never parked on the in-flight solve: {:?}",
+                engine.cache_stats()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (open, released) = &*gate;
+        *open.lock().expect("gate lock") = true;
+        released.notify_all();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("no panic"))
+            .collect()
+    });
+
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 1, "exactly one solver invocation");
+    assert_eq!(stats.dedup_waits, 15, "every other thread deduplicated");
+    assert_eq!(stats.in_flight_peak, 1, "one digest was in flight");
+    assert_eq!(stats.entries, 1, "one cached schedule");
+    let first = serde_json::to_string(&results[0]).expect("serializes");
+    for (i, result) in results.iter().enumerate().skip(1) {
+        assert_eq!(
+            serde_json::to_string(result).expect("serializes"),
+            first,
+            "thread {i} answer diverged from the leader's"
+        );
+    }
+
+    // The storm's entry is a normal cache entry afterwards.
+    let warm = engine.schedule_layer(&scheduler, &layer).expect("valid");
+    assert_eq!(serde_json::to_string(&warm).expect("serializes"), first);
+    assert_eq!(engine.cache_stats().misses, 1, "warm lookup adds no solve");
 }
 
 #[test]

@@ -1,8 +1,18 @@
 //! Property-based integration tests over randomly generated layers and
-//! schedules, checking cross-crate invariants.
+//! schedules, checking cross-crate invariants — plus randomized
+//! interleavings of the cache store's single-flight primitives (entry
+//! writes, solve locks, staleness takeovers and GC sweeps) run from two
+//! concurrent "processes" under a deadlock watchdog.
 
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant, SystemTime};
+
+use cosa_repro::engine::{CacheEntry, CacheStore, GcPolicy};
 use cosa_repro::prelude::*;
 use proptest::prelude::*;
+
+mod common;
 
 /// Random small-but-interesting layer shapes.
 fn layer_strategy() -> impl Strategy<Value = Layer> {
@@ -69,6 +79,143 @@ proptest! {
         // Iteration classes cover the whole loop space.
         let covered: f64 = report.types.iter().map(|t| t.count).sum();
         prop_assert!(covered >= 1.0);
+    }
+}
+
+/// A fresh, empty scratch directory unique to this test invocation.
+fn scratch_dir(tag: &str) -> PathBuf {
+    common::scratch_dir("cosa-prop-store", tag)
+}
+
+/// The digests the interleaved store ops contend on.
+const STORE_KEYS: [&str; 4] = ["aaaa1111", "bbbb2222", "cccc3333", "dddd4444"];
+
+/// Lock staleness used by the interleaving harness: far longer than any
+/// case runs, so only the *pinned-future* takeover op sees locks as stale.
+const PROP_STALENESS: Duration = Duration::from_secs(600);
+
+/// One canonical entry every writer writes (solved once per process, so
+/// the corruption check can also assert surviving *values* are intact).
+fn canonical_entry() -> CacheEntry {
+    static ENTRY: OnceLock<CacheEntry> = OnceLock::new();
+    ENTRY
+        .get_or_init(|| {
+            let arch = Arch::simba_baseline();
+            let layer = Layer::conv("prop_store", 1, 1, 4, 4, 8, 8, 1, 1, 1);
+            let mapper = RandomMapper::new(5).with_limits(SearchLimits::quick());
+            CacheEntry::new(Scheduler::schedule(&mapper, &arch, &layer).expect("valid"))
+        })
+        .clone()
+}
+
+/// Run one generated op list against its own `CacheStore` handle (its own
+/// "process") on a shared directory.
+fn run_store_ops(dir: &Path, ops: &[(u8, u8)]) {
+    let store = CacheStore::open(dir)
+        .expect("open store")
+        .with_lock_staleness(PROP_STALENESS);
+    for (op, k) in ops {
+        let key = STORE_KEYS[(*k as usize) % STORE_KEYS.len()];
+        match op % 4 {
+            // A single-flight write: the leader's persist.
+            0 => store.save(key, &canonical_entry()).expect("save"),
+            // The full leader protocol: lock, write under the lock,
+            // release. A busy lock is skipped (a real leader would wait;
+            // the interleaving harness only cares that no combination of
+            // these primitives corrupts or wedges).
+            1 => {
+                if let Some(lock) = store.try_lock(key).expect("try_lock") {
+                    store.save(key, &canonical_entry()).expect("save");
+                    lock.release();
+                }
+            }
+            // A staleness takeover, from a pinned far-future "now": every
+            // lock (live or orphaned) looks stale and must be reclaimable
+            // without corrupting anything.
+            2 => {
+                if let Some(lock) = store
+                    .try_lock_at(key, SystemTime::now() + PROP_STALENESS * 2)
+                    .expect("takeover")
+                {
+                    lock.release();
+                }
+            }
+            // A concurrent GC sweep under a tight byte budget.
+            _ => {
+                store
+                    .gc_at(&GcPolicy::default().with_max_bytes(1024), SystemTime::now())
+                    .expect("gc sweep");
+            }
+        }
+    }
+}
+
+/// Run `work` on a helper thread, panicking when it overruns `timeout` —
+/// the deadlock watchdog the lock-protocol interleavings run under.
+fn with_watchdog(timeout: Duration, work: impl FnOnce() + Send + 'static) {
+    let worker = std::thread::spawn(work);
+    let deadline = Instant::now() + timeout;
+    while !worker.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "watchdog expired after {timeout:?}: store interleaving deadlocked"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    worker.join().expect("store ops panicked");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary two-process interleavings of single-flight writes, lock
+    /// acquisitions, staleness takeovers and GC sweeps (1) never corrupt
+    /// a surviving entry, (2) never deadlock (watchdog-bounded), and
+    /// (3) always leave every stale lock reclaimable past the bound.
+    #[test]
+    fn store_lock_interleavings_never_corrupt_or_deadlock(
+        ops in prop::collection::vec((0u8..4, 0u8..4), 2..=24)
+    ) {
+        let dir = scratch_dir("interleave");
+        let split = ops.len() / 2;
+        let (left, right) = (ops[..split].to_vec(), ops[split..].to_vec());
+        let dir_a = dir.clone();
+        with_watchdog(Duration::from_secs(60), move || {
+            std::thread::scope(|scope| {
+                let a = scope.spawn(|| run_store_ops(&dir_a, &left));
+                let b = scope.spawn(|| run_store_ops(&dir_a, &right));
+                a.join().expect("process a");
+                b.join().expect("process b");
+            });
+        });
+
+        // Survivors parse cleanly and hold exactly the canonical value:
+        // saves are atomic and GC deletes whole files, so no interleaving
+        // may leave a torn or mixed entry behind.
+        let store = CacheStore::open(&dir)
+            .expect("open store")
+            .with_lock_staleness(PROP_STALENESS);
+        let load = store.load();
+        prop_assert_eq!(load.skipped, 0);
+        let expected = canonical_entry();
+        for (key, entry) in &load.entries {
+            prop_assert!(
+                STORE_KEYS.contains(&key.as_str()),
+                "unexpected surviving key {}", key
+            );
+            prop_assert_eq!(entry, &expected);
+        }
+
+        // Stale locks are always reclaimed: whatever lock files the
+        // interleaving left behind (all holders released, but takeover
+        // races may leave an orphaned file), a taker past the staleness
+        // bound must succeed on every digest.
+        let future = SystemTime::now() + PROP_STALENESS * 2;
+        for key in STORE_KEYS {
+            let lock = store.try_lock_at(key, future).expect("io ok");
+            prop_assert!(lock.is_some(), "stale lock on {} not reclaimed", key);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -7,7 +7,6 @@
 //! fast `random` scheduler and tiny layers so the whole file stays quick.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, SystemTime};
 
 use cosa_repro::engine::{CacheEntry, CacheStore, GcPolicy};
@@ -15,17 +14,11 @@ use cosa_repro::prelude::*;
 use cosa_serve::http;
 use cosa_serve::{ServeConfig, Server, ServerHandle};
 
-static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+mod common;
 
 /// A fresh, empty scratch directory unique to this test invocation.
 fn scratch_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "cosa-serve-test-{}-{}-{tag}",
-        std::process::id(),
-        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+    common::scratch_dir("cosa-serve-test", tag)
 }
 
 /// A small network with repeated shapes (two unique, four entries).
@@ -271,6 +264,74 @@ fn graceful_shutdown_drains_queued_requests() {
         http::request(addr, "GET", "/healthz", "").is_err(),
         "port must be closed after shutdown"
     );
+}
+
+#[test]
+fn two_daemons_sharing_a_cache_dir_solve_each_digest_once() {
+    // Two cold daemons on one cache dir take concurrent identical
+    // traffic: the per-digest solve locks (plus disk read-through) must
+    // keep the *combined* solve count at one per unique digest, every
+    // answer canonically byte-identical, and a third daemon started
+    // afterwards must serve the same traffic as a 100% warm start.
+    let dir = scratch_dir("cross-process-dedup");
+    let config = || ServeConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let daemon_a = Server::start(config()).expect("start daemon a");
+    let daemon_b = Server::start(config()).expect("start daemon b");
+    let request = ScheduleRequest::for_network(tiny_network()).with_scheduler("random");
+    let unique = tiny_network().unique_shapes() as u64;
+
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for daemon in [&daemon_a, &daemon_b] {
+            for _ in 0..2 {
+                let request = &request;
+                clients.push(scope.spawn(move || {
+                    let resp = post_schedule(daemon, request);
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                    serde_json::to_string(&parse_response(&resp).without_timings())
+                        .expect("canonical form serializes")
+                }));
+            }
+        }
+        clients
+            .into_iter()
+            .map(|c| c.join().expect("client thread"))
+            .collect()
+    });
+    for (i, body) in bodies.iter().enumerate().skip(1) {
+        assert_eq!(body, &bodies[0], "answer {i} canonically diverged");
+    }
+
+    let stats_a = get_stats(&daemon_a);
+    let stats_b = get_stats(&daemon_b);
+    assert_eq!(
+        stats_a.cache.misses + stats_b.cache.misses,
+        unique,
+        "exactly one solve per unique digest across both daemons \
+         (a={:?}, b={:?})",
+        stats_a.cache,
+        stats_b.cache,
+    );
+    daemon_a.shutdown().expect("clean shutdown");
+    daemon_b.shutdown().expect("clean shutdown");
+
+    // A third daemon on the shared dir is fully warm: zero solves.
+    let warm = Server::start(config()).expect("start warm daemon");
+    let resp = post_schedule(&warm, &request);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(
+        serde_json::to_string(&parse_response(&resp).without_timings()).unwrap(),
+        bodies[0],
+        "warm daemon answers the same canonical body"
+    );
+    let warm_stats = get_stats(&warm);
+    assert_eq!(warm_stats.cache.warm_entries as u64, unique);
+    assert_eq!(warm_stats.cache.misses, 0, "third daemon is 100% hits");
+    warm.shutdown().expect("clean shutdown");
 }
 
 #[test]
