@@ -1,0 +1,247 @@
+//! BENCH_6: the solver-portfolio performance trajectory artifact.
+//!
+//! Emits `results/BENCH_6.json` — the first machine-readable perf
+//! baseline in the repo — covering the three axes the portfolio work
+//! touches:
+//!
+//! 1. **Per-shape-class solver latency**: MILP vs SAT vs the portfolio
+//!    race on one representative layer per class (power-of-two matmul,
+//!    prime-heavy matmul, 3x3 conv, large 1x1 conv), with each backend's
+//!    objective so exactness is visible in the artifact itself.
+//! 2. **Cold vs warm engine wall-clock**: the batch `Engine` on a
+//!    ResNet-50 prefix under the portfolio scheduler, plus the
+//!    per-backend race-win distribution.
+//! 3. **Serve p50/p99**: client-observed latency against an in-process
+//!    `cosa-serve` daemon.
+//!
+//! Run with: `cargo run --release -p cosa-bench --bin bench6`
+//!
+//! Flags: `--full` replaces the engine prefix with the whole ResNet-50
+//! suite and asserts the acceptance criterion directly: every layer's
+//! portfolio cost equals the MILP-only cost (exactness preserved by the
+//! race). `--layers N` sets the prefix length (default 8).
+
+use std::time::Instant;
+
+use cosa_core::CosaScheduler;
+use cosa_repro::api::{PortfolioScheduler, Scheduled, Scheduler};
+use cosa_repro::engine::Engine;
+use cosa_repro::serve::{ScheduleRequest, StatsResponse};
+use cosa_sat::SatScheduler;
+use cosa_serve::{http, ServeConfig, Server};
+use cosa_spec::{Arch, Layer, Network, Suite};
+use serde::Value;
+
+/// One timed `schedule()` call through the trait object.
+fn timed(scheduler: &dyn Scheduler, arch: &Arch, layer: &Layer) -> (f64, Scheduled) {
+    let start = Instant::now();
+    let scheduled = scheduler
+        .schedule(arch, layer)
+        .unwrap_or_else(|e| panic!("{} failed on {}: {e}", scheduler.name(), layer.name()));
+    (start.elapsed().as_secs_f64(), scheduled)
+}
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// The representative layer per shape class. Chosen so the whole sweep
+/// runs in seconds in release while still spanning the regimes where
+/// each backend wins: MILP is fastest on power-of-two-heavy factor
+/// grids, SAT on prime-heavy ones and on large 1x1 convolutions.
+fn shape_classes() -> Vec<(&'static str, Layer)> {
+    vec![
+        ("matmul_pow2", Layer::matmul("mm_pow2", 64, 64, 64)),
+        ("matmul_prime", Layer::matmul("mm_prime", 127, 64, 31)),
+        (
+            "conv_3x3",
+            Layer::conv("c3x3", 3, 3, 14, 14, 16, 32, 1, 1, 1),
+        ),
+        ("conv_1x1", Layer::conv("c1x1", 1, 1, 7, 7, 64, 64, 1, 1, 1)),
+    ]
+}
+
+/// Axis 1: per-shape-class solver latency and objectives.
+fn bench_shape_classes(arch: &Arch) -> Value {
+    let milp = CosaScheduler::new(arch);
+    let sat = SatScheduler::new(arch);
+    let portfolio = PortfolioScheduler::new(arch);
+    let mut rows = Vec::new();
+    for (class, layer) in shape_classes() {
+        let (milp_s, milp_out) = timed(&milp, arch, &layer);
+        let (sat_s, sat_out) = timed(&sat, arch, &layer);
+        let (race_s, race_out) = timed(&portfolio, arch, &layer);
+        let objective = |s: &Scheduled| s.stats.milp_objective.map_or(Value::Null, Value::F64);
+        println!(
+            "  {class:<14} milp {milp_s:>8.3}s  sat {sat_s:>8.3}s  portfolio {race_s:>8.3}s \
+             (winner {})",
+            race_out.scheduler,
+        );
+        rows.push(map(vec![
+            ("class", Value::Str(class.to_string())),
+            ("layer", Value::Str(layer.name().to_string())),
+            ("milp_seconds", Value::F64(milp_s)),
+            ("sat_seconds", Value::F64(sat_s)),
+            ("portfolio_seconds", Value::F64(race_s)),
+            ("portfolio_winner", Value::Str(race_out.scheduler.clone())),
+            ("milp_objective", objective(&milp_out)),
+            ("sat_objective", objective(&sat_out)),
+            ("portfolio_objective", objective(&race_out)),
+            ("latency_cycles", Value::F64(race_out.latency_cycles)),
+        ]));
+    }
+    Value::Seq(rows)
+}
+
+/// Axis 2: cold/warm engine wall-clock under the portfolio, plus the
+/// per-backend win distribution. With `full`, also asserts per-layer
+/// cost equality against an MILP-only engine pass (the acceptance
+/// criterion).
+fn bench_engine(arch: &Arch, network: &Network, full: bool) -> Value {
+    let portfolio = PortfolioScheduler::new(arch);
+    let engine = Engine::new(arch.clone());
+    let cold = engine.schedule_network(network, &portfolio);
+    let warm = engine.schedule_network(network, &portfolio);
+    let stats = engine.cache_stats();
+    println!(
+        "  engine {} ({} unique shapes): cold {:.3}s ({} solves), warm {:.3}s",
+        network.name,
+        network.unique_shapes(),
+        cold.elapsed.as_secs_f64(),
+        cold.cache_misses,
+        warm.elapsed.as_secs_f64(),
+    );
+    let wins: Vec<Value> = stats
+        .backend_wins
+        .iter()
+        .map(|w| {
+            println!(
+                "  backend {:<10} {:>3} wins, {:.3}s winning wall-clock",
+                w.backend,
+                w.wins,
+                w.win_micros as f64 / 1e6
+            );
+            map(vec![
+                ("backend", Value::Str(w.backend.clone())),
+                ("wins", Value::U64(w.wins)),
+                ("win_micros", Value::U64(w.win_micros)),
+            ])
+        })
+        .collect();
+
+    let mut exactness = Value::Null;
+    if full {
+        // MILP-only reference pass on a separate engine: per-layer costs
+        // must match whichever backend won each race.
+        let milp_engine = Engine::new(arch.clone());
+        let reference = milp_engine.schedule_network(network, &CosaScheduler::new(arch));
+        let mut checked = 0u64;
+        for (race, milp) in cold.report.layers.iter().zip(&reference.report.layers) {
+            let (Some(r), Some(m)) = (&race.scheduled, &milp.scheduled) else {
+                panic!("layer {} failed to schedule", race.name);
+            };
+            // Exactness is on the Eq. 12 objective: either racer may win
+            // with a differently tie-broken optimal schedule, but never
+            // with a worse objective value.
+            let (ro, mo) = (
+                r.stats.milp_objective.expect("racer objective"),
+                m.stats.milp_objective.expect("milp objective"),
+            );
+            assert!(
+                (ro - mo).abs() <= 1e-6 * ro.abs().max(mo.abs()).max(1.0),
+                "portfolio objective diverged from MILP on {}: {ro} vs {mo}",
+                race.name,
+            );
+            checked += 1;
+        }
+        println!("  exactness: portfolio costs equal MILP-only on all {checked} layers");
+        exactness = map(vec![
+            ("layers_checked", Value::U64(checked)),
+            ("objectives_equal_milp", Value::Bool(true)),
+        ]);
+    }
+
+    map(vec![
+        ("network", Value::Str(network.name.clone())),
+        ("unique_shapes", Value::U64(network.unique_shapes() as u64)),
+        ("cold_seconds", Value::F64(cold.elapsed.as_secs_f64())),
+        ("warm_seconds", Value::F64(warm.elapsed.as_secs_f64())),
+        ("fresh_solves", Value::U64(cold.cache_misses)),
+        ("backend_wins", Value::Seq(wins)),
+        ("exactness", exactness),
+    ])
+}
+
+/// Axis 3: serve p50/p99 against an in-process daemon (default `cosa`
+/// serving scheduler — the daemon's own default path).
+fn bench_serve(network: &Network) -> Value {
+    let handle = Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("start daemon");
+    let request = ScheduleRequest::for_network(network.clone());
+    let body = serde_json::to_string(&request).expect("request serializes");
+    const REQUESTS: usize = 12;
+    for i in 0..REQUESTS {
+        let resp = http::request(handle.addr(), "POST", "/schedule", &body)
+            .unwrap_or_else(|e| panic!("request {i}: {e}"));
+        assert_eq!(resp.status, 200, "request {i} answered {}", resp.status);
+    }
+    let resp = http::request(handle.addr(), "GET", "/stats", "").expect("GET /stats");
+    let stats: StatsResponse = serde_json::from_str(&resp.body).expect("stats parse");
+    handle.shutdown().expect("daemon shutdown");
+    println!(
+        "  serve: {REQUESTS} requests, daemon p50 {}µs, p99 {}µs",
+        stats.p50_micros, stats.p99_micros
+    );
+    map(vec![
+        ("requests", Value::U64(REQUESTS as u64)),
+        ("p50_micros", Value::U64(stats.p50_micros)),
+        ("p99_micros", Value::U64(stats.p99_micros)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let layers: usize = cosa_bench::flag_value(&args, "--layers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+
+    let arch = Arch::simba_baseline();
+    let mut network = Network::from_suite(Suite::ResNet50);
+    if !full {
+        network.layers.truncate(layers);
+    }
+
+    println!("BENCH_6 — solver portfolio trajectory on {arch}");
+    let classes = bench_shape_classes(&arch);
+    let engine = bench_engine(&arch, &network, full);
+    let serve = bench_serve(&network);
+
+    let artifact = map(vec![
+        ("bench", Value::U64(6)),
+        (
+            "description",
+            Value::Str(
+                "Solver-portfolio performance trajectory: per-shape-class MILP/SAT/portfolio \
+                 latency, cold/warm engine wall-clock with per-backend race wins, serve p50/p99"
+                    .to_string(),
+            ),
+        ),
+        ("shape_classes", classes),
+        ("engine", engine),
+        ("serve", serve),
+    ]);
+    let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_6.json";
+    std::fs::write(path, json).expect("write artifact");
+    println!("  wrote {path}");
+}

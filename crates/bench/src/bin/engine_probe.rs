@@ -6,8 +6,10 @@
 //! Run with: `cargo run --release -p cosa-bench --bin engine_probe`
 //!
 //! Flags: `--quick` probes a network prefix; `--suite <name>` picks the
-//! suite; `--scheduler random|hybrid|cosa` picks the scheduler (default
-//! cosa); `--threads <n>` sets the fan-out width.
+//! suite; `--scheduler cosa|sat|portfolio|random|hybrid` picks the
+//! scheduler (default cosa); `--threads <n>` sets the fan-out width. With
+//! `portfolio` (the MILP-vs-SAT race) the probe also prints the
+//! per-backend win distribution from the engine's cache stats.
 //!
 //! Persistent mode: `--cache-dir <path>` (or the `COSA_CACHE_DIR` env var)
 //! runs one engine against an on-disk schedule cache, `--noc` enables
@@ -35,6 +37,25 @@ use cosa_spec::{Arch, Network, Suite};
 
 /// Write the canonical (volatiles-stripped) report artifact that the CI
 /// warm-cache job byte-compares across cold and warm runs.
+/// Print the per-backend fresh-solve (race-win) distribution, when any
+/// solver ran. One line per backend plus a win-rate summary, so a
+/// portfolio run shows at a glance which backend carried which share.
+fn print_backend_wins(stats: &cosa_repro::engine::CacheStats) {
+    let total: u64 = stats.backend_wins.iter().map(|w| w.wins).sum();
+    if total == 0 {
+        return;
+    }
+    for w in &stats.backend_wins {
+        println!(
+            "  backend {:<10} {:>4} wins ({:>5.1}%), {:.3}s winning wall-clock",
+            w.backend,
+            w.wins,
+            100.0 * w.wins as f64 / total as f64,
+            w.win_micros as f64 / 1e6,
+        );
+    }
+}
+
 fn write_report_artifact(report: &cosa_repro::engine::NetworkReport) -> std::path::PathBuf {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).expect("create results dir");
@@ -216,6 +237,7 @@ fn run_persistent(
         "  cache: {} entries / {} bytes resident, {} evictions, {} store errors",
         stats.entries, stats.bytes, stats.evictions, stats.store_errors
     );
+    print_backend_wins(&stats);
     if let Some(noc) = run.report.total_noc_cycles {
         println!(
             "  whole-network latency {:.3e} cycles (model), {:.3e} cycles (NoC), energy {:.3e} pJ",
@@ -298,9 +320,14 @@ fn run_in_memory(
         run_warm.elapsed, run_warm.cache_misses, run_warm.cache_hits
     );
 
+    print_backend_wins(&multi.cache_stats());
+
     // The hybrid mapper races its internal search threads on metric ties,
-    // so cross-run content identity is only guaranteed for cosa/random.
-    if scheduler.name() != "hybrid" {
+    // and the portfolio's MILP-vs-SAT race can be won by either backend
+    // (equal cost, possibly different optimal schedules), so cross-run
+    // content identity is only guaranteed for the single-backend
+    // deterministic schedulers (cosa/sat/random).
+    if scheduler.name() != "hybrid" && scheduler.name() != "portfolio" {
         let json1 =
             serde_json::to_string(&run1.report.without_timings()).expect("report serializes");
         let json_n =

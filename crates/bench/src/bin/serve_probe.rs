@@ -12,7 +12,9 @@
 //! * `--quick` / `--suite NAME` — request payload: the suite's network
 //!   (`--quick` truncates to the first 8 instances), sent inline so the
 //!   daemon needs no matching flags.
-//! * `--scheduler cosa|random|hybrid` — serving scheduler (default cosa).
+//! * `--scheduler cosa|sat|portfolio|random|hybrid` — serving scheduler
+//!   (default cosa). With `portfolio` the probe prints the per-backend
+//!   MILP-vs-SAT win distribution from the daemon's `/stats` delta.
 //! * `--wait-secs N` — poll `/healthz` until ready (default 60).
 //! * `--expect-warm` — assert the whole run was served from cache: zero
 //!   new solver calls and zero new NoC simulations in `/stats`, p99
@@ -210,6 +212,34 @@ fn main() {
         after.p99_micros,
         after.gc_runs,
     );
+    // Per-backend solve (race-win) delta across this probe run. Backends
+    // the daemon had never used before the probe simply start from zero.
+    let win_delta: Vec<(String, u64, u64)> = after
+        .cache
+        .backend_wins
+        .iter()
+        .map(|w| {
+            let prior = before
+                .cache
+                .backend_wins
+                .iter()
+                .find(|b| b.backend == w.backend);
+            (
+                w.backend.clone(),
+                w.wins - prior.map_or(0, |b| b.wins),
+                w.win_micros - prior.map_or(0, |b| b.win_micros),
+            )
+        })
+        .filter(|(_, wins, _)| *wins > 0)
+        .collect();
+    let total_wins: u64 = win_delta.iter().map(|(_, wins, _)| wins).sum();
+    for (backend, wins, micros) in &win_delta {
+        println!(
+            "  backend {backend:<10} {wins:>4} wins ({:>5.1}%), {:.3}s winning wall-clock",
+            100.0 * *wins as f64 / total_wins as f64,
+            *micros as f64 / 1e6,
+        );
+    }
 
     if storm {
         let dedup_waits = after.cache.dedup_waits - before.cache.dedup_waits;

@@ -108,6 +108,11 @@ pub(crate) fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, Milp
                 break; // proven optimal within tolerance
             }
         }
+        if let Some(stop) = &opts.stop {
+            if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(MilpError::Canceled);
+            }
+        }
         if stats.nodes >= opts.node_limit {
             limit_hit = true;
             break;
@@ -457,6 +462,21 @@ mod tests {
         m.add_constraint(LinExpr::from(x), Cmp::Ge, 0.0);
         m.set_objective(LinExpr::from(x));
         assert_eq!(m.solve().unwrap_err(), MilpError::Unbounded);
+    }
+
+    #[test]
+    fn pre_set_stop_flag_cancels() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_integer("x", 0.0, 100.0);
+        m.add_constraint(2.0 * x, Cmp::Le, 5.0);
+        m.set_objective(LinExpr::from(x));
+        let opts = crate::SolveOptions {
+            stop: Some(Arc::new(AtomicBool::new(true))),
+            ..Default::default()
+        };
+        assert_eq!(m.solve_with(&opts).unwrap_err(), MilpError::Canceled);
     }
 
     #[test]

@@ -1,0 +1,1246 @@
+//! A from-scratch CDCL SAT solver with native pseudo-Boolean constraints.
+//!
+//! The search core is the classic conflict-driven clause-learning loop:
+//! two-watched-literal propagation, VSIDS-style variable activity with
+//! phase saving, first-UIP conflict analysis and Luby restarts. Everything
+//! is counter-based and free of wall-clock or randomness dependence, so a
+//! given formula always produces the same model — the same determinism
+//! contract the hand-rolled simplex in `cosa-milp` provides.
+//!
+//! On top of plain clauses the solver handles linear pseudo-Boolean
+//! constraints `Σ cᵢ·[litᵢ] ≤ bound` with `f64` coefficients, propagated by
+//! the counter method: the running sum of true-literal coefficients is
+//! maintained incrementally along the trail, a constraint conflicts when
+//! the sum exceeds its bound and it implies `¬l` whenever `sum + c_l`
+//! would. Conflict analysis sees pseudo-Boolean constraints through
+//! implied clausal reasons (`¬t₁ ∨ … ∨ ¬tₖ ∨ q`), which keeps first-UIP
+//! learning sound without cutting-plane machinery. Bounds may only be
+//! tightened in place ([`Solver::set_pb_bound`]), so every learnt clause
+//! remains implied — that is exactly what the objective layer's iterative
+//! bound-tightening needs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A propositional variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// The variable's dense index (assignment order of [`Solver::new_var`]).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// The underlying variable index.
+    pub fn var(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// The underlying variable.
+    pub fn variable(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` for a negated literal.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The opposite literal.
+    #[must_use]
+    pub fn inverse(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A model was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The conflict budget ran out before an answer.
+    Limit,
+    /// The stop flag was raised ([`Solver::set_stop`]).
+    Canceled,
+}
+
+/// Cumulative search statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Conflicts encountered (learnt clauses).
+    pub conflicts: u64,
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    Decision,
+    Clause(u32),
+    Pb(u32),
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    /// `true` for conflict-learnt clauses (deletion candidates).
+    learnt: bool,
+    /// Activity: bumped when the clause participates in conflict
+    /// analysis; low-activity learnt clauses are periodically deleted.
+    act: f64,
+}
+
+#[derive(Debug)]
+struct Pb {
+    /// `(coefficient, literal)` terms; coefficients are strictly positive
+    /// and each literal appears at most once.
+    terms: Vec<(f64, Lit)>,
+    bound: f64,
+    /// Difference between the stored (normalized) bound and the bound the
+    /// caller supplied, so [`Solver::set_pb_bound`] can keep accepting
+    /// caller-scale values.
+    norm_offset: f64,
+    /// Incremental sum of coefficients of currently-true literals.
+    sum_true: f64,
+    max_coef: f64,
+    /// Term indices sorted by descending coefficient (ties by index):
+    /// greedy reason extraction walks this to keep learnt clauses short.
+    by_coef: Vec<u32>,
+}
+
+impl Pb {
+    /// Exact fixed-order recomputation of the true-coefficient sum; used
+    /// near the bound so incremental floating-point drift can never flip a
+    /// feasibility decision.
+    fn exact_sum(&self, assign: &[i8]) -> f64 {
+        let mut s = 0.0;
+        for &(c, l) in &self.terms {
+            if lit_value(assign, l) == 1 {
+                s += c;
+            }
+        }
+        s
+    }
+}
+
+fn lit_value(assign: &[i8], l: Lit) -> i8 {
+    let v = assign[l.var()];
+    if l.is_neg() {
+        -v
+    } else {
+        v
+    }
+}
+
+enum Conflict {
+    Clause(u32),
+    /// Pre-extracted conflicting-assignment clause of a pseudo-Boolean
+    /// constraint (every literal currently false).
+    Lits(Vec<Lit>),
+}
+
+/// Number of conflicts per Luby-sequence unit.
+const RESTART_UNIT: u64 = 128;
+/// Stop-flag poll interval, in search-loop iterations.
+const STOP_POLL: u64 = 128;
+/// Activity decay applied after each conflict.
+const ACT_DECAY: f64 = 1.0 / 0.95;
+/// Clause-activity decay applied after each conflict.
+const CLA_DECAY: f64 = 1.0 / 0.999;
+
+/// The CDCL solver.
+#[derive(Debug)]
+pub struct Solver {
+    // Assignment state.
+    assign: Vec<i8>, // 0 unassigned, 1 true, -1 false
+    level: Vec<u32>,
+    pos: Vec<u32>,
+    reason: Vec<Reason>,
+    saved_phase: Vec<bool>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+
+    // Clause database.
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<u32>>, // per literal code: clauses watching that literal
+
+    // Pseudo-Boolean constraints.
+    pbs: Vec<Pb>,
+    pb_occ: Vec<Vec<(u32, f64)>>, // per literal code: (pb index, coefficient)
+
+    // Branching heuristic.
+    activity: Vec<f64>,
+    act_inc: f64,
+
+    // Learnt-clause management.
+    cla_inc: f64,
+    num_learnts: usize,
+    max_learnts: usize,
+
+    // Analysis scratch.
+    seen: Vec<bool>,
+
+    ok: bool,
+    stop: Option<Arc<AtomicBool>>,
+    /// Search statistics (cumulative across `solve` calls).
+    pub stats: SatStats,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// An empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            assign: Vec::new(),
+            level: Vec::new(),
+            pos: Vec::new(),
+            reason: Vec::new(),
+            saved_phase: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            pbs: Vec::new(),
+            pb_occ: Vec::new(),
+            activity: Vec::new(),
+            act_inc: 1.0,
+            cla_inc: 1.0,
+            num_learnts: 0,
+            max_learnts: 0,
+            seen: Vec::new(),
+            ok: true,
+            stop: None,
+            stats: SatStats::default(),
+        }
+    }
+
+    /// Install a cooperative cancellation flag, polled inside the search
+    /// loop; once it reads `true`, [`Solver::solve`] returns
+    /// [`SolveOutcome::Canceled`].
+    pub fn set_stop(&mut self, stop: Option<Arc<AtomicBool>>) {
+        self.stop = stop;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Add a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(0);
+        self.level.push(0);
+        self.pos.push(0);
+        self.reason.push(Reason::Decision);
+        self.saved_phase.push(false);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.pb_occ.push(Vec::new());
+        self.pb_occ.push(Vec::new());
+        v
+    }
+
+    /// Model value of `v`; only meaningful after [`SolveOutcome::Sat`].
+    pub fn value(&self, v: Var) -> bool {
+        self.assign[v.index()] == 1
+    }
+
+    /// `false` once the clause database is known unsatisfiable outright.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Add a clause (must be called at decision level 0, i.e. outside
+    /// `solve`). Returns `false` if the database became trivially
+    /// unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "add_clause at level 0 only");
+        if !self.ok {
+            return false;
+        }
+        // Simplify: sort/dedup, drop false literals, detect tautologies and
+        // already-satisfied clauses.
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        let mut simplified = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == l.inverse() {
+                return true; // tautology
+            }
+            match lit_value(&self.assign, l) {
+                1 => return true, // satisfied at level 0
+                -1 => {}          // false at level 0: drop
+                _ => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                if !self.enqueue(simplified[0], Reason::Decision) {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watches[simplified[0].code()].push(ci);
+                self.watches[simplified[1].code()].push(ci);
+                self.clauses.push(Clause {
+                    lits: simplified,
+                    learnt: false,
+                    act: 0.0,
+                });
+                true
+            }
+        }
+    }
+
+    /// Add the pseudo-Boolean constraint `Σ coef·[lit] ≤ bound`. Negative
+    /// coefficients are normalized onto negated literals; duplicate and
+    /// complementary literals are merged. Returns the constraint's handle
+    /// for later [`Solver::set_pb_bound`] tightening, or `None` when the
+    /// constraint is trivially satisfied (and was dropped).
+    pub fn add_pb_le(&mut self, terms: &[(f64, Lit)], bound: f64) -> Option<usize> {
+        self.cancel_until(0); // constraints are installed at the root
+        let caller_bound = bound;
+        // Aggregate duplicate literals.
+        let mut agg: Vec<(Lit, f64)> = Vec::with_capacity(terms.len());
+        for &(c, l) in terms {
+            agg.push((l, c));
+        }
+        agg.sort_unstable_by_key(|(l, _)| *l);
+        let mut merged: Vec<(Lit, f64)> = Vec::with_capacity(agg.len());
+        for (l, c) in agg {
+            match merged.last_mut() {
+                Some((pl, pc)) if *pl == l => *pc += c,
+                _ => merged.push((l, c)),
+            }
+        }
+        // Normalize negative coefficients: c·[l] = |c|·[¬l] − |c|.
+        let mut bound = bound;
+        let mut norm: Vec<(Lit, f64)> = Vec::with_capacity(merged.len());
+        for (l, c) in merged {
+            if c < 0.0 {
+                bound += -c;
+                norm.push((l.inverse(), -c));
+            } else if c > 0.0 {
+                norm.push((l, c));
+            }
+        }
+        // Merge complementary pairs: a·[l] + b·[¬l] = min + (a−min)[l] + …
+        norm.sort_unstable_by_key(|(l, _)| *l);
+        let mut final_terms: Vec<(f64, Lit)> = Vec::with_capacity(norm.len());
+        let mut i = 0;
+        while i < norm.len() {
+            let (l, c) = norm[i];
+            if i + 1 < norm.len() && norm[i + 1].0 == l.inverse() {
+                let (l2, c2) = norm[i + 1];
+                let m = c.min(c2);
+                bound -= m;
+                if c - m > 1e-15 {
+                    final_terms.push((c - m, l));
+                }
+                if c2 - m > 1e-15 {
+                    final_terms.push((c2 - m, l2));
+                }
+                i += 2;
+            } else {
+                if c > 1e-15 {
+                    final_terms.push((c, l));
+                }
+                i += 1;
+            }
+        }
+        let norm_offset = bound - caller_bound;
+        if bound < 0.0 {
+            // Even the all-false assignment (sum 0) exceeds the bound.
+            self.ok = false;
+            return Some(self.push_pb(final_terms, bound, norm_offset));
+        }
+        let total: f64 = final_terms.iter().map(|(c, _)| c).sum();
+        if total <= bound {
+            return None; // trivially satisfied
+        }
+        Some(self.push_pb(final_terms, bound, norm_offset))
+    }
+
+    fn push_pb(&mut self, terms: Vec<(f64, Lit)>, bound: f64, norm_offset: f64) -> usize {
+        let pi = self.pbs.len() as u32;
+        let mut max_coef = 0.0f64;
+        let mut sum_true = 0.0;
+        for &(c, l) in &terms {
+            self.pb_occ[l.code()].push((pi, c));
+            max_coef = max_coef.max(c);
+            if lit_value(&self.assign, l) == 1 {
+                sum_true += c;
+            }
+        }
+        let mut by_coef: Vec<u32> = (0..terms.len() as u32).collect();
+        by_coef.sort_by(|&a, &b| {
+            terms[b as usize]
+                .0
+                .partial_cmp(&terms[a as usize].0)
+                .expect("coefficients are finite")
+                .then(a.cmp(&b))
+        });
+        self.pbs.push(Pb {
+            terms,
+            bound,
+            norm_offset,
+            sum_true,
+            max_coef,
+            by_coef,
+        });
+        pi as usize
+    }
+
+    /// Tighten the bound of pseudo-Boolean constraint `idx` in place
+    /// (`bound` is on the caller's scale, as passed to
+    /// [`Solver::add_pb_le`]). Only tightening (a smaller bound) is sound:
+    /// learnt clauses derived under the old bound stay implied under the
+    /// new one.
+    pub fn set_pb_bound(&mut self, idx: usize, bound: f64) {
+        self.cancel_until(0);
+        let stored = bound + self.pbs[idx].norm_offset;
+        debug_assert!(
+            stored <= self.pbs[idx].bound + 1e-12,
+            "pb bounds may only be tightened"
+        );
+        self.pbs[idx].bound = stored;
+    }
+
+    /// Install — or retighten, when `companion` is given — the implied
+    /// cardinality companion of pseudo-Boolean constraint `idx`: if even
+    /// the `m + 1` smallest coefficients sum past the bound, then at most
+    /// `m` of the constraint's literals can be true. The unit-coefficient
+    /// form propagates far more eagerly than the weighted original (once
+    /// `m` literals hold, every other literal is implied false at once),
+    /// which matters most during UNSAT proofs over near-uniform weights.
+    /// Returns the companion's handle; `None` when no strict cardinality
+    /// is implied (and none was installed).
+    pub fn refresh_pb_cardinality(
+        &mut self,
+        idx: usize,
+        companion: Option<usize>,
+    ) -> Option<usize> {
+        let pb = &self.pbs[idx];
+        // Safety margin errs toward a LARGER (weaker, still implied) cap.
+        let margin = 1e-9 * pb.bound.abs().max(1.0);
+        let mut sum = 0.0;
+        let mut m = 0usize;
+        for &ti in pb.by_coef.iter().rev() {
+            let next = sum + pb.terms[ti as usize].0;
+            if next > pb.bound + margin {
+                break;
+            }
+            sum = next;
+            m += 1;
+        }
+        if m >= pb.terms.len() {
+            debug_assert!(companion.is_none(), "cardinality caps only tighten");
+            return None; // no strict cardinality implied
+        }
+        match companion {
+            Some(ci) => {
+                self.set_pb_bound(ci, m as f64);
+                Some(ci)
+            }
+            None => {
+                let unit: Vec<(f64, Lit)> =
+                    self.pbs[idx].terms.iter().map(|&(_, l)| (1.0, l)).collect();
+                self.add_pb_le(&unit, m as f64)
+            }
+        }
+    }
+
+    /// Search for a model, stopping after `max_conflicts` additional
+    /// conflicts if given. Callable repeatedly; learnt clauses and
+    /// activities persist across calls.
+    pub fn solve(&mut self, max_conflicts: Option<u64>) -> SolveOutcome {
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
+        self.cancel_until(0);
+        // Re-establish level-0 pseudo-Boolean state exactly: bounds may
+        // have been tightened between calls, and exact recomputation also
+        // clears any accumulated floating-point drift.
+        for pi in 0..self.pbs.len() {
+            self.pbs[pi].sum_true = self.pbs[pi].exact_sum(&self.assign);
+            if self.pbs[pi].sum_true > self.pbs[pi].bound {
+                self.ok = false;
+                return SolveOutcome::Unsat;
+            }
+        }
+        for pi in 0..self.pbs.len() {
+            if let Some(confl) = self.pb_implications(pi as u32) {
+                let _ = confl;
+                self.ok = false;
+                return SolveOutcome::Unsat;
+            }
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveOutcome::Unsat;
+        }
+
+        if self.max_learnts == 0 {
+            self.max_learnts = (self.clauses.len() * 2).max(4_000);
+        }
+        let budget_end = max_conflicts.map(|m| self.stats.conflicts + m);
+        let mut restart_seq = 1u64; // index into the Luby sequence
+        let mut restart_limit = luby(restart_seq) * RESTART_UNIT;
+        let mut conflicts_since_restart = 0u64;
+        let mut iters = 0u64;
+
+        loop {
+            // `iters == 0` included: a pre-set flag must cancel even
+            // instances that would otherwise solve in a handful of steps.
+            if iters.is_multiple_of(STOP_POLL) {
+                if let Some(stop) = &self.stop {
+                    if stop.load(Ordering::Relaxed) {
+                        self.cancel_until(0);
+                        return SolveOutcome::Canceled;
+                    }
+                }
+            }
+            iters += 1;
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.trail_lim.is_empty() {
+                    self.ok = false;
+                    return SolveOutcome::Unsat;
+                }
+                let (learnt, back_level) = self.analyze(confl);
+                self.cancel_until(back_level);
+                self.attach_learnt(learnt);
+                self.act_inc *= ACT_DECAY;
+                if self.act_inc > 1e100 {
+                    for a in &mut self.activity {
+                        *a *= 1e-100;
+                    }
+                    self.act_inc *= 1e-100;
+                }
+                self.cla_inc *= CLA_DECAY;
+                if self.cla_inc > 1e20 {
+                    for c in &mut self.clauses {
+                        c.act *= 1e-20;
+                    }
+                    self.cla_inc *= 1e-20;
+                }
+                if let Some(end) = budget_end {
+                    if self.stats.conflicts >= end {
+                        self.cancel_until(0);
+                        return SolveOutcome::Limit;
+                    }
+                }
+                if conflicts_since_restart >= restart_limit {
+                    restart_seq += 1;
+                    restart_limit = luby(restart_seq) * RESTART_UNIT;
+                    conflicts_since_restart = 0;
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                    if self.num_learnts > self.max_learnts {
+                        self.reduce_db();
+                        self.max_learnts += self.max_learnts / 10;
+                    }
+                }
+            } else {
+                // Pick the unassigned variable with the highest activity
+                // (lowest index on ties: deterministic), decide with its
+                // saved phase.
+                let mut best: Option<(usize, f64)> = None;
+                for (v, &a) in self.activity.iter().enumerate() {
+                    if self.assign[v] == 0 && best.is_none_or(|(_, ba)| a > ba) {
+                        best = Some((v, a));
+                    }
+                }
+                let Some((v, _)) = best else {
+                    return SolveOutcome::Sat; // full assignment
+                };
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let lit = if self.saved_phase[v] {
+                    Lit::pos(Var(v as u32))
+                } else {
+                    Lit::neg(Var(v as u32))
+                };
+                let ok = self.enqueue(lit, Reason::Decision);
+                debug_assert!(ok, "decision variable was unassigned");
+            }
+        }
+    }
+
+    fn current_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Reason) -> bool {
+        match lit_value(&self.assign, l) {
+            1 => true,
+            -1 => false,
+            _ => {
+                let v = l.var();
+                self.assign[v] = if l.is_neg() { -1 } else { 1 };
+                self.level[v] = self.current_level();
+                self.pos[v] = self.trail.len() as u32;
+                self.reason[v] = reason;
+                for &(pi, c) in &self.pb_occ[l.code()] {
+                    self.pbs[pi as usize].sum_true += c;
+                }
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        if self.current_level() <= lvl {
+            return;
+        }
+        let target = self.trail_lim[lvl as usize];
+        while self.trail.len() > target {
+            let l = self.trail.pop().expect("trail non-empty");
+            let v = l.var();
+            for &(pi, c) in &self.pb_occ[l.code()] {
+                self.pbs[pi as usize].sum_true -= c;
+            }
+            self.saved_phase[v] = !l.is_neg();
+            self.assign[v] = 0;
+        }
+        self.trail_lim.truncate(lvl as usize);
+        self.qhead = target;
+    }
+
+    /// Propagate until fixpoint; returns a conflict if one arises.
+    fn propagate(&mut self) -> Option<Conflict> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            // Clause propagation: clauses watching ¬p just lost a watch.
+            let false_lit = p.inverse();
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut keep = 0;
+            let mut confl: Option<Conflict> = None;
+            'clauses: for wi in 0..ws.len() {
+                let ci = ws[wi];
+                let cl = &mut self.clauses[ci as usize];
+                // Ensure the false literal sits in slot 1.
+                if cl.lits[0] == false_lit {
+                    cl.lits.swap(0, 1);
+                }
+                let first = cl.lits[0];
+                if lit_value(&self.assign, first) == 1 {
+                    ws[keep] = ci;
+                    keep += 1;
+                    continue; // satisfied
+                }
+                // Look for a replacement watch.
+                for k in 2..cl.lits.len() {
+                    if lit_value(&self.assign, cl.lits[k]) != -1 {
+                        cl.lits.swap(1, k);
+                        self.watches[cl.lits[1].code()].push(ci);
+                        continue 'clauses;
+                    }
+                }
+                // Unit or conflicting.
+                ws[keep] = ci;
+                keep += 1;
+                if !self.enqueue(first, Reason::Clause(ci)) {
+                    // Conflict: keep remaining watches, stop.
+                    let mut j = wi + 1;
+                    while j < ws.len() {
+                        ws[keep] = ws[j];
+                        keep += 1;
+                        j += 1;
+                    }
+                    confl = Some(Conflict::Clause(ci));
+                    break;
+                }
+            }
+            ws.truncate(keep);
+            // Replacement watches never target the falsified literal, but
+            // merge defensively in case the list gained entries meanwhile.
+            let mut gained = std::mem::take(&mut self.watches[false_lit.code()]);
+            ws.append(&mut gained);
+            self.watches[false_lit.code()] = ws;
+            if let Some(c) = confl {
+                return Some(c);
+            }
+
+            // Pseudo-Boolean propagation for constraints containing p.
+            let occ: Vec<u32> = self.pb_occ[p.code()].iter().map(|&(pi, _)| pi).collect();
+            for pi in occ {
+                if let Some(c) = self.pb_implications(pi) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+
+    /// Check one pseudo-Boolean constraint for conflict / implications.
+    /// Negations of a subset of `pi`'s true literals whose coefficients,
+    /// plus `extra`, exceed the bound — greedy over descending
+    /// coefficients so learnt clauses stay short and prune hard. Only
+    /// literals assigned before trail position `vpos_limit` participate
+    /// (pass `u32::MAX` for no limit). Falls back to the full true set
+    /// when no strict subset clears the bound with a safe margin over
+    /// floating-point reassociation error.
+    fn pb_reason_subset(&self, pi: u32, extra: f64, vpos_limit: u32) -> Vec<Lit> {
+        let pb = &self.pbs[pi as usize];
+        let margin = 1e-9 * pb.bound.abs().max(1.0);
+        let mut sum = extra;
+        let mut out = Vec::new();
+        for &ti in &pb.by_coef {
+            let (c, l) = pb.terms[ti as usize];
+            if lit_value(&self.assign, l) != 1 || self.pos[l.var()] >= vpos_limit {
+                continue;
+            }
+            sum += c;
+            out.push(l.inverse());
+            if sum > pb.bound + margin {
+                return out;
+            }
+        }
+        out
+    }
+
+    fn pb_implications(&mut self, pi: u32) -> Option<Conflict> {
+        let pb = &self.pbs[pi as usize];
+        // Fast path: nothing can happen while the slack clears the largest
+        // coefficient by a safe margin.
+        if pb.bound - pb.sum_true > pb.max_coef + 1e-3 {
+            return None;
+        }
+        // Near the bound: recompute the sum in fixed term order so
+        // incremental drift cannot flip a decision.
+        let exact = pb.exact_sum(&self.assign);
+        self.pbs[pi as usize].sum_true = exact;
+        let pb = &self.pbs[pi as usize];
+        if exact > pb.bound {
+            return Some(Conflict::Lits(self.pb_reason_subset(pi, 0.0, u32::MAX)));
+        }
+        let slack = pb.bound - exact;
+        let mut implied: Vec<Lit> = Vec::new();
+        for &(c, l) in &pb.terms {
+            if c > slack && lit_value(&self.assign, l) == 0 {
+                implied.push(l.inverse());
+            }
+        }
+        for l in implied {
+            if !self.enqueue(l, Reason::Pb(pi)) {
+                // The implied literal is already false, i.e. its term
+                // literal is true: together with the other true literals
+                // the constraint is violated.
+                return Some(Conflict::Lits(self.pb_reason_subset(pi, 0.0, u32::MAX)));
+            }
+        }
+        None
+    }
+
+    /// The clausal reason for the implication of `trail`-literal with
+    /// variable `v` (every returned literal is false and was assigned
+    /// before `v`).
+    fn reason_lits(&self, v: usize) -> Vec<Lit> {
+        match self.reason[v] {
+            Reason::Decision => Vec::new(),
+            Reason::Clause(ci) => self.clauses[ci as usize]
+                .lits
+                .iter()
+                .copied()
+                .filter(|l| l.var() != v)
+                .collect(),
+            Reason::Pb(pi) => {
+                // Lazy reason: true literals assigned before `v` whose
+                // coefficients, plus `v`'s own, exceed the bound (trail
+                // position order makes "before" precise).
+                let vpos = self.pos[v];
+                let own_coef = self.pbs[pi as usize]
+                    .terms
+                    .iter()
+                    .find(|&&(_, t)| t.var() == v)
+                    .map(|&(c, _)| c)
+                    .unwrap_or(0.0);
+                self.pb_reason_subset(pi, own_coef, vpos)
+            }
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: Conflict) -> (Vec<Lit>, u32) {
+        let cur = self.current_level();
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0u32;
+        let mut idx = self.trail.len();
+        let mut reason: Vec<Lit> = match confl {
+            Conflict::Clause(ci) => {
+                self.bump_clause(ci);
+                self.clauses[ci as usize].lits.clone()
+            }
+            Conflict::Lits(ls) => ls,
+        };
+        let mut cleanup: Vec<usize> = Vec::new();
+        loop {
+            for &q in &reason {
+                let v = q.var();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    cleanup.push(v);
+                    self.activity[v] += self.act_inc;
+                    if self.level[v] >= cur {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var()] {
+                    break;
+                }
+            }
+            let p = self.trail[idx];
+            let v = p.var();
+            self.seen[v] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt.insert(0, p.inverse());
+                break;
+            }
+            if let Reason::Clause(ci) = self.reason[v] {
+                self.bump_clause(ci);
+            }
+            reason = self.reason_lits(v);
+        }
+        // Minimize: a non-asserting literal whose whole reason lies inside
+        // the clause (`seen`, still marked here) or at level 0 is implied
+        // by the rest and can be dropped. Reasons point strictly backwards
+        // on the trail, so dropping in any order stays sound.
+        let mut i = 1;
+        while i < learnt.len() {
+            let v = learnt[i].var();
+            let redundant = !matches!(self.reason[v], Reason::Decision)
+                && self
+                    .reason_lits(v)
+                    .iter()
+                    .all(|r| self.level[r.var()] == 0 || self.seen[r.var()]);
+            if redundant {
+                learnt.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        for v in cleanup {
+            self.seen[v] = false;
+        }
+        // Backtrack level: highest level among the non-asserting literals;
+        // keep one literal of that level in slot 1 (watch invariant).
+        if learnt.len() == 1 {
+            return (learnt, 0);
+        }
+        let mut max_i = 1;
+        for i in 2..learnt.len() {
+            if self.level[learnt[i].var()] > self.level[learnt[max_i].var()] {
+                max_i = i;
+            }
+        }
+        learnt.swap(1, max_i);
+        let back = self.level[learnt[1].var()];
+        (learnt, back)
+    }
+
+    /// Attach a learnt clause and enqueue its asserting literal.
+    fn attach_learnt(&mut self, learnt: Vec<Lit>) {
+        let assert_lit = learnt[0];
+        let reason = if learnt.len() == 1 {
+            Reason::Decision
+        } else {
+            let ci = self.clauses.len() as u32;
+            self.watches[learnt[0].code()].push(ci);
+            self.watches[learnt[1].code()].push(ci);
+            self.clauses.push(Clause {
+                lits: learnt,
+                learnt: true,
+                act: self.cla_inc,
+            });
+            self.num_learnts += 1;
+            Reason::Clause(ci)
+        };
+        let ok = self.enqueue(assert_lit, reason);
+        debug_assert!(ok, "asserting literal must be unassigned after backtrack");
+    }
+
+    fn bump_clause(&mut self, ci: u32) {
+        let c = &mut self.clauses[ci as usize];
+        if c.learnt {
+            c.act += self.cla_inc;
+        }
+    }
+
+    /// Delete the less active half of the learnt clauses (binary and
+    /// reason-locked clauses are exempt), compacting the database and
+    /// rebuilding watches. Must run at decision level 0.
+    fn reduce_db(&mut self) {
+        debug_assert!(self.trail_lim.is_empty(), "reduce_db at level 0 only");
+        let mut locked = vec![false; self.clauses.len()];
+        for &l in &self.trail {
+            if let Reason::Clause(ci) = self.reason[l.var()] {
+                locked[ci as usize] = true;
+            }
+        }
+        // Deletion candidates, least active first (ties: oldest first).
+        let mut cands: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&ci| {
+                let c = &self.clauses[ci as usize];
+                c.learnt && c.lits.len() > 2 && !locked[ci as usize]
+            })
+            .collect();
+        cands.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .act
+                .partial_cmp(&self.clauses[b as usize].act)
+                .expect("activities are finite")
+                .then(a.cmp(&b))
+        });
+        let mut remove = vec![false; self.clauses.len()];
+        for &ci in &cands[..cands.len() / 2] {
+            remove[ci as usize] = true;
+        }
+        let mut map = vec![u32::MAX; self.clauses.len()];
+        let mut kept: Vec<Clause> = Vec::with_capacity(self.clauses.len());
+        for (i, c) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+            if !remove[i] {
+                map[i] = kept.len() as u32;
+                kept.push(c);
+            }
+        }
+        self.clauses = kept;
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            self.watches[c.lits[0].code()].push(i as u32);
+            self.watches[c.lits[1].code()].push(i as u32);
+        }
+        for &l in &self.trail {
+            if let Reason::Clause(ci) = self.reason[l.var()] {
+                self.reason[l.var()] = Reason::Clause(map[ci as usize]);
+            }
+        }
+        self.num_learnts = self.clauses.iter().filter(|c| c.learnt).count();
+    }
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
+fn luby(mut i: u64) -> u64 {
+    loop {
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn trivial_sat_and_model() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1])]);
+        assert_eq!(s.solve(None), SolveOutcome::Sat);
+        assert!(s.value(v[0]));
+        assert!(s.value(v[1]));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[0])]);
+        assert_eq!(s.solve(None), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i in hole j. Each pigeon somewhere; no hole holds
+        // two pigeons. Requires real conflict analysis to refute.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3).map(|_| vars(&mut s, 2)).collect();
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[a][j]), Lit::neg(p[b][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(None), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn graph_coloring_sat() {
+        // 3-color a 5-cycle (chromatic number 3): satisfiable.
+        let mut s = Solver::new();
+        let c: Vec<Vec<Var>> = (0..5).map(|_| vars(&mut s, 3)).collect();
+        for row in &c {
+            let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&lits);
+        }
+        for i in 0..5 {
+            let j = (i + 1) % 5;
+            for k in 0..3 {
+                s.add_clause(&[Lit::neg(c[i][k]), Lit::neg(c[j][k])]);
+            }
+        }
+        assert_eq!(s.solve(None), SolveOutcome::Sat);
+        for i in 0..5 {
+            let j = (i + 1) % 5;
+            for k in 0..3 {
+                assert!(!(s.value(c[i][k]) && s.value(c[j][k])), "edge {i}-{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn pb_cardinality_enforced() {
+        // Σ x_i ≤ 2 over 5 vars, with three forced true → conflict.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 5);
+        let terms: Vec<(f64, Lit)> = v.iter().map(|&x| (1.0, Lit::pos(x))).collect();
+        let idx = s.add_pb_le(&terms, 2.0);
+        assert!(idx.is_some());
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::pos(v[1])]);
+        assert_eq!(s.solve(None), SolveOutcome::Sat);
+        let true_count = v.iter().filter(|&&x| s.value(x)).count();
+        assert!(true_count <= 2, "cardinality violated: {true_count}");
+        s.add_clause(&[Lit::pos(v[2])]);
+        s.add_clause(&[Lit::pos(v[3])]);
+        assert_eq!(s.solve(None), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn pb_at_least_via_negations() {
+        // Σ x_i ≥ 3 over 4 vars ⇔ Σ [¬x_i] ≤ 1.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        let terms: Vec<(f64, Lit)> = v.iter().map(|&x| (1.0, Lit::neg(x))).collect();
+        s.add_pb_le(&terms, 1.0);
+        s.add_clause(&[Lit::neg(v[0])]);
+        assert_eq!(s.solve(None), SolveOutcome::Sat);
+        let true_count = v.iter().filter(|&&x| s.value(x)).count();
+        assert_eq!(true_count, 3);
+    }
+
+    #[test]
+    fn pb_negative_coefficients_normalize() {
+        // 2x − 3y ≤ −1 ⇔ 2x + 3¬y ≤ 2 ⇒ y must be true, x free… check
+        // with x forced: 2 − 3y ≤ −1 requires y.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_pb_le(&[(2.0, Lit::pos(v[0])), (-3.0, Lit::pos(v[1]))], -1.0);
+        s.add_clause(&[Lit::pos(v[0])]);
+        assert_eq!(s.solve(None), SolveOutcome::Sat);
+        assert!(s.value(v[1]), "y forced true by the PB constraint");
+    }
+
+    #[test]
+    fn pb_weighted_knapsack_matches_brute_force() {
+        // Feasibility of Σ c_i x_i ≤ B with an at-least-k side constraint,
+        // checked against brute force over all 2^6 assignments.
+        let coefs = [3.0, 5.0, 7.0, 2.0, 4.0, 6.0];
+        for bound in [5.0, 9.0, 13.0, 20.0] {
+            for min_true in 0..=4usize {
+                let brute = (0u32..64).any(|m| {
+                    let w: f64 = (0..6).filter(|&i| m >> i & 1 == 1).map(|i| coefs[i]).sum();
+                    let k = (0..6).filter(|&i| m >> i & 1 == 1).count();
+                    w <= bound && k >= min_true
+                });
+                let mut s = Solver::new();
+                let v = vars(&mut s, 6);
+                let terms: Vec<(f64, Lit)> = v
+                    .iter()
+                    .zip(coefs)
+                    .map(|(&x, c)| (c, Lit::pos(x)))
+                    .collect();
+                s.add_pb_le(&terms, bound);
+                let neg: Vec<(f64, Lit)> = v.iter().map(|&x| (1.0, Lit::neg(x))).collect();
+                s.add_pb_le(&neg, (6 - min_true) as f64);
+                let got = s.solve(None) == SolveOutcome::Sat;
+                assert_eq!(got, brute, "bound={bound} min_true={min_true}");
+                if got {
+                    let w: f64 = v
+                        .iter()
+                        .zip(coefs)
+                        .filter(|(&x, _)| s.value(x))
+                        .map(|(_, c)| c)
+                        .sum();
+                    assert!(w <= bound + 1e-9);
+                    assert!(v.iter().filter(|&&x| s.value(x)).count() >= min_true);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_tightening_reaches_optimum() {
+        // Minimize Σ c_i x_i subject to "at least 2 true": optimum picks
+        // the two cheapest items. Solve-then-tighten until UNSAT.
+        let coefs = [9.0, 1.0, 5.0, 3.0];
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        let neg: Vec<(f64, Lit)> = v.iter().map(|&x| (1.0, Lit::neg(x))).collect();
+        s.add_pb_le(&neg, 2.0); // ≥ 2 true
+        let obj: Vec<(f64, Lit)> = v
+            .iter()
+            .zip(coefs)
+            .map(|(&x, c)| (c, Lit::pos(x)))
+            .collect();
+        assert_eq!(s.solve(None), SolveOutcome::Sat);
+        let eval = |s: &Solver| -> f64 {
+            v.iter()
+                .zip(coefs)
+                .filter(|(&x, _)| s.value(x))
+                .map(|(_, c)| c)
+                .sum()
+        };
+        let mut best = eval(&s);
+        let idx = s.add_pb_le(&obj, best - 1e-7).expect("non-trivial bound");
+        loop {
+            match s.solve(None) {
+                SolveOutcome::Sat => {
+                    best = eval(&s);
+                    s.set_pb_bound(idx, best - 1e-7);
+                }
+                SolveOutcome::Unsat => break,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert!((best - 4.0).abs() < 1e-9, "optimum 1+3, got {best}");
+    }
+
+    #[test]
+    fn pb_cardinality_companion_is_implied_and_tightens() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        let terms: Vec<(f64, Lit)> = vec![
+            (2.0, Lit::pos(v[0])),
+            (2.0, Lit::pos(v[1])),
+            (2.0, Lit::pos(v[2])),
+            (0.5, Lit::pos(v[3])),
+        ];
+        let idx = s.add_pb_le(&terms, 3.0).unwrap();
+        let card = s.refresh_pb_cardinality(idx, None);
+        assert!(card.is_some(), "a strict cardinality cap must be derived");
+        assert_eq!(s.solve(None), SolveOutcome::Sat);
+        assert!(v.iter().filter(|&&x| s.value(x)).count() <= 2);
+
+        s.set_pb_bound(idx, 1.9);
+        let card2 = s.refresh_pb_cardinality(idx, card);
+        assert_eq!(card2, card, "companion handle is stable across tightening");
+        assert_eq!(s.solve(None), SolveOutcome::Sat);
+        // Under bound 1.9 no 2.0-coefficient literal can hold.
+        assert!(!s.value(v[0]) && !s.value(v[1]) && !s.value(v[2]));
+    }
+
+    #[test]
+    fn pre_set_stop_flag_cancels() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 30);
+        for w in v.windows(2) {
+            s.add_clause(&[Lit::pos(w[0]), Lit::pos(w[1])]);
+        }
+        let stop = Arc::new(AtomicBool::new(true));
+        s.set_stop(Some(stop));
+        assert_eq!(s.solve(None), SolveOutcome::Canceled);
+    }
+
+    #[test]
+    fn deterministic_models_across_fresh_solvers() {
+        let build = || {
+            let mut s = Solver::new();
+            let v: Vec<Var> = (0..40).map(|_| s.new_var()).collect();
+            for i in 0..39 {
+                s.add_clause(&[Lit::pos(v[i]), Lit::pos(v[i + 1])]);
+                if i % 3 == 0 {
+                    s.add_clause(&[Lit::neg(v[i]), Lit::neg(v[(i + 7) % 40])]);
+                }
+            }
+            let terms: Vec<(f64, Lit)> = v.iter().map(|&x| (1.0, Lit::pos(x))).collect();
+            s.add_pb_le(&terms, 25.0);
+            assert_eq!(s.solve(None), SolveOutcome::Sat);
+            v.iter().map(|&x| s.value(x)).collect::<Vec<bool>>()
+        };
+        assert_eq!(build(), build(), "solver must be deterministic");
+    }
+}

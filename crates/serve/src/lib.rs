@@ -208,7 +208,7 @@ impl ServerState {
     /// Sum cache counters over every resident engine plus everything
     /// folded in from non-retained ones.
     fn summed_cache_stats(&self) -> CacheStats {
-        let mut total = *self.overflow_stats.lock().expect("overflow lock");
+        let mut total = self.overflow_stats.lock().expect("overflow lock").clone();
         let engines = self.engines.lock().expect("engines lock");
         for engine in engines.values() {
             add_cache_stats(&mut total, engine.cache_stats());
@@ -338,6 +338,21 @@ fn add_cache_stats(total: &mut CacheStats, s: CacheStats) {
     // A peak is a high-water mark, not a flow: summing engines' peaks
     // would overstate concurrency that never coincided.
     total.in_flight_peak = total.in_flight_peak.max(s.in_flight_peak);
+    // Per-backend win tallies merge by name, keeping the sorted order.
+    for win in s.backend_wins {
+        match total
+            .backend_wins
+            .iter_mut()
+            .find(|t| t.backend == win.backend)
+        {
+            Some(t) => {
+                t.wins += win.wins;
+                t.win_micros += win.win_micros;
+            }
+            None => total.backend_wins.push(win),
+        }
+    }
+    total.backend_wins.sort_by(|a, b| a.backend.cmp(&b.backend));
 }
 
 /// The daemon. [`Server::start`] warm-starts the default engine, runs the

@@ -33,11 +33,15 @@
 //! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use cosa_core::CosaScheduler;
 use cosa_mappers::{layer_seed, HybridConfig, HybridMapper, RandomMapper};
+use cosa_milp::MilpError;
 use cosa_model::CostModel;
+use cosa_sat::{SatError, SatScheduler};
 use cosa_spec::{Arch, Layer, Schedule};
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +72,14 @@ pub enum ScheduleError {
         /// Underlying error rendered as text.
         message: String,
     },
+    /// The solve was cancelled through its stop flag before finishing —
+    /// in a portfolio race, the other backend won.
+    Canceled {
+        /// Scheduler name.
+        scheduler: String,
+        /// Layer name.
+        layer: String,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -85,6 +97,9 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::Evaluation { layer, message } => {
                 write!(f, "model evaluation failed on layer {layer}: {message}")
+            }
+            ScheduleError::Canceled { scheduler, layer } => {
+                write!(f, "{scheduler} was cancelled on layer {layer}")
             }
         }
     }
@@ -146,6 +161,21 @@ pub trait Scheduler: Send + Sync {
     /// search finds no valid schedule.
     fn schedule(&self, arch: &Arch, layer: &Layer) -> Result<Scheduled, ScheduleError>;
 
+    /// Like [`Scheduler::schedule`] with a cooperative cancellation flag:
+    /// once `stop` reads `true`, the backend should abandon the solve and
+    /// return [`ScheduleError::Canceled`] promptly. Backends without
+    /// cancellation support ignore the flag and run to completion (the
+    /// default), which is sound — just slower to cancel.
+    fn schedule_with_stop(
+        &self,
+        arch: &Arch,
+        layer: &Layer,
+        stop: Option<Arc<AtomicBool>>,
+    ) -> Result<Scheduled, ScheduleError> {
+        let _ = stop;
+        self.schedule(arch, layer)
+    }
+
     /// A canonical description of this scheduler's configuration, used in
     /// content-addressed schedule-cache keys: two schedulers with equal
     /// fingerprints must produce identical schedules for identical
@@ -184,6 +214,15 @@ impl Scheduler for CosaScheduler {
     }
 
     fn schedule(&self, arch: &Arch, layer: &Layer) -> Result<Scheduled, ScheduleError> {
+        Scheduler::schedule_with_stop(self, arch, layer, None)
+    }
+
+    fn schedule_with_stop(
+        &self,
+        arch: &Arch,
+        layer: &Layer,
+        stop: Option<Arc<AtomicBool>>,
+    ) -> Result<Scheduled, ScheduleError> {
         let retargeted;
         let solver = if self.arch() == arch {
             self
@@ -191,10 +230,19 @@ impl Scheduler for CosaScheduler {
             retargeted = self.for_arch(arch);
             &retargeted
         };
-        let result = solver.schedule(layer).map_err(|e| ScheduleError::Solver {
-            scheduler: "cosa".to_string(),
-            layer: layer.name().to_string(),
-            message: e.to_string(),
+        let result = solver.schedule_with_stop(layer, stop).map_err(|e| {
+            if matches!(e, cosa_core::CosaError::Solver(MilpError::Canceled)) {
+                ScheduleError::Canceled {
+                    scheduler: "cosa".to_string(),
+                    layer: layer.name().to_string(),
+                }
+            } else {
+                ScheduleError::Solver {
+                    scheduler: "cosa".to_string(),
+                    layer: layer.name().to_string(),
+                    message: e.to_string(),
+                }
+            }
         })?;
         let (latency_cycles, energy_pj) = evaluate(arch, layer, &result.schedule)?;
         Ok(Scheduled {
@@ -211,6 +259,205 @@ impl Scheduler for CosaScheduler {
                 milp_objective: Some(result.milp_objective),
             },
         })
+    }
+}
+
+impl Scheduler for SatScheduler {
+    fn name(&self) -> &str {
+        "sat"
+    }
+
+    fn fingerprint(&self) -> String {
+        let w = self.weights();
+        format!(
+            "sat:w=({},{},{}):budget={:?}",
+            w.w_util,
+            w.w_comp,
+            w.w_traf,
+            self.conflict_budget(),
+        )
+    }
+
+    fn schedule(&self, arch: &Arch, layer: &Layer) -> Result<Scheduled, ScheduleError> {
+        Scheduler::schedule_with_stop(self, arch, layer, None)
+    }
+
+    fn schedule_with_stop(
+        &self,
+        arch: &Arch,
+        layer: &Layer,
+        stop: Option<Arc<AtomicBool>>,
+    ) -> Result<Scheduled, ScheduleError> {
+        let retargeted;
+        let solver = if self.arch() == arch {
+            self
+        } else {
+            retargeted = self.for_arch(arch);
+            &retargeted
+        };
+        let result = solver.schedule_with_stop(layer, stop).map_err(|e| {
+            let layer_name = layer.name().to_string();
+            match e {
+                SatError::Canceled => ScheduleError::Canceled {
+                    scheduler: "sat".to_string(),
+                    layer: layer_name,
+                },
+                SatError::Budget => ScheduleError::NoValidSchedule {
+                    scheduler: "sat".to_string(),
+                    layer: layer_name,
+                },
+                other => ScheduleError::Solver {
+                    scheduler: "sat".to_string(),
+                    layer: layer_name,
+                    message: other.to_string(),
+                },
+            }
+        })?;
+        let (latency_cycles, energy_pj) = evaluate(arch, layer, &result.schedule)?;
+        Ok(Scheduled {
+            scheduler: "sat".to_string(),
+            layer: layer.name().to_string(),
+            schedule: result.schedule,
+            latency_cycles,
+            energy_pj,
+            elapsed: result.solve_time,
+            stats: ScheduleStats {
+                samples: 1,
+                evaluations: 1,
+                milp_nodes: result.stats.conflicts,
+                milp_objective: Some(result.objective),
+            },
+        })
+    }
+}
+
+/// A two-backend racing scheduler: MILP ([`CosaScheduler`]) and SAT
+/// ([`SatScheduler`]) solve the same layer concurrently, the first
+/// finisher wins and the loser is cancelled through a shared stop flag.
+///
+/// Both default backends run to *proven optimality* (the MILP unlimited,
+/// the SAT side with an unbounded conflict budget), so whichever side wins
+/// the returned cost is the same — the race only decides latency. The
+/// winning backend's name is kept in [`Scheduled::scheduler`] (`"cosa"`
+/// or `"sat"`), which is how the engine attributes per-backend wins and
+/// cache provenance. The losing solver is joined before this function
+/// returns: no thread outlives the call, and a cancelled loser never
+/// produces a result that could reach a cache.
+///
+/// Which backend wins may vary run to run (it is a wall-clock race), so
+/// schedule *bytes* are not reproducible across runs — costs are, since
+/// both sides prove the same optimum.
+#[derive(Debug, Clone)]
+pub struct PortfolioScheduler {
+    milp: CosaScheduler,
+    sat: SatScheduler,
+}
+
+impl PortfolioScheduler {
+    /// A portfolio over `arch` with both backends configured for proven
+    /// optimality (cost-exact racing).
+    pub fn new(arch: &Arch) -> PortfolioScheduler {
+        PortfolioScheduler {
+            milp: CosaScheduler::new(arch),
+            sat: SatScheduler::new(arch).with_conflict_budget(None),
+        }
+    }
+
+    /// A portfolio over explicit backend configurations. Note that if the
+    /// backends are configured with differing limits (node or conflict
+    /// budgets), the cost-exactness guarantee of [`PortfolioScheduler::new`]
+    /// no longer holds: the race then also picks between the backends'
+    /// anytime answers.
+    pub fn from_parts(milp: CosaScheduler, sat: SatScheduler) -> PortfolioScheduler {
+        PortfolioScheduler { milp, sat }
+    }
+
+    /// The MILP side.
+    pub fn milp(&self) -> &CosaScheduler {
+        &self.milp
+    }
+
+    /// The SAT side.
+    pub fn sat(&self) -> &SatScheduler {
+        &self.sat
+    }
+}
+
+/// Of two losing errors, prefer reporting the one that is not a mere
+/// cancellation echo.
+fn prefer_real_error(a: ScheduleError, b: ScheduleError) -> ScheduleError {
+    if matches!(a, ScheduleError::Canceled { .. }) {
+        b
+    } else {
+        a
+    }
+}
+
+/// Race two schedulers on one layer: both run on scoped threads sharing a
+/// stop flag, the first successful finisher wins and the loser is
+/// cancelled through the flag. The scope joins the loser before this
+/// returns — no thread outlives the call — and the loser's abandoned
+/// result is dropped unseen, so only the winner's output can ever be
+/// observed (or cached) by the caller.
+///
+/// This is [`PortfolioScheduler`]'s engine room, exposed so tests can
+/// race instrumented fake backends deterministically.
+///
+/// # Errors
+///
+/// When both sides fail, the non-[`ScheduleError::Canceled`] error is
+/// reported (a cancellation echo never masks a real failure).
+pub fn race_schedulers(
+    a: &dyn Scheduler,
+    b: &dyn Scheduler,
+    arch: &Arch,
+    layer: &Layer,
+) -> Result<Scheduled, ScheduleError> {
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<Result<Scheduled, ScheduleError>>();
+        let a_tx = tx.clone();
+        let a_stop = stop.clone();
+        scope.spawn(move || {
+            let r = a.schedule_with_stop(arch, layer, Some(a_stop));
+            let _ = a_tx.send(r);
+        });
+        let b_stop = stop.clone();
+        scope.spawn(move || {
+            let r = b.schedule_with_stop(arch, layer, Some(b_stop));
+            let _ = tx.send(r);
+        });
+        match rx.recv().expect("both backends report") {
+            Ok(won) => {
+                // First finisher wins: cancel the other side. The scope
+                // joins it before we return, so no thread leaks and its
+                // abandoned result is dropped unseen.
+                stop.store(true, Ordering::Relaxed);
+                Ok(won)
+            }
+            Err(first) => match rx.recv().expect("second backend reports") {
+                Ok(won) => Ok(won),
+                Err(second) => Err(prefer_real_error(first, second)),
+            },
+        }
+    })
+}
+
+impl Scheduler for PortfolioScheduler {
+    fn name(&self) -> &str {
+        "portfolio"
+    }
+
+    fn fingerprint(&self) -> String {
+        format!(
+            "portfolio[{} | {}]",
+            Scheduler::fingerprint(&self.milp),
+            Scheduler::fingerprint(&self.sat),
+        )
+    }
+
+    fn schedule(&self, arch: &Arch, layer: &Layer) -> Result<Scheduled, ScheduleError> {
+        race_schedulers(&self.milp, &self.sat, arch, layer)
     }
 }
 

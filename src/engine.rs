@@ -313,8 +313,9 @@ impl Flight {
 
 /// The single-flight verdict for one uncached lookup.
 enum Ticket {
-    /// The entry was in the in-memory cache after all.
-    Hit(CacheEntry),
+    /// The entry was in the in-memory cache after all (boxed: a
+    /// `CacheEntry` dwarfs the other variants' `Arc`s).
+    Hit(Box<CacheEntry>),
     /// This request leads: it must solve and publish through the flight.
     Lead(Arc<Flight>),
     /// Another request is already solving this digest; wait on its flight.
@@ -387,13 +388,33 @@ fn parallel_for_each<T: Sync>(items: &[T], workers: usize, f: impl Fn(&T) + Sync
     });
 }
 
+/// Per-backend fresh-solve tally: how many unique-shape solves a scheduler
+/// backend won, and the wall-clock it spent winning them.
+///
+/// For single-backend schedulers this is plain accounting (every fresh
+/// solve is a "win" for that backend). Under the portfolio scheduler the
+/// winner of each MILP-vs-SAT race is credited — the entry's
+/// [`Scheduled::scheduler`](crate::api::Scheduled) names the racer that
+/// finished first, not the portfolio wrapper — so the distribution shows
+/// which backend actually carried which shapes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendWin {
+    /// Backend name as reported by the winning result (e.g. `"cosa"`,
+    /// `"sat"`).
+    pub backend: String,
+    /// Fresh solves credited to this backend.
+    pub wins: u64,
+    /// Total wall-clock microseconds of the winning solves.
+    pub win_micros: u64,
+}
+
 /// A snapshot of the engine's cache and evaluation counters, threaded into
 /// every [`NetworkReport`] for provenance.
 ///
 /// All fields are volatile run-to-run bookkeeping;
 /// [`NetworkReport::without_timings`] resets them so canonical report
 /// comparisons see only the deterministic content.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lifetime lookup hits.
     pub hits: u64,
@@ -424,6 +445,10 @@ pub struct CacheStats {
     /// Peak number of digests simultaneously in flight (the high-water
     /// mark of the single-flight wait map).
     pub in_flight_peak: u64,
+    /// Fresh solves per scheduler backend, sorted by backend name. Under
+    /// the portfolio scheduler this is the per-backend race win count
+    /// (see [`BackendWin`]); empty until the first fresh solve.
+    pub backend_wins: Vec<BackendWin>,
 }
 
 /// Per-entry outcome inside a [`NetworkReport`].
@@ -551,6 +576,10 @@ pub struct Engine {
     /// Requests deduplicated against an in-flight solve (in-process
     /// followers + cross-process lock waits).
     dedup_waits: AtomicU64,
+    /// Per-backend fresh-solve tally `name -> (wins, win_micros)`, keyed
+    /// by the *winning result's* scheduler name (so portfolio races credit
+    /// the racer that finished, not the wrapper).
+    backend_wins: Mutex<HashMap<String, (u64, u64)>>,
     /// High-water mark of `flights`.
     in_flight_peak: AtomicU64,
     /// Solve-lock staleness override, applied to the store (kept so the
@@ -579,6 +608,7 @@ impl Engine {
             load_micros: 0,
             flights: Mutex::new(HashMap::new()),
             dedup_waits: AtomicU64::new(0),
+            backend_wins: Mutex::new(HashMap::new()),
             in_flight_peak: AtomicU64::new(0),
             lock_staleness: None,
         }
@@ -717,6 +747,19 @@ impl Engine {
             store_errors: self.store_errors.load(Ordering::Relaxed),
             dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
             in_flight_peak: self.in_flight_peak.load(Ordering::Relaxed),
+            backend_wins: {
+                let wins = self.backend_wins.lock().expect("wins lock");
+                let mut tallies: Vec<BackendWin> = wins
+                    .iter()
+                    .map(|(backend, &(wins, win_micros))| BackendWin {
+                        backend: backend.clone(),
+                        wins,
+                        win_micros,
+                    })
+                    .collect();
+                tallies.sort_by(|a, b| a.backend.cmp(&b.backend));
+                tallies
+            },
             ..CacheStats::default()
         };
         if let Some(cache) = &self.cache {
@@ -794,11 +837,24 @@ impl Engine {
         layer: &Layer,
     ) -> Result<CacheEntry, ScheduleError> {
         scheduler.schedule(&self.arch, layer).map(|scheduled| {
+            // Credit the backend that produced the result (under the
+            // portfolio wrapper, the racer that finished first).
+            {
+                let mut wins = self.backend_wins.lock().expect("wins lock");
+                let tally = wins.entry(scheduled.scheduler.clone()).or_insert((0, 0));
+                tally.0 += 1;
+                tally.1 += scheduled.elapsed.as_micros() as u64;
+            }
             let noc = self
                 .simulate_noc
                 .then(|| self.noc_verdict(layer, &scheduled))
                 .flatten();
-            CacheEntry { scheduled, noc }
+            let backend = Some(scheduled.scheduler.clone());
+            CacheEntry {
+                scheduled,
+                noc,
+                backend,
+            }
         })
     }
 
@@ -831,7 +887,7 @@ impl Engine {
     fn join_flight(&self, cache: &Mutex<ScheduleCache>, key: &str) -> Ticket {
         let mut flights = self.flights.lock().expect("flights lock");
         if let Some(hit) = cache.lock().expect("cache lock").peek(key) {
-            return Ticket::Hit(hit);
+            return Ticket::Hit(Box::new(hit));
         }
         if let Some(flight) = flights.get(key) {
             self.dedup_waits.fetch_add(1, Ordering::Relaxed);
@@ -956,7 +1012,7 @@ impl Engine {
             return (self.solve_fresh(scheduler, layer), true);
         };
         match self.join_flight(cache, key) {
-            Ticket::Hit(entry) => (Ok(self.catch_up_noc(cache, key, entry, layer)), false),
+            Ticket::Hit(entry) => (Ok(self.catch_up_noc(cache, key, *entry, layer)), false),
             Ticket::Wait(flight) => (flight.wait(), false),
             Ticket::Lead(flight) => {
                 let mut lead = FlightLead {
@@ -1240,7 +1296,20 @@ mod tests {
         let run = engine.schedule_network(&tiny_network(), &quick_random());
         assert_eq!(run.cache_misses, 2);
         assert_eq!(run.cache_hits, 1);
-        assert_eq!(engine.cache_stats(), CacheStats::default());
+        // Backend win tallies are solver accounting, not cache state:
+        // fresh solves are credited even with the cache disabled, while
+        // every actual cache counter stays at its default.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.backend_wins.len(), 1);
+        assert_eq!(stats.backend_wins[0].backend, "random");
+        assert_eq!(stats.backend_wins[0].wins, 2);
+        assert_eq!(
+            stats,
+            CacheStats {
+                backend_wins: stats.backend_wins.clone(),
+                ..CacheStats::default()
+            }
+        );
         // A second run re-solves (no cross-run memory) but reaches the
         // same schedules and totals; only wall-clock measurements differ.
         let run2 = engine.schedule_network(&tiny_network(), &quick_random());

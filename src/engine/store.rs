@@ -139,7 +139,7 @@ impl Drop for SolveLock {
 /// One cached value: the scheduling result plus the engine-level NoC
 /// verdict when simulation was enabled for (or has caught up with) the
 /// entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CacheEntry {
     /// The cached scheduling result.
     pub scheduled: Scheduled,
@@ -149,15 +149,50 @@ pub struct CacheEntry {
     /// the engine itself validated and cached); NoC-enabled engines
     /// re-attempt missing verdicts rather than negatively caching them.
     pub noc: Option<NocSummary>,
+    /// Which scheduler backend produced `scheduled` — under the portfolio
+    /// scheduler, the racer that won (e.g. `"cosa"` or `"sat"`). `None`
+    /// for entries persisted before backend provenance existed; such
+    /// legacy entries still load (the field is optional on read).
+    pub backend: Option<String>,
 }
 
 impl CacheEntry {
-    /// An entry with no NoC verdict yet.
+    /// An entry with no NoC verdict or backend provenance yet.
     pub fn new(scheduled: Scheduled) -> CacheEntry {
         CacheEntry {
             scheduled,
             noc: None,
+            backend: None,
         }
+    }
+}
+
+/// Read an optional entry field: absent and `null` both give `None`, so
+/// entries persisted before a field existed keep loading.
+fn opt_field<T: serde::Deserialize>(
+    map: &[(String, serde::Value)],
+    key: &str,
+) -> Result<Option<T>, serde::Error> {
+    match map.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, v)) => Option::<T>::from_value(v),
+    }
+}
+
+// Hand-written so the `backend` (and `noc`) fields stay *optional on
+// read*: the derive requires every field, which would make every cache
+// entry persisted before a schema addition load-fail (counted as corrupt)
+// and silently void the warm start.
+impl Deserialize for CacheEntry {
+    fn from_value(value: &serde::Value) -> Result<CacheEntry, serde::Error> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for CacheEntry"))?;
+        Ok(CacheEntry {
+            scheduled: Deserialize::from_value(serde::map_get(map, "scheduled")?)?,
+            noc: opt_field(map, "noc")?,
+            backend: opt_field(map, "backend")?,
+        })
     }
 }
 

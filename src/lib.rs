@@ -60,6 +60,7 @@ pub use cosa_mappers as mappers;
 pub use cosa_milp as milp;
 pub use cosa_model as model;
 pub use cosa_noc as noc;
+pub use cosa_sat as sat;
 pub use cosa_spec as spec;
 
 pub mod api;
@@ -68,10 +69,12 @@ pub mod serve;
 
 /// The types most programs need.
 pub mod prelude {
-    pub use crate::api::{ScheduleError, ScheduleStats, Scheduled, Scheduler};
+    pub use crate::api::{
+        race_schedulers, PortfolioScheduler, ScheduleError, ScheduleStats, Scheduled, Scheduler,
+    };
     pub use crate::engine::{
-        CacheEntry, CacheStats, CacheStore, Engine, GcPolicy, GcReport, LayerReport, NetworkReport,
-        NetworkRun, ScheduleCache,
+        BackendWin, CacheEntry, CacheStats, CacheStore, Engine, GcPolicy, GcReport, LayerReport,
+        NetworkReport, NetworkRun, ScheduleCache,
     };
     pub use crate::serve::{
         scheduler_from_name, HealthResponse, ScheduleRequest, ScheduleResponse, StatsResponse,
@@ -82,6 +85,7 @@ pub mod prelude {
     };
     pub use cosa_model::CostModel;
     pub use cosa_noc::{NocSimulator, NocSummary};
+    pub use cosa_sat::{SatOutcome, SatScheduler};
     pub use cosa_spec::{
         Arch, ArchBuilder, DataTensor, Dim, Layer, Loop, Network, NetworkLayer, Schedule, Suite,
     };

@@ -28,10 +28,11 @@ use std::time::Duration;
 
 use cosa_core::CosaScheduler;
 use cosa_mappers::{HybridConfig, HybridMapper, RandomMapper, SearchLimits};
+use cosa_sat::SatScheduler;
 use cosa_spec::{Arch, Layer, Network, Suite};
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
-use crate::api::{Scheduled, Scheduler};
+use crate::api::{PortfolioScheduler, Scheduled, Scheduler};
 use crate::engine::CacheStats;
 use crate::engine::NetworkReport;
 
@@ -58,12 +59,14 @@ pub fn scheduler_from_name(name: &str, arch: &Arch) -> Result<Box<dyn Scheduler>
         "cosa" => Ok(Box::new(
             CosaScheduler::new(arch).with_deterministic_limits(SERVE_COSA_NODE_LIMIT),
         )),
+        "sat" => Ok(Box::new(SatScheduler::new(arch))),
+        "portfolio" => Ok(Box::new(PortfolioScheduler::new(arch))),
         "random" => Ok(Box::new(
             RandomMapper::new(SERVE_RANDOM_SEED).with_limits(SearchLimits::quick()),
         )),
         "hybrid" => Ok(Box::new(HybridMapper::new(HybridConfig::quick()))),
         other => Err(format!(
-            "unknown scheduler `{other}` (expected cosa|random|hybrid)"
+            "unknown scheduler `{other}` (expected cosa|sat|portfolio|random|hybrid)"
         )),
     }
 }
@@ -77,7 +80,8 @@ pub fn scheduler_from_name(name: &str, arch: &Arch) -> Result<Box<dyn Scheduler>
 pub struct ScheduleRequest {
     /// Architecture to schedule for; `None` uses the daemon's default.
     pub arch: Option<Arch>,
-    /// Scheduler name (`cosa`|`random`|`hybrid`); `None` means `cosa`.
+    /// Scheduler name (`cosa`|`sat`|`portfolio`|`random`|`hybrid`); `None`
+    /// means `cosa`.
     pub scheduler: Option<String>,
     /// Schedule one layer, answering [`ScheduleResponse::scheduled`].
     pub layer: Option<Layer>,
@@ -145,7 +149,7 @@ impl ScheduleRequest {
         }
     }
 
-    /// Pick a scheduler by name (`cosa`|`random`|`hybrid`).
+    /// Pick a scheduler by name (`cosa`|`sat`|`portfolio`|`random`|`hybrid`).
     pub fn with_scheduler(mut self, name: impl Into<String>) -> ScheduleRequest {
         self.scheduler = Some(name.into());
         self
@@ -396,7 +400,7 @@ mod tests {
     #[test]
     fn scheduler_registry_matches_probe_configs() {
         let arch = Arch::simba_baseline();
-        for name in ["cosa", "random", "hybrid"] {
+        for name in ["cosa", "sat", "portfolio", "random", "hybrid"] {
             let s = scheduler_from_name(name, &arch).expect("known scheduler");
             assert_eq!(s.name(), name);
         }
