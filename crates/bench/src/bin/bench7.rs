@@ -1,0 +1,266 @@
+//! BENCH_7: the packed-segment cache-tier performance artifact.
+//!
+//! Emits `results/BENCH_7.json` — warm-start and GC wall-clock for the
+//! packed `segment.cosa` tier vs the legacy per-digest-file tier at
+//! 10²/10³/10⁴ entries, plus serve-tier restart cost (time-to-ready and
+//! daemon p50/p99) under each format. The acceptance criterion is
+//! asserted directly: at 10⁴ entries the packed warm start must be at
+//! least 10× faster than the legacy tier.
+//!
+//! Run with: `cargo run --release -p cosa-bench --bin bench7`
+//!
+//! Flags: `--quick` stops the sweep at 10³ entries and skips the 10×
+//! assertion. CI mode: `--populate N --dir PATH --tier segment|legacy`
+//! fills PATH with N synthetic (real-schedule payload) entries in the
+//! given tier, prints one machine-readable `populate:` line and exits —
+//! the `packed-cache` CI step uses it to build identical populations
+//! for both tiers before comparing `engine_probe` warm loads.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use cosa_core::CosaScheduler;
+use cosa_repro::api::Scheduler;
+use cosa_repro::engine::{CacheEntry, CacheStore, GcPolicy, StoreFormat};
+use cosa_repro::serve::{ScheduleRequest, StatsResponse};
+use cosa_serve::{http, ServeConfig, Server};
+use cosa_spec::{Arch, Layer, Network, Suite};
+use serde::Value;
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// One real scheduled entry (tiny conv, solved once) cloned under
+/// synthetic digests — payload bytes representative of production
+/// entries, population cost independent of the solver.
+fn template_entry(arch: &Arch) -> CacheEntry {
+    let layer = Layer::conv("bench7_seed", 1, 1, 4, 4, 8, 8, 1, 1, 1);
+    let scheduler = CosaScheduler::new(arch);
+    let scheduled = Scheduler::schedule(&scheduler, arch, &layer).expect("seed layer schedules");
+    CacheEntry::new(scheduled)
+}
+
+/// Synthetic 32-hex digests, disjoint from any real cache key space the
+/// probes produce (real digests are 128-bit hashes; these are tiny
+/// counters zero-padded to the same shape).
+fn synthetic_key(i: usize) -> String {
+    format!("{i:032x}")
+}
+
+/// Fill `dir` with `n` copies of `entry` in the given tier. Returns the
+/// population wall-clock in microseconds.
+fn populate(dir: &Path, tier: StoreFormat, n: usize, entry: &CacheEntry) -> u64 {
+    let store = CacheStore::open_with_format(dir, tier).expect("open store");
+    let start = Instant::now();
+    match tier {
+        StoreFormat::Segment => {
+            // Batched appends: one segment lock + one header rewrite per
+            // chunk, the bulk-load path a cache replicator would use.
+            let mut batch = Vec::with_capacity(1024);
+            for i in 0..n {
+                batch.push((synthetic_key(i), entry.clone()));
+                if batch.len() == 1024 {
+                    store.save_batch(&batch).expect("segment batch");
+                    batch.clear();
+                }
+            }
+            if !batch.is_empty() {
+                store.save_batch(&batch).expect("segment batch");
+            }
+        }
+        StoreFormat::Legacy => {
+            for i in 0..n {
+                store
+                    .save_legacy(&synthetic_key(i), entry)
+                    .expect("legacy save");
+            }
+        }
+    }
+    start.elapsed().as_micros() as u64
+}
+
+/// Warm-start + GC measurements for one (tier, size) cell.
+fn bench_tier(tier: StoreFormat, n: usize, entry: &CacheEntry, tag: &str) -> (Value, u64) {
+    let dir = std::env::temp_dir().join(format!("cosa-bench7-{tag}-{n}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let populate_micros = populate(&dir, tier, n, entry);
+
+    // Warm start: a fresh handle's index load — O(index) for the packed
+    // segment (lazy payload decode), O(files) eager parse for legacy.
+    let store = CacheStore::open_with_format(&dir, tier).expect("reopen store");
+    let load = store.load_index();
+    assert_eq!(load.entries, n, "warm load sees every entry");
+    assert_eq!(load.skipped, 0);
+    let total_bytes = store.total_bytes();
+
+    // GC under a half-size byte budget: index-level eviction + compaction
+    // for the segment, per-file unlinks for legacy.
+    let policy = GcPolicy::default().with_max_bytes(total_bytes / 2);
+    let gc_start = Instant::now();
+    let report = store.gc(&policy).expect("gc sweep");
+    let gc_micros = gc_start.elapsed().as_micros() as u64;
+    assert_eq!(report.delete_errors, 0);
+    assert!(report.removed > 0, "half-size budget must evict");
+
+    println!(
+        "  {tag:<7} n={n:<6} populate {:>9}µs  warm {:>8}µs  gc {:>8}µs ({} evicted, {} compactions)",
+        populate_micros, load.load_micros, gc_micros, report.removed, report.compactions,
+    );
+    let cell = map(vec![
+        ("entries", Value::U64(n as u64)),
+        ("populate_micros", Value::U64(populate_micros)),
+        ("warm_load_micros", Value::U64(load.load_micros)),
+        ("total_bytes", Value::U64(total_bytes)),
+        ("gc_micros", Value::U64(gc_micros)),
+        ("gc_removed", Value::U64(report.removed as u64)),
+        ("gc_compactions", Value::U64(report.compactions)),
+        ("gc_compacted_bytes", Value::U64(report.compacted_bytes)),
+    ]);
+    let _ = std::fs::remove_dir_all(&dir);
+    (cell, load.load_micros)
+}
+
+/// Serve-tier restart cost under one format: a cold daemon populates the
+/// dir, then a warm restart is timed to readiness and probed for
+/// latency.
+fn bench_serve_tier(network: &Network, tier: StoreFormat, tag: &str) -> Value {
+    let dir = std::env::temp_dir().join(format!("cosa-bench7-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServeConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        cache_format: tier,
+        ..ServeConfig::default()
+    };
+    let request = ScheduleRequest::for_network(network.clone());
+    let body = serde_json::to_string(&request).expect("request serializes");
+
+    // Cold pass: solve + persist.
+    let handle = Server::start(config()).expect("start cold daemon");
+    let resp = http::request(handle.addr(), "POST", "/schedule", &body).expect("cold request");
+    assert_eq!(resp.status, 200);
+    handle.shutdown().expect("cold daemon shutdown");
+
+    // Warm restart: time-to-ready includes the warm start.
+    let start = Instant::now();
+    let handle = Server::start(config()).expect("start warm daemon");
+    let ready_micros = start.elapsed().as_micros() as u64;
+    const REQUESTS: usize = 12;
+    for i in 0..REQUESTS {
+        let resp = http::request(handle.addr(), "POST", "/schedule", &body)
+            .unwrap_or_else(|e| panic!("warm request {i}: {e}"));
+        assert_eq!(
+            resp.status, 200,
+            "warm request {i} answered {}",
+            resp.status
+        );
+    }
+    let resp = http::request(handle.addr(), "GET", "/stats", "").expect("GET /stats");
+    let stats: StatsResponse = serde_json::from_str(&resp.body).expect("stats parse");
+    assert_eq!(stats.cache.misses, 0, "warm daemon must not re-solve");
+    handle.shutdown().expect("warm daemon shutdown");
+    println!(
+        "  serve {tag:<7} ready {ready_micros:>8}µs  p50 {}µs  p99 {}µs (format {})",
+        stats.p50_micros, stats.p99_micros, stats.cache.disk_format,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    map(vec![
+        ("format", Value::Str(tag.to_string())),
+        ("ready_micros", Value::U64(ready_micros)),
+        ("requests", Value::U64(REQUESTS as u64)),
+        ("p50_micros", Value::U64(stats.p50_micros)),
+        ("p99_micros", Value::U64(stats.p99_micros)),
+    ])
+}
+
+/// `--populate N --dir PATH --tier segment|legacy`: the CI population
+/// mode. Prints one machine-readable line and exits.
+fn run_populate(args: &[String], n: usize) {
+    let dir: PathBuf = cosa_bench::flag_value(args, "--dir")
+        .expect("--populate needs --dir")
+        .into();
+    let tier_name = cosa_bench::flag_value(args, "--tier").unwrap_or_else(|| "segment".into());
+    let tier = StoreFormat::parse(&tier_name)
+        .unwrap_or_else(|| panic!("bad value `{tier_name}` for --tier"));
+    let entry = template_entry(&Arch::simba_baseline());
+    let micros = populate(&dir, tier, n, &entry);
+    println!("populate: tier={tier_name} entries={n} micros={micros}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(n) = cosa_bench::flag_value(&args, "--populate") {
+        let n: usize = n.parse().expect("numeric --populate");
+        run_populate(&args, n);
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let arch = Arch::simba_baseline();
+    let entry = template_entry(&arch);
+    println!("BENCH_7 — packed segment cache tier vs legacy per-file tier");
+
+    let sizes: &[usize] = if quick {
+        &[100, 1000]
+    } else {
+        &[100, 1000, 10000]
+    };
+    let mut sweep = Vec::new();
+    let mut at_10k = (0u64, 0u64);
+    for &n in sizes {
+        let (seg, seg_warm) = bench_tier(StoreFormat::Segment, n, &entry, "segment");
+        let (leg, leg_warm) = bench_tier(StoreFormat::Legacy, n, &entry, "legacy");
+        let speedup = leg_warm as f64 / (seg_warm as f64).max(1.0);
+        println!("  n={n}: packed warm start {speedup:.1}x faster than legacy");
+        if n == 10000 {
+            at_10k = (seg_warm, leg_warm);
+        }
+        sweep.push(map(vec![
+            ("entries", Value::U64(n as u64)),
+            ("segment", seg),
+            ("legacy", leg),
+            ("warm_speedup", Value::F64(speedup)),
+        ]));
+    }
+    if !quick {
+        let (seg, leg) = at_10k;
+        assert!(
+            seg * 10 <= leg,
+            "acceptance: packed warm start ({seg}µs) must be ≥10x faster than legacy ({leg}µs) \
+             at 10^4 entries"
+        );
+    }
+
+    let mut network = Network::from_suite(Suite::ResNet50);
+    network.layers.truncate(8);
+    let serve = Value::Seq(vec![
+        bench_serve_tier(&network, StoreFormat::Segment, "segment"),
+        bench_serve_tier(&network, StoreFormat::Legacy, "legacy"),
+    ]);
+
+    let artifact = map(vec![
+        ("bench", Value::U64(7)),
+        (
+            "description",
+            Value::Str(
+                "Packed segment cache tier: warm-start and GC wall-clock vs the legacy \
+                 per-digest-file tier at 10^2..10^4 entries, plus serve restart cost \
+                 (time-to-ready, p50/p99) under each format"
+                    .to_string(),
+            ),
+        ),
+        ("sweep", Value::Seq(sweep)),
+        ("serve", serve),
+    ]);
+    let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_7.json";
+    std::fs::write(path, json).expect("write artifact");
+    println!("  wrote {path}");
+}

@@ -12,9 +12,11 @@
 //! per-backend win distribution from the engine's cache stats.
 //!
 //! Persistent mode: `--cache-dir <path>` (or the `COSA_CACHE_DIR` env var)
-//! runs one engine against an on-disk schedule cache, `--noc` enables
-//! engine-level NoC evaluation, and `--expect-warm` asserts the run was a
-//! 100% warm start — zero solver calls, zero NoC re-simulations. The
+//! runs one engine against an on-disk schedule cache, `--cache-format
+//! segment|legacy` picks the disk-tier layout (packed `segment.cosa` by
+//! default), `--noc` enables engine-level NoC evaluation, and
+//! `--expect-warm` asserts the run was a 100% warm start — zero solver
+//! calls, zero NoC re-simulations. The
 //! canonical (`without_timings`) report is written to
 //! `results/engine_probe_report.json`; CI runs the probe twice against one
 //! cache dir and byte-compares the two artifacts.
@@ -31,7 +33,7 @@ use std::time::Duration;
 
 use cosa_bench::{flag_value, parse_flags, write_csv};
 use cosa_repro::api::Scheduler;
-use cosa_repro::engine::{CacheStore, Engine, GcPolicy};
+use cosa_repro::engine::{CacheStore, Engine, GcPolicy, StoreFormat};
 use cosa_repro::serve::scheduler_from_name;
 use cosa_spec::{Arch, Network, Suite};
 
@@ -74,6 +76,11 @@ fn main() {
         flag_value(&args, "--cache-dir").or_else(|| std::env::var("COSA_CACHE_DIR").ok());
     let with_noc = args.iter().any(|a| a == "--noc");
     let expect_warm = args.iter().any(|a| a == "--expect-warm");
+    let cache_format = flag_value(&args, "--cache-format")
+        .map(|f| {
+            StoreFormat::parse(&f).unwrap_or_else(|| panic!("bad value `{f}` for --cache-format"))
+        })
+        .unwrap_or_default();
 
     // Offline disk-tier GC: sweep before scheduling so the run below sees
     // exactly the surviving entries.
@@ -142,6 +149,7 @@ fn main() {
             &dir,
             with_noc,
             expect_warm,
+            cache_format,
         );
     } else {
         run_in_memory(&arch, &network, scheduler.as_ref(), threads, with_noc);
@@ -160,13 +168,16 @@ fn run_offline_gc(dir: &str, policy: &GcPolicy) {
     let skipped_before = store.load().skipped;
     let report = store.gc(policy).expect("gc sweep");
     println!(
-        "  gc {dir}: {} -> {} entries ({} removed), {} -> {} bytes, {} delete errors",
+        "  gc {dir}: {} -> {} entries ({} removed), {} -> {} bytes, {} delete errors, \
+         {} compactions ({} bytes reclaimed)",
         report.examined,
         report.retained,
         report.removed,
         before_bytes,
         report.retained_bytes,
         report.delete_errors,
+        report.compactions,
+        report.compacted_bytes,
     );
     assert_eq!(report.delete_errors, 0, "gc must delete cleanly");
     if let Some(max_bytes) = policy.max_bytes {
@@ -200,6 +211,7 @@ fn run_offline_gc(dir: &str, policy: &GcPolicy) {
 
 /// One engine against a persistent cache directory: the warm-start path
 /// the CI `warm-cache` job exercises twice.
+#[allow(clippy::too_many_arguments)]
 fn run_persistent(
     arch: &Arch,
     network: &Network,
@@ -208,8 +220,11 @@ fn run_persistent(
     dir: &str,
     with_noc: bool,
     expect_warm: bool,
+    cache_format: StoreFormat,
 ) {
-    let mut engine = Engine::new(arch.clone()).with_threads(threads);
+    let mut engine = Engine::new(arch.clone())
+        .with_threads(threads)
+        .with_cache_format(cache_format);
     if with_noc {
         engine = engine.with_noc();
     }
@@ -226,6 +241,12 @@ fn run_persistent(
             "cold"
         },
     );
+    // Machine-readable warm-start line: CI extracts `micros=` to compare
+    // segment vs legacy load time on identical entry populations.
+    println!(
+        "warm-load: format={} entries={} micros={} skipped={}",
+        loaded.disk_format, loaded.warm_entries, loaded.load_micros, loaded.store_errors,
+    );
 
     let run = engine.schedule_network(network, scheduler);
     let stats = engine.cache_stats();
@@ -236,6 +257,17 @@ fn run_persistent(
     println!(
         "  cache: {} entries / {} bytes resident, {} evictions, {} store errors",
         stats.entries, stats.bytes, stats.evictions, stats.store_errors
+    );
+    println!(
+        "  disk tier: format={} index={} legacy_files={} segment={}B (live {}B, dead {}B), \
+         {} compactions",
+        stats.disk_format,
+        stats.disk_index_entries,
+        stats.disk_legacy_files,
+        stats.segment_bytes,
+        stats.segment_live_bytes,
+        stats.segment_dead_bytes,
+        stats.compactions,
     );
     print_backend_wins(&stats);
     if let Some(noc) = run.report.total_noc_cycles {

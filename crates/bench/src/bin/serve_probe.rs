@@ -212,6 +212,17 @@ fn main() {
         after.p99_micros,
         after.gc_runs,
     );
+    println!(
+        "  disk tier: format={} index={} legacy_files={} segment={}B (live {}B, dead {}B), \
+         {} compactions",
+        after.cache.disk_format,
+        after.cache.disk_index_entries,
+        after.cache.disk_legacy_files,
+        after.cache.segment_bytes,
+        after.cache.segment_live_bytes,
+        after.cache.segment_dead_bytes,
+        after.cache.compactions,
+    );
     // Per-backend solve (race-win) delta across this probe run. Backends
     // the daemon had never used before the probe simply start from zero.
     let win_delta: Vec<(String, u64, u64)> = after

@@ -12,6 +12,8 @@
 //!   capacity.
 //! * `--cache-dir PATH` (or `COSA_CACHE_DIR`) — shared persistent
 //!   schedule cache; restarts warm-start from it.
+//! * `--cache-format segment|legacy` — disk-tier layout: the packed
+//!   `segment.cosa` file (default) or one JSON file per digest.
 //! * `--lock-staleness-secs N` — how old a per-digest solve-lock file
 //!   must be before it is presumed orphaned and taken over (default
 //!   300 s; keep it above the worst-case solve time).
@@ -26,7 +28,7 @@
 
 use std::time::Duration;
 
-use cosa_repro::engine::GcPolicy;
+use cosa_repro::engine::{GcPolicy, StoreFormat};
 use cosa_serve::cli::{flag_value, parse_flag};
 use cosa_serve::{ServeConfig, Server};
 
@@ -48,6 +50,10 @@ fn main() {
         .map(Into::into);
     config.lock_staleness =
         parse_flag::<u64>(&args, "--lock-staleness-secs").map(Duration::from_secs);
+    if let Some(format) = flag_value(&args, "--cache-format") {
+        config.cache_format = StoreFormat::parse(&format)
+            .unwrap_or_else(|| panic!("bad value `{format}` for --cache-format"));
+    }
     config.noc = args.iter().any(|a| a == "--noc");
     let mut gc = GcPolicy::default();
     if let Some(max_bytes) = parse_flag(&args, "--gc-max-bytes") {

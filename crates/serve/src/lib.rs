@@ -63,7 +63,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use cosa_repro::engine::{CacheStats, Engine, GcPolicy};
+use cosa_repro::engine::{CacheStats, Engine, GcPolicy, StoreFormat};
 use cosa_repro::serve::{
     scheduler_from_name, HealthResponse, LatencyRecorder, ScheduleRequest, ScheduleResponse,
     StatsResponse,
@@ -92,6 +92,10 @@ pub struct ServeConfig {
     pub lock_staleness: Option<Duration>,
     /// Enable engine-level NoC evaluation.
     pub noc: bool,
+    /// Disk-tier storage format (`Segment` = packed `segment.cosa`,
+    /// `Legacy` = one JSON file per digest). Only meaningful with
+    /// `cache_dir` set.
+    pub cache_format: StoreFormat,
     /// Disk-tier GC policy (no-op when unbounded or memory-only).
     pub gc: GcPolicy,
     /// Run GC every this many served schedule requests (0 = startup only).
@@ -117,6 +121,7 @@ impl Default for ServeConfig {
             cache_dir: None,
             lock_staleness: None,
             noc: false,
+            cache_format: StoreFormat::default(),
             gc: GcPolicy::default(),
             gc_every: 64,
             default_arch: Arch::simba_baseline(),
@@ -222,10 +227,19 @@ impl ServerState {
     fn fold_overflow_stats(&self, engine: &Engine) {
         let mut stats = engine.cache_stats();
         // The engine is being dropped: its resident entries/bytes are no
-        // longer part of the daemon's footprint.
+        // longer part of the daemon's footprint. The disk-tier shape it
+        // observed belongs to the shared directory, which the retained
+        // engines keep reporting — only the monotonic compaction count
+        // survives the fold.
         stats.entries = 0;
         stats.bytes = 0;
         stats.warm_entries = 0;
+        stats.disk_format = String::new();
+        stats.disk_index_entries = 0;
+        stats.disk_legacy_files = 0;
+        stats.segment_bytes = 0;
+        stats.segment_live_bytes = 0;
+        stats.segment_dead_bytes = 0;
         add_cache_stats(
             &mut self.overflow_stats.lock().expect("overflow lock"),
             stats,
@@ -317,6 +331,7 @@ fn build_engine(config: &ServeConfig, arch: Arch, cache_bytes: u64) -> io::Resul
     if let Some(staleness) = config.lock_staleness {
         engine = engine.with_lock_staleness(staleness);
     }
+    engine = engine.with_cache_format(config.cache_format);
     if let Some(dir) = &config.cache_dir {
         engine = engine.with_cache_dir(dir)?;
     }
@@ -338,6 +353,23 @@ fn add_cache_stats(total: &mut CacheStats, s: CacheStats) {
     // A peak is a high-water mark, not a flow: summing engines' peaks
     // would overstate concurrency that never coincided.
     total.in_flight_peak = total.in_flight_peak.max(s.in_flight_peak);
+    // Every engine observes the same shared cache directory, so disk-tier
+    // sizes and counts merge by max (summing would multiply one directory
+    // by the engine count); the per-engine compaction tallies are flows
+    // and sum. Formats agree unless a probe mixed tiers explicitly.
+    total.disk_index_entries = total.disk_index_entries.max(s.disk_index_entries);
+    total.disk_legacy_files = total.disk_legacy_files.max(s.disk_legacy_files);
+    total.segment_bytes = total.segment_bytes.max(s.segment_bytes);
+    total.segment_live_bytes = total.segment_live_bytes.max(s.segment_live_bytes);
+    total.segment_dead_bytes = total.segment_dead_bytes.max(s.segment_dead_bytes);
+    total.compactions += s.compactions;
+    if !s.disk_format.is_empty() {
+        if total.disk_format.is_empty() {
+            total.disk_format = s.disk_format;
+        } else if total.disk_format != s.disk_format {
+            total.disk_format = "mixed".to_string();
+        }
+    }
     // Per-backend win tallies merge by name, keeping the sorted order.
     for win in s.backend_wins {
         match total

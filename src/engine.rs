@@ -77,8 +77,8 @@ use serde::{Deserialize, Serialize};
 use crate::api::{ScheduleError, Scheduled, Scheduler};
 
 pub use store::{
-    CacheEntry, CacheStore, GcPolicy, GcReport, SolveLock, StoreLoad, DEFAULT_LOCK_STALENESS,
-    STORE_VERSION,
+    CacheEntry, CacheStore, DiskTierStats, GcPolicy, GcReport, IndexLoad, SolveLock, StoreFormat,
+    StoreLoad, DEFAULT_LOCK_STALENESS, STORE_VERSION,
 };
 
 /// How often a cross-process waiter re-checks the shared store for the
@@ -449,6 +449,21 @@ pub struct CacheStats {
     /// the portfolio scheduler this is the per-backend race win count
     /// (see [`BackendWin`]); empty until the first fresh solve.
     pub backend_wins: Vec<BackendWin>,
+    /// Disk-tier layout: `"segment"`, `"legacy"`, `"mixed"`, `"empty"`
+    /// (or `""` for a memory-only engine).
+    pub disk_format: String,
+    /// Live rows in the packed segment index.
+    pub disk_index_entries: usize,
+    /// Legacy per-digest files still on disk (compatibility tier).
+    pub disk_legacy_files: usize,
+    /// Size of the segment file on disk (header + live + dead payload).
+    pub segment_bytes: u64,
+    /// Segment payload bytes reachable from the index.
+    pub segment_live_bytes: u64,
+    /// Segment payload bytes awaiting compaction.
+    pub segment_dead_bytes: u64,
+    /// Segment compactions this engine's store has run.
+    pub compactions: u64,
 }
 
 /// Per-entry outcome inside a [`NetworkReport`].
@@ -585,6 +600,9 @@ pub struct Engine {
     /// Solve-lock staleness override, applied to the store (kept so the
     /// builder methods compose in either order).
     lock_staleness: Option<Duration>,
+    /// Disk-tier write format override, applied to the store (kept so
+    /// the builder methods compose in either order).
+    cache_format: Option<StoreFormat>,
 }
 
 impl Engine {
@@ -611,7 +629,21 @@ impl Engine {
             backend_wins: Mutex::new(HashMap::new()),
             in_flight_peak: AtomicU64::new(0),
             lock_staleness: None,
+            cache_format: None,
         }
+    }
+
+    /// Pin the persistent tier's write format (default
+    /// [`StoreFormat::Segment`]). [`StoreFormat::Legacy`] restores the
+    /// per-digest-file layout — and its eager warm start — for A/B
+    /// benchmarking. Composes with [`Engine::with_cache_dir`] in either
+    /// order; a no-op for memory-only engines.
+    pub fn with_cache_format(mut self, format: StoreFormat) -> Engine {
+        self.cache_format = Some(format);
+        if let Some(store) = &mut self.store {
+            store.set_format(format);
+        }
+        self
     }
 
     /// Set the cross-process solve-lock staleness bound (default
@@ -681,11 +713,16 @@ impl Engine {
         self
     }
 
-    /// Attach a persistent cache directory: existing entries are loaded
-    /// into the in-memory front now (a warm start), and every fresh result
-    /// is written through atomically. Re-enables caching if it was
-    /// disabled. Corrupt on-disk entries are skipped and counted in
-    /// [`CacheStats::store_errors`], never fatal.
+    /// Attach a persistent cache directory: the segment index is read in
+    /// one pass (an O(index) warm start — entries decode lazily on first
+    /// use), legacy per-digest files are migrated into the segment, and
+    /// every fresh result is written through atomically. Re-enables
+    /// caching if it was disabled. Corrupt on-disk entries are skipped
+    /// and counted in [`CacheStats::store_errors`], never fatal.
+    ///
+    /// Under [`StoreFormat::Legacy`] (see [`Engine::with_cache_format`])
+    /// the warm start is instead the pre-packed eager load: every file
+    /// is parsed now and inserted into the in-memory front.
     ///
     /// # Errors
     ///
@@ -696,20 +733,24 @@ impl Engine {
         if let Some(staleness) = self.lock_staleness {
             store.set_lock_staleness(staleness);
         }
-        let load = store.load();
+        if let Some(format) = self.cache_format {
+            store.set_format(format);
+        }
+        let load = store.load_index();
         let cache = self
             .cache
             .take()
             .unwrap_or_else(|| Mutex::new(ScheduleCache::unbounded()));
-        {
+        if !load.preloaded.is_empty() {
             let mut cache = cache.lock().expect("cache lock");
-            for (key, entry) in &load.entries {
+            for (key, entry) in &load.preloaded {
                 cache.insert(key.clone(), entry.clone());
             }
         }
-        self.warm_entries = load.entries.len();
-        // The whole warm start: directory scan + parse (`load.load_micros`)
-        // plus re-insertion into the LRU front.
+        self.warm_entries = load.entries;
+        // The whole warm start: one header read (plus any legacy-tier
+        // migration), and under the legacy format the full eager parse
+        // and re-insertion into the LRU front.
         self.load_micros = start.elapsed().as_micros() as u64;
         self.store_errors
             .fetch_add(load.skipped as u64, Ordering::Relaxed);
@@ -769,6 +810,16 @@ impl Engine {
             stats.evictions = c.evictions;
             stats.entries = c.len();
             stats.bytes = c.bytes();
+        }
+        if let Some(store) = &self.store {
+            let disk = store.disk_stats();
+            stats.disk_format = disk.format;
+            stats.disk_index_entries = disk.index_entries;
+            stats.disk_legacy_files = disk.legacy_files;
+            stats.segment_bytes = disk.segment_bytes;
+            stats.segment_live_bytes = disk.live_bytes;
+            stats.segment_dead_bytes = disk.dead_bytes;
+            stats.compactions = disk.compactions;
         }
         stats
     }
@@ -1123,8 +1174,9 @@ impl Engine {
         // concurrent call (or another process sharing the store) is
         // waited on, not re-solved; successes are published to the cache
         // and the persistent store inside `resolve_entry`.
-        let solved: Mutex<HashMap<String, Result<CacheEntry, ScheduleError>>> =
-            Mutex::new(HashMap::new());
+        // Digest → (outcome, whether this call led the solve).
+        type Solved = HashMap<String, (Result<CacheEntry, ScheduleError>, bool)>;
+        let solved: Mutex<Solved> = Mutex::new(HashMap::new());
         let fresh_solves = AtomicU64::new(0);
         parallel_for_each(&jobs, self.threads, |(key, layer)| {
             let (outcome, led) = self.resolve_entry(scheduler, key, layer);
@@ -1134,7 +1186,7 @@ impl Engine {
             solved
                 .lock()
                 .expect("no poisoned workers")
-                .insert(key.to_string(), outcome);
+                .insert(key.to_string(), (outcome, led));
         });
         let solved = solved.into_inner().expect("no poisoned workers");
         let fresh_solves = fresh_solves.into_inner();
@@ -1182,10 +1234,15 @@ impl Engine {
         let mut first_use: std::collections::HashSet<&str> = std::collections::HashSet::new();
         for (key, entry) in keys.iter().zip(&network.layers) {
             // Every unique key either stayed a job (→ `solved`) or was
-            // captured from the cache before solving (→ `resolved`).
-            let fresh = first_use.insert(key.as_str()) && solved.contains_key(key);
+            // captured from the cache before solving (→ `resolved`). A
+            // job only counts as fresh when its worker actually *led* a
+            // solve — one resolved lazily from the disk tier (the packed
+            // warm start decodes on first use) or by waiting on another
+            // flight is a hit, not a miss.
+            let fresh =
+                first_use.insert(key.as_str()) && solved.get(key).is_some_and(|(_, led)| *led);
             let outcome: Result<CacheEntry, ScheduleError> = match solved.get(key) {
-                Some(res) => res.clone(),
+                Some((res, _)) => res.clone(),
                 None => Ok(resolved
                     .get(key.as_str())
                     .expect("deduplicated key is solved or cache-resolved")

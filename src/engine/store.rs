@@ -1,5 +1,6 @@
 //! The persistent tier of the [`Engine`](super::Engine)'s schedule cache:
-//! a directory of versioned, content-addressed entry files.
+//! a packed, append-only segment file with a legacy per-digest import
+//! tier.
 //!
 //! CoSA's one-shot solves make schedules for repeated layer shapes
 //! perfectly reusable artifacts, so the engine persists every cache entry
@@ -10,46 +11,67 @@
 //!
 //! # On-disk layout
 //!
-//! One file per entry under the cache directory:
+//! One segment file per cache directory:
 //!
 //! ```text
-//! <cache-dir>/<digest>.json      # digest = 32-hex canonical cache key
+//! <cache-dir>/segment.cosa
+//!
+//! [u64 LE header capacity][JSON index, space-padded to capacity][payload]
 //! ```
 //!
-//! Each file holds a versioned JSON envelope
-//! `{"version": 1, "key": "<digest>", "entry": {...}}`. Writes are atomic
-//! (write to a hidden temp file in the same directory, then rename), so a
-//! crashed or concurrent writer can never leave a half-written entry
-//! visible. Loading is corruption-tolerant: unreadable files, malformed
-//! JSON, version mismatches and key/file-name disagreements are *skipped
-//! and counted*, never fatal — a damaged cache degrades to a partial warm
-//! start.
+//! The index maps each digest to `(offset, len, version, backend,
+//! saved_at_millis)` of its payload record. The payload region is a log of
+//! length-prefixed frames (`[u64 LE len][record JSON]`); each record is
+//! the same versioned envelope the legacy tier used —
+//! `{"version": 1, "key": "<digest>", "entry": {...}}` — or a tombstone
+//! `{"version": 1, "key": "<digest>", "evicted": true}` marking an
+//! eviction. Warm start therefore costs **one** sequential header read,
+//! O(index) instead of O(files), and entries decode lazily on first use.
 //!
-//! The in-memory LRU front may evict entries under its byte budget; the
-//! store keeps them (disk is the capacity tier), so a later run can still
-//! warm-start fully. Use [`CacheStore::clear`] to discard the directory's
-//! entries.
+//! Appends are crash-ordered: payload frames are appended and fsynced
+//! *before* the fixed-capacity header is rewritten in place (same file
+//! offset, same length — readers always see either the old or the new
+//! index, and a torn header is recovered by replaying the frame log,
+//! where tombstones prevent evicted digests from resurrecting). When the
+//! index outgrows its capacity, and on GC compaction, the store rewrites
+//! live payloads into a fresh segment and atomically renames it into
+//! place. A truncated payload tail never loses entries before the torn
+//! point: the header sits at a fixed offset ahead of the payload, so tail
+//! truncation leaves the index intact and only records past the cut are
+//! skipped (and counted), never fatal.
+//!
+//! # The legacy compatibility tier
+//!
+//! Directories written before the packed format hold one
+//! `<digest>.json` file per entry. The store still reads them — a valid
+//! legacy file *wins* over the segment copy of the same digest, because
+//! legacy writes are only ever pre-migration originals or newer
+//! contention fallbacks — and [`CacheStore::load_index`] migrates them
+//! into the segment on first warm load: the merged segment is written to
+//! a temp file, fsynced and renamed (directory-fsynced too), and only
+//! then are the originals deleted, so a crash mid-migration never loses
+//! an entry. Damaged legacy files are skipped, counted and left in
+//! place. [`StoreFormat::Legacy`] pins a store to the per-file layout for
+//! comparison benchmarks.
 //!
 //! # Garbage collection
 //!
 //! Disk is the capacity tier, but it is not unbounded: [`CacheStore::gc`]
-//! enforces a [`GcPolicy`] (byte budget and/or maximum entry age) by
-//! deleting whole entry files, oldest-modified first. Every write rewrites
-//! its entry file, so mtime approximates recency of *use* on the
-//! write-through path, and age eviction doubles as a TTL. The serving
-//! daemon runs GC at startup and every N requests; `engine_probe
-//! --gc-max-bytes/--gc-max-age-secs` runs the same policy offline so
-//! long-lived CI cache dirs stay bounded. The sweep also removes temp
-//! files orphaned by killed writers (older than a minute) and solve-lock
-//! files older than the staleness bound. Surviving entries are never
-//! rewritten or truncated by GC — a collected directory still loads
-//! cleanly.
+//! enforces a [`GcPolicy`] (byte budget and/or maximum entry age) across
+//! both tiers, oldest-saved first. Packed-tier eviction is index-level:
+//! the digest leaves the index and a tombstone frame is appended, which
+//! turns payload bytes dead without touching live records. When dead
+//! bytes exceed [`GcPolicy::compact_min_dead`] (default: the larger of
+//! 4 KiB and the live payload size), GC compacts — live payloads are
+//! rewritten into a fresh segment and renamed into place — so GC cost
+//! scales with the index, not with historical file count. The sweep also
+//! removes temp files orphaned by killed writers (older than a minute)
+//! and solve-lock files older than the staleness bound.
 //!
 //! # Cross-process solve locks
 //!
 //! Multiple processes (e.g. two `cosa-serve` daemons) may share one cache
-//! directory. Atomic write-then-rename already makes concurrent *writers*
-//! safe, but without coordination two cold processes asked for the same
+//! directory. Without coordination two cold processes asked for the same
 //! digest would each run the solver. [`CacheStore::try_lock`] provides
 //! advisory per-digest coordination:
 //!
@@ -58,23 +80,29 @@
 //! ```
 //!
 //! A lock is acquired by creating the file exclusively (`create_new`, the
-//! cross-platform atomic primitive — no POSIX `flock` semantics assumed,
-//! closing the ROADMAP's non-POSIX-rename caveat) and released by
-//! deleting it; [`SolveLock`] deletes on drop, and only while the file
-//! still holds the owner's token, so a staleness-takeover victim cannot
-//! delete its thief's lock. A lock whose mtime is older than
-//! [`CacheStore::lock_staleness`] (default [`DEFAULT_LOCK_STALENESS`]) is
-//! presumed orphaned by a crashed process and is *taken over*: the next
-//! [`CacheStore::try_lock`] deletes and re-acquires it, and
-//! [`CacheStore::gc`] sweeps such files too. The locking is advisory and
-//! fail-open — an I/O error or a takeover race degrades to a duplicated
-//! solve, never to corruption or an unserved request, because entry
-//! writes stay atomic and idempotent.
+//! cross-platform atomic primitive — no POSIX `flock` semantics assumed)
+//! and released by deleting it; [`SolveLock`] deletes on drop, and only
+//! while the file still holds the owner's token, so a staleness-takeover
+//! victim cannot delete its thief's lock. A lock whose mtime is older
+//! than [`CacheStore::lock_staleness`] (default
+//! [`DEFAULT_LOCK_STALENESS`]) is presumed orphaned by a crashed process
+//! and is *taken over*. The locking is advisory and fail-open — an I/O
+//! error or a takeover race degrades to a duplicated solve, never to
+//! corruption or an unserved request.
+//!
+//! Segment writers additionally serialize on a short-lived
+//! `segment.cosa.lock` (same token-checked protocol, seconds-scale
+//! staleness since writers hold it for milliseconds). A writer that
+//! cannot get it promptly *fails open* to a legacy per-digest file — the
+//! entry is never dropped, and the next migration folds it back into the
+//! segment.
 
+use std::collections::{BTreeMap, HashSet};
 use std::fs;
-use std::io::{self, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant, SystemTime};
 
 use cosa_noc::NocSummary;
@@ -86,6 +114,42 @@ use crate::api::Scheduled;
 /// schema (or the canonical serialization feeding the digests) changes;
 /// loaders skip entries from other versions.
 pub const STORE_VERSION: u32 = 1;
+
+/// Version tag of the segment *header* layout (independent of the entry
+/// envelope version, which governs payload records).
+const SEGMENT_VERSION: u32 = 1;
+
+/// The packed segment file name inside a cache directory.
+const SEGMENT_FILE: &str = "segment.cosa";
+
+/// The segment writer lock file name. The `.lock` extension keeps it
+/// under the same stale-lock GC sweep as per-digest solve locks; the
+/// dotted stem can never collide with a digest lock (digests are bare
+/// alphanumerics).
+const SEGMENT_LOCK_FILE: &str = "segment.cosa.lock";
+
+/// Minimum header capacity. Small indexes get room to grow in place
+/// before the first rewrite-and-rename.
+const MIN_HEADER_CAPACITY: u64 = 4096;
+
+/// Segment writer locks are held for milliseconds (one append batch), so
+/// a lock older than this was orphaned by a crashed writer and may be
+/// taken over — much tighter than solve-lock staleness, which must cover
+/// whole MILP solves.
+const SEGMENT_LOCK_STALENESS: Duration = Duration::from_secs(5);
+
+/// How long a single [`CacheStore::save`] waits for the segment writer
+/// lock before failing open to a legacy per-digest file.
+const SAVE_LOCK_WAIT: Duration = Duration::from_millis(250);
+
+/// How long batch operations (GC eviction, compaction, migration,
+/// [`CacheStore::save_batch`]) wait for the segment writer lock; they
+/// have no cheap fallback, so they wait longer than the save path.
+const BATCH_LOCK_WAIT: Duration = Duration::from_secs(2);
+
+/// Default dead-byte floor below which GC never compacts, so tiny
+/// segments are not rewritten over noise.
+const DEFAULT_COMPACT_MIN_DEAD: u64 = 4096;
 
 /// Default bound past which a solve-lock file is presumed orphaned by a
 /// crashed holder and may be taken over (see [`CacheStore::try_lock`]).
@@ -196,7 +260,9 @@ impl Deserialize for CacheEntry {
     }
 }
 
-/// The versioned on-disk envelope wrapping one [`CacheEntry`].
+/// The versioned envelope wrapping one [`CacheEntry`] — the payload
+/// record of the packed segment, and (byte-identically) the content of a
+/// legacy per-digest file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct StoredEntry {
     version: u32,
@@ -204,37 +270,207 @@ struct StoredEntry {
     entry: CacheEntry,
 }
 
+/// Which on-disk layout a [`CacheStore`] writes.
+///
+/// Reading is always two-tier (segment first, legacy files win); the
+/// format only pins where *new* entries go and whether
+/// [`CacheStore::load_index`] migrates. [`StoreFormat::Legacy`] exists
+/// for A/B comparison (bench7, CI) and as the save-path fallback under
+/// segment-lock contention.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StoreFormat {
+    /// Packed `segment.cosa` (the default): O(index) warm start, lazy
+    /// per-entry decode, GC by index eviction + compaction.
+    #[default]
+    Segment,
+    /// One `<digest>.json` file per entry, eagerly parsed on load — the
+    /// pre-packed layout, kept for compatibility and benchmarking.
+    Legacy,
+}
+
+impl StoreFormat {
+    /// Parse a CLI-style name (`"segment"` / `"legacy"`).
+    pub fn parse(name: &str) -> Option<StoreFormat> {
+        match name {
+            "segment" | "packed" => Some(StoreFormat::Segment),
+            "legacy" | "files" => Some(StoreFormat::Legacy),
+            _ => None,
+        }
+    }
+}
+
+/// One index row of the packed segment: where a digest's payload record
+/// lives and enough metadata (version, backend, recency) to GC and
+/// report without decoding the record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SegmentIndexEntry {
+    key: String,
+    /// Absolute file offset of the record JSON (just past its length
+    /// prefix).
+    offset: u64,
+    /// Record JSON length in bytes.
+    len: u64,
+    /// Entry envelope version ([`STORE_VERSION`] when written).
+    version: u32,
+    backend: Option<String>,
+    /// Unix-epoch milliseconds of the save (file mtime for migrated
+    /// legacy entries) — GC's recency key.
+    saved_at_millis: u64,
+}
+
+/// The JSON index at the head of the segment file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SegmentHeader {
+    version: u32,
+    entries: Vec<SegmentIndexEntry>,
+}
+
+/// The in-memory picture of the segment file, cached per store handle
+/// behind a `(len, mtime)` fingerprint so warm read paths skip re-parsing
+/// the header.
+#[derive(Debug, Clone, Default)]
+struct SegmentView {
+    /// `true` once the view reflects at least one read attempt.
+    initialized: bool,
+    /// `(len, mtime)` of the file this view was read from; `None` when
+    /// the segment file does not exist.
+    stat: Option<(u64, SystemTime)>,
+    /// `true` when the header parsed cleanly (in-place header rewrites
+    /// are only safe against a well-formed file).
+    header_ok: bool,
+    capacity: u64,
+    file_len: u64,
+    /// Live index rows, in append order.
+    entries: Vec<SegmentIndexEntry>,
+    /// Index rows or frames the loader had to skip (truncation damage).
+    skipped: usize,
+}
+
+impl SegmentView {
+    fn contains(&self, key: &str) -> bool {
+        self.entries.iter().any(|e| e.key == key)
+    }
+
+    fn find(&self, key: &str) -> Option<&SegmentIndexEntry> {
+        self.entries.iter().rev().find(|e| e.key == key)
+    }
+
+    /// Live payload bytes (frames still reachable from the index,
+    /// including their length prefixes).
+    fn live_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| 8 + e.len).sum()
+    }
+
+    /// Payload bytes no index row points at (evicted or superseded
+    /// records and tombstones) — what compaction reclaims.
+    fn dead_bytes(&self) -> u64 {
+        let payload = self.file_len.saturating_sub(8 + self.capacity);
+        payload.saturating_sub(self.live_bytes())
+    }
+}
+
+/// A pending segment mutation, applied in batches under the writer lock.
+enum Pending {
+    Entry {
+        key: String,
+        json: String,
+        backend: Option<String>,
+        saved_at_millis: u64,
+    },
+    Tombstone {
+        key: String,
+    },
+}
+
+/// A payload record replayed by the torn-header recovery scan.
+enum Record {
+    Entry(Box<StoredEntry>),
+    Tombstone { key: String },
+}
+
+/// A valid legacy file staged for segment import:
+/// (mtime millis, digest, raw file bytes, backend, source path).
+type LegacyImport = (u64, String, Vec<u8>, Option<String>, PathBuf);
+
 /// The outcome of loading a cache directory.
 #[derive(Debug, Default)]
 pub struct StoreLoad {
     /// Valid entries, sorted by key for deterministic load order.
     pub entries: Vec<(String, CacheEntry)>,
-    /// Files skipped as corrupt, mis-keyed or version-mismatched.
+    /// Files or records skipped as corrupt, mis-keyed or
+    /// version-mismatched.
     pub skipped: usize,
     /// Wall-clock microseconds the load took (cold vs. warm start cost).
     pub load_micros: u64,
 }
 
+/// The outcome of [`CacheStore::load_index`] — the O(index) warm start.
+#[derive(Debug, Default)]
+pub struct IndexLoad {
+    /// Distinct digests warm-loadable from disk (index rows plus any
+    /// unmigrated legacy files).
+    pub entries: usize,
+    /// Index rows, frames or legacy files skipped as damaged.
+    pub skipped: usize,
+    /// Legacy per-digest files imported into the segment by this load.
+    pub migrated: usize,
+    /// Wall-clock microseconds the load took.
+    pub load_micros: u64,
+    /// Eagerly decoded entries. Empty under [`StoreFormat::Segment`]
+    /// (entries decode lazily on first use); under
+    /// [`StoreFormat::Legacy`] this is the full eager load, preserving
+    /// the pre-packed warm-start behavior for honest benchmarking.
+    pub preloaded: Vec<(String, CacheEntry)>,
+}
+
+/// A point-in-time description of the disk tier's shape, surfaced through
+/// `CacheStats` and `GET /stats`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskTierStats {
+    /// `"segment"`, `"legacy"`, `"mixed"` (both tiers populated) or
+    /// `"empty"`.
+    pub format: String,
+    /// Live rows in the segment index.
+    pub index_entries: usize,
+    /// Legacy `<digest>.json` files still present.
+    pub legacy_files: usize,
+    /// Size of `segment.cosa` on disk (header + payload, live and dead).
+    pub segment_bytes: u64,
+    /// Payload bytes reachable from the index.
+    pub live_bytes: u64,
+    /// Payload bytes awaiting compaction.
+    pub dead_bytes: u64,
+    /// Compactions this store handle has run.
+    pub compactions: u64,
+}
+
 /// A size/TTL policy for the disk tier, enforced by [`CacheStore::gc`].
 ///
-/// Age eviction runs first (any entry whose file mtime is older than
-/// `max_age` is deleted), then byte eviction deletes the
-/// oldest-modified survivors until the directory fits in `max_bytes`.
-/// The newest entry is never evicted for size — a single oversized entry
-/// still persists, mirroring the in-memory LRU's contract. A policy with
-/// neither bound set is a no-op.
+/// Age eviction runs first (any entry saved longer than `max_age` ago is
+/// evicted), then byte eviction removes the oldest-saved survivors until
+/// the live bytes fit in `max_bytes`. The newest entry is never evicted
+/// for size — a single oversized entry still persists, mirroring the
+/// in-memory LRU's contract. Packed-tier evictions turn payload bytes
+/// dead; once dead bytes reach `compact_min_dead` the sweep compacts the
+/// segment. A policy with no bound set is a no-op.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GcPolicy {
-    /// Byte budget for the sum of entry-file sizes, when set.
+    /// Byte budget for the sum of live entry sizes, when set.
     pub max_bytes: Option<u64>,
-    /// Maximum entry age (time since last write), when set.
+    /// Maximum entry age (time since last save), when set.
     pub max_age: Option<Duration>,
+    /// Dead-payload-byte threshold at which GC compacts the segment.
+    /// `None` uses the default heuristic: compact when dead bytes exceed
+    /// the larger of 4 KiB and the live payload size, which bounds the
+    /// segment file at roughly twice its live size.
+    pub compact_min_dead: Option<u64>,
 }
 
 impl GcPolicy {
-    /// `true` when neither bound is set (GC would be a no-op).
+    /// `true` when no bound is set (GC would be a no-op beyond the
+    /// stale tmp/lock sweeps).
     pub fn is_unbounded(&self) -> bool {
-        self.max_bytes.is_none() && self.max_age.is_none()
+        self.max_bytes.is_none() && self.max_age.is_none() && self.compact_min_dead.is_none()
     }
 
     /// Set the byte budget.
@@ -248,23 +484,31 @@ impl GcPolicy {
         self.max_age = Some(max_age);
         self
     }
+
+    /// Set the dead-byte threshold past which GC compacts the segment
+    /// (`0` compacts whenever any dead bytes exist).
+    pub fn with_compact_min_dead(mut self, min_dead: u64) -> GcPolicy {
+        self.compact_min_dead = Some(min_dead);
+        self
+    }
 }
 
 /// The outcome of one [`CacheStore::gc`] sweep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GcReport {
-    /// Entry files considered.
+    /// Distinct digests considered (index rows plus legacy files).
     pub examined: usize,
-    /// Entry files deleted.
+    /// Digests evicted.
     pub removed: usize,
-    /// Bytes reclaimed by the deletions.
+    /// Bytes reclaimed (or turned dead, for packed-tier evictions) by
+    /// the removals.
     pub removed_bytes: u64,
-    /// Entry files kept.
+    /// Digests kept.
     pub retained: usize,
-    /// Bytes still on disk after the sweep.
+    /// Live bytes still on disk after the sweep.
     pub retained_bytes: u64,
-    /// Files that could not be deleted (permission races etc.); the sweep
-    /// continues past them.
+    /// Digests that could not be evicted (permission races, a contended
+    /// segment writer lock); the sweep continues past them.
     pub delete_errors: usize,
     /// Orphaned temp files (left by killed writers) swept alongside the
     /// entries.
@@ -272,6 +516,10 @@ pub struct GcReport {
     /// Solve-lock files older than the staleness bound (orphaned by
     /// crashed holders) swept alongside the entries.
     pub stale_locks_removed: usize,
+    /// Segment compactions run by this sweep (0 or 1).
+    pub compactions: u64,
+    /// Bytes the compaction shrank the segment file by.
+    pub compacted_bytes: u64,
 }
 
 /// A persistent schedule-cache directory. See the [module docs](self) for
@@ -281,20 +529,41 @@ pub struct CacheStore {
     dir: PathBuf,
     /// Age past which a solve-lock file may be taken over / GC-swept.
     lock_staleness: Duration,
+    format: StoreFormat,
+    /// Cached segment view; see [`SegmentView`].
+    seg: Mutex<SegmentView>,
+    /// Compactions run by this handle (process-local activity counter).
+    compactions: AtomicU64,
 }
 
 impl CacheStore {
-    /// Open (creating if needed) the store at `dir`.
+    /// Open (creating if needed) the store at `dir`, writing the packed
+    /// segment format.
     ///
     /// # Errors
     ///
     /// Returns the I/O error when the directory cannot be created.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<CacheStore> {
+        Self::open_with_format(dir, StoreFormat::default())
+    }
+
+    /// Open the store pinned to a specific write [`StoreFormat`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the directory cannot be created.
+    pub fn open_with_format(
+        dir: impl Into<PathBuf>,
+        format: StoreFormat,
+    ) -> io::Result<CacheStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         Ok(CacheStore {
             dir,
             lock_staleness: DEFAULT_LOCK_STALENESS,
+            format,
+            seg: Mutex::new(SegmentView::default()),
+            compactions: AtomicU64::new(0),
         })
     }
 
@@ -317,12 +586,29 @@ impl CacheStore {
         self.lock_staleness
     }
 
+    /// Pin the write format (see [`StoreFormat`]).
+    pub fn with_format(mut self, format: StoreFormat) -> CacheStore {
+        self.set_format(format);
+        self
+    }
+
+    /// In-place form of [`CacheStore::with_format`], for stores already
+    /// attached to an engine.
+    pub fn set_format(&mut self, format: StoreFormat) {
+        self.format = format;
+    }
+
+    /// The configured write format.
+    pub fn format(&self) -> StoreFormat {
+        self.format
+    }
+
     /// The store's directory.
     pub fn dir(&self) -> &Path {
         &self.dir
     }
 
-    /// Path of the entry file for `key`.
+    /// Path of the legacy entry file for `key`.
     fn entry_path(&self, key: &str) -> PathBuf {
         self.dir.join(format!("{key}.json"))
     }
@@ -330,6 +616,11 @@ impl CacheStore {
     /// Path of the solve-lock file for `key`.
     fn lock_path(&self, key: &str) -> PathBuf {
         self.dir.join(format!("{key}.lock"))
+    }
+
+    /// Path of the packed segment file.
+    fn segment_path(&self) -> PathBuf {
+        self.dir.join(SEGMENT_FILE)
     }
 
     /// Reject keys that are not bare digests (they name files directly).
@@ -343,13 +634,62 @@ impl CacheStore {
         Ok(())
     }
 
-    /// Load the single entry for `key`, if present and valid. Unlike the
-    /// bulk [`CacheStore::load`] this re-reads the disk on every call, so
-    /// a process can observe entries persisted by *other* processes after
-    /// its own warm start (the cross-process read-through path).
+    /// Lock the cached segment view, surviving a poisoned mutex (a
+    /// panicking test thread must not wedge its sibling handles).
+    fn seg_guard(&self) -> std::sync::MutexGuard<'_, SegmentView> {
+        self.seg
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Bring `view` up to date with the file. Without `force`, a
+    /// `(len, mtime)` fingerprint match skips the re-read; with it, the
+    /// header is always re-read — required on negative lookups, because
+    /// an in-place header rewrite changes neither length nor (at coarse
+    /// timestamp granularity, racing the payload append) a fingerprint a
+    /// reader already captured.
+    fn refresh_view(&self, view: &mut SegmentView, force: bool) {
+        if !force && view.initialized {
+            let stat = file_stat(&self.segment_path());
+            if stat == view.stat {
+                return;
+            }
+        }
+        *view = read_segment_view(&self.segment_path());
+    }
+
+    /// Load the single entry for `key`, if present and valid. Re-checks
+    /// the disk on a miss, so a process can observe entries persisted by
+    /// *other* processes after its own warm start (the cross-process
+    /// read-through path); legacy files win over the segment copy.
     pub fn load_entry(&self, key: &str) -> Option<CacheEntry> {
-        let stored = read_entry(&self.entry_path(key))?;
-        (stored.version == STORE_VERSION && stored.key == key).then_some(stored.entry)
+        if let Some(stored) = read_entry(&self.entry_path(key)) {
+            if stored.version == STORE_VERSION && stored.key == key {
+                return Some(stored.entry);
+            }
+        }
+        let path = self.segment_path();
+        // Two attempts: the second forces a header re-read, which both
+        // closes the in-place-rewrite visibility race on a miss and
+        // re-syncs offsets if a concurrent compaction moved the record
+        // between the index lookup and the payload read.
+        for attempt in 0..2 {
+            let found = {
+                let mut view = self.seg_guard();
+                self.refresh_view(&mut view, attempt > 0);
+                if !view.contains(key) && attempt == 0 {
+                    self.refresh_view(&mut view, true);
+                }
+                view.find(key).cloned()
+            };
+            let row = found?;
+            if let Some(stored) = read_record_at(&path, row.offset, row.len) {
+                if stored.version == STORE_VERSION && stored.key == key {
+                    return Some(stored.entry);
+                }
+            }
+        }
+        None
     }
 
     /// Try to acquire the advisory solve lock for `key` without blocking.
@@ -419,36 +759,236 @@ impl CacheStore {
         Ok(None)
     }
 
-    /// Load every valid entry, skipping (and counting) damaged ones.
+    /// Acquire the segment writer lock, waiting up to `wait` across
+    /// 1 ms retries. Seconds-stale locks are taken over (writers hold it
+    /// for milliseconds). `None` on timeout or I/O trouble — callers
+    /// fail open.
+    fn try_segment_lock(&self, wait: Duration) -> Option<SolveLock> {
+        let path = self.dir.join(SEGMENT_LOCK_FILE);
+        let deadline = Instant::now() + wait;
+        let token = format!(
+            "pid={} seq={}",
+            std::process::id(),
+            LOCK_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let _ = file.write_all(token.as_bytes());
+                    let _ = file.sync_all();
+                    return Some(SolveLock { path, token });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let stale = fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
+                        .is_some_and(|age| age > SEGMENT_LOCK_STALENESS);
+                    if stale {
+                        // Racing reclaimers serialize on the create_new.
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    if Instant::now() >= deadline {
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Load every valid entry across both tiers, skipping (and counting)
+    /// damaged ones. Legacy files win over segment copies of the same
+    /// digest.
     pub fn load(&self) -> StoreLoad {
         let start = Instant::now();
         let mut load = StoreLoad::default();
-        let Ok(dir) = fs::read_dir(&self.dir) else {
-            load.load_micros = start.elapsed().as_micros() as u64;
-            return load;
+        let mut merged: BTreeMap<String, CacheEntry> = BTreeMap::new();
+        // Packed tier first, so legacy files can override.
+        let rows = {
+            let mut view = self.seg_guard();
+            self.refresh_view(&mut view, true);
+            load.skipped += view.skipped;
+            view.entries.clone()
         };
-        for dir_entry in dir.flatten() {
-            let path = dir_entry.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("json") {
-                continue;
-            }
-            let stem = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or_default();
-            match read_entry(&path) {
-                Some(stored) if stored.version == STORE_VERSION && stored.key == stem => {
-                    load.entries.push((stored.key, stored.entry));
+        if !rows.is_empty() {
+            let path = self.segment_path();
+            match fs::File::open(&path) {
+                Ok(mut file) => {
+                    for row in &rows {
+                        match read_record_in(&mut file, row.offset, row.len) {
+                            Some(stored)
+                                if stored.version == STORE_VERSION && stored.key == row.key =>
+                            {
+                                merged.insert(stored.key, stored.entry);
+                            }
+                            _ => load.skipped += 1,
+                        }
+                    }
                 }
-                _ => load.skipped += 1,
+                Err(_) => load.skipped += rows.len(),
             }
         }
-        load.entries.sort_by(|a, b| a.0.cmp(&b.0));
+        if let Ok(dir) = fs::read_dir(&self.dir) {
+            for dir_entry in dir.flatten() {
+                let path = dir_entry.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                    continue;
+                }
+                let stem = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or_default();
+                match read_entry(&path) {
+                    Some(stored) if stored.version == STORE_VERSION && stored.key == stem => {
+                        merged.insert(stored.key, stored.entry);
+                    }
+                    _ => load.skipped += 1,
+                }
+            }
+        }
+        load.entries = merged.into_iter().collect();
         load.load_micros = start.elapsed().as_micros() as u64;
         load
     }
 
-    /// Persist one entry atomically (write to a temp file, then rename).
+    /// The O(index) warm start: read the segment header (one sequential
+    /// read, no per-entry decode), migrate any legacy per-digest files
+    /// into the segment, and report what is warm-loadable.
+    ///
+    /// Under [`StoreFormat::Legacy`] this is instead the pre-packed
+    /// eager load: every file is opened and parsed, and the decoded
+    /// entries come back in [`IndexLoad::preloaded`].
+    pub fn load_index(&self) -> IndexLoad {
+        let start = Instant::now();
+        let mut out = IndexLoad::default();
+        if self.format == StoreFormat::Legacy {
+            let load = self.load();
+            out.skipped = load.skipped;
+            out.entries = load.entries.len();
+            out.preloaded = load.entries;
+            out.load_micros = start.elapsed().as_micros() as u64;
+            return out;
+        }
+        // Legacy import scan: raw bytes move into the segment verbatim
+        // (the record envelope *is* the legacy file content), so imports
+        // are byte-identical; mtime becomes the recency key.
+        let mut imports: Vec<LegacyImport> = Vec::new();
+        if let Ok(dir) = fs::read_dir(&self.dir) {
+            for dir_entry in dir.flatten() {
+                let path = dir_entry.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                    continue;
+                }
+                let stem = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or_default()
+                    .to_string();
+                let parsed = fs::read(&path).ok().and_then(|bytes| {
+                    let text = std::str::from_utf8(&bytes).ok()?;
+                    let stored: StoredEntry = serde_json::from_str(text).ok()?;
+                    (stored.version == STORE_VERSION && stored.key == stem)
+                        .then_some((bytes, stored.entry.backend))
+                });
+                match parsed {
+                    Some((bytes, backend)) => {
+                        let millis = fs::metadata(&path)
+                            .and_then(|m| m.modified())
+                            .map(time_to_millis)
+                            .unwrap_or(0);
+                        imports.push((millis, stem, bytes, backend, path));
+                    }
+                    // Damaged legacy files are left in place and counted
+                    // on every load, exactly as the per-file tier did.
+                    None => out.skipped += 1,
+                }
+            }
+        }
+        // Oldest first, so index order roughly tracks recency.
+        imports.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+
+        let mut view = self.seg_guard();
+        self.refresh_view(&mut view, true);
+        out.skipped += view.skipped;
+        let mut migrated_ok = imports.is_empty();
+        // On contention or I/O trouble the import fails and we stay
+        // two-tier (the files remain readable and win on lookup); a
+        // later load retries the import.
+        if !imports.is_empty() && self.import_legacy(&mut view, &imports).is_ok() {
+            migrated_ok = true;
+            out.migrated = imports.len();
+            // Originals go only now, after the merged segment is
+            // durably renamed into place.
+            for (_, _, _, _, path) in &imports {
+                let _ = fs::remove_file(path);
+            }
+        }
+        let mut keys: HashSet<&str> = view.entries.iter().map(|e| e.key.as_str()).collect();
+        if !migrated_ok {
+            for (_, key, _, _, _) in &imports {
+                keys.insert(key.as_str());
+            }
+        }
+        out.entries = keys.len();
+        out.load_micros = start.elapsed().as_micros() as u64;
+        out
+    }
+
+    /// Merge valid legacy files into the segment via a full
+    /// rewrite-then-rename (legacy values win over segment copies of the
+    /// same digest).
+    fn import_legacy(&self, view: &mut SegmentView, imports: &[LegacyImport]) -> io::Result<()> {
+        let _lock = self
+            .try_segment_lock(BATCH_LOCK_WAIT)
+            .ok_or_else(contended)?;
+        self.refresh_view(view, true);
+        let incoming: HashSet<&str> = imports.iter().map(|(_, k, _, _, _)| k.as_str()).collect();
+        let mut items: Vec<(SegmentIndexEntry, Vec<u8>)> = Vec::new();
+        if view
+            .entries
+            .iter()
+            .any(|e| !incoming.contains(e.key.as_str()))
+        {
+            let mut file = fs::File::open(self.segment_path())?;
+            for row in &view.entries {
+                if incoming.contains(row.key.as_str()) {
+                    continue;
+                }
+                if let Some(bytes) = read_bytes_in(&mut file, row.offset, row.len) {
+                    items.push((row.clone(), bytes));
+                }
+            }
+        }
+        for (millis, key, bytes, backend, _) in imports {
+            items.push((
+                SegmentIndexEntry {
+                    key: key.clone(),
+                    offset: 0,
+                    len: bytes.len() as u64,
+                    version: STORE_VERSION,
+                    backend: backend.clone(),
+                    saved_at_millis: *millis,
+                },
+                bytes.clone(),
+            ));
+        }
+        *view = self.write_segment_file(&items)?;
+        Ok(())
+    }
+
+    /// Persist one entry. Under [`StoreFormat::Segment`] the record is
+    /// appended to the segment (payload fsynced before the in-place
+    /// header rewrite); if the writer lock stays contended past a short
+    /// wait, the save fails open to a legacy per-digest file so the
+    /// entry is never dropped. Under [`StoreFormat::Legacy`] it writes
+    /// the per-digest file directly.
     ///
     /// # Errors
     ///
@@ -456,13 +996,98 @@ impl CacheStore {
     /// version of the entry (if any) stays intact on failure.
     pub fn save(&self, key: &str, entry: &CacheEntry) -> io::Result<()> {
         Self::validate_key(key)?;
-        let stored = StoredEntry {
-            version: STORE_VERSION,
+        if self.format == StoreFormat::Legacy {
+            return self.save_legacy(key, entry);
+        }
+        let pending = Pending::Entry {
             key: key.to_string(),
-            entry: entry.clone(),
+            json: encode_record(key, entry)?,
+            backend: entry.backend.clone(),
+            saved_at_millis: now_millis(),
         };
-        let json = serde_json::to_string(&stored)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let outcome = {
+            let mut view = self.seg_guard();
+            self.apply_pendings(&mut view, vec![pending], SAVE_LOCK_WAIT, false)
+        };
+        match outcome {
+            Ok(()) => {
+                // The packed copy is now newest; a stale legacy file for
+                // the same digest must not shadow it (legacy wins on
+                // read).
+                match fs::remove_file(self.entry_path(key)) {
+                    Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+                    _ => Ok(()),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => self.save_legacy(key, entry),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Persist a batch of entries with **one** writer-lock acquisition
+    /// and **one** header rewrite — the bulk-population path (cache
+    /// replication, benchmarks). Per-entry saves rewrite the O(index)
+    /// header each time; the batch form makes population O(n) instead of
+    /// O(n²) in header bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O or serialization error. Under segment-lock
+    /// contention the batch fails open to legacy per-digest files.
+    pub fn save_batch(&self, entries: &[(String, CacheEntry)]) -> io::Result<usize> {
+        for (key, _) in entries {
+            Self::validate_key(key)?;
+        }
+        if self.format == StoreFormat::Legacy {
+            for (key, entry) in entries {
+                self.save_legacy(key, entry)?;
+            }
+            return Ok(entries.len());
+        }
+        let millis = now_millis();
+        let pendings = entries
+            .iter()
+            .map(|(key, entry)| {
+                Ok(Pending::Entry {
+                    key: key.clone(),
+                    json: encode_record(key, entry)?,
+                    backend: entry.backend.clone(),
+                    saved_at_millis: millis,
+                })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let outcome = {
+            let mut view = self.seg_guard();
+            self.apply_pendings(&mut view, pendings, BATCH_LOCK_WAIT, false)
+        };
+        match outcome {
+            Ok(()) => {
+                for (key, _) in entries {
+                    let _ = fs::remove_file(self.entry_path(key));
+                }
+                Ok(entries.len())
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                for (key, entry) in entries {
+                    self.save_legacy(key, entry)?;
+                }
+                Ok(entries.len())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Persist one entry as a legacy per-digest file, atomically (write
+    /// to a temp file, then rename) — the compatibility tier and the
+    /// segment save path's contention fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O or serialization error; the previous
+    /// version of the entry (if any) stays intact on failure.
+    pub fn save_legacy(&self, key: &str, entry: &CacheEntry) -> io::Result<()> {
+        Self::validate_key(key)?;
+        let json = encode_record(key, entry)?;
         // Hidden temp name (never matches the `*.json` load glob), unique
         // per process *and* per write so concurrent writers — other
         // processes or other threads of this one — cannot clobber each
@@ -487,38 +1112,66 @@ impl CacheStore {
         }
     }
 
-    /// Remove one entry (missing entries are not an error).
+    /// Remove one entry from both tiers (missing entries are not an
+    /// error).
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error for anything but "not found".
+    /// Returns the underlying I/O error for anything but "not found",
+    /// including a segment writer lock that stays contended.
     pub fn remove(&self, key: &str) -> io::Result<()> {
         match fs::remove_file(self.entry_path(key)) {
-            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
-            _ => Ok(()),
+            Err(e) if e.kind() != io::ErrorKind::NotFound => return Err(e),
+            _ => {}
         }
+        let mut view = self.seg_guard();
+        self.refresh_view(&mut view, true);
+        if view.contains(key) {
+            let pending = Pending::Tombstone {
+                key: key.to_string(),
+            };
+            self.apply_pendings(&mut view, vec![pending], BATCH_LOCK_WAIT, false)?;
+        }
+        Ok(())
     }
 
-    /// Number of entry files currently on disk (including ones a load
-    /// would skip).
+    /// Distinct digests currently on disk (segment index rows plus
+    /// legacy files, deduplicated).
     pub fn len(&self) -> usize {
-        fs::read_dir(&self.dir)
-            .map(|dir| {
-                dir.flatten()
-                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("json"))
-                    .count()
-            })
-            .unwrap_or(0)
+        let mut keys: HashSet<String> = {
+            let mut view = self.seg_guard();
+            self.refresh_view(&mut view, false);
+            view.entries.iter().map(|e| e.key.clone()).collect()
+        };
+        if let Ok(dir) = fs::read_dir(&self.dir) {
+            for dir_entry in dir.flatten() {
+                let path = dir_entry.path();
+                if path.extension().and_then(|e| e.to_str()) == Some("json") {
+                    if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                        keys.insert(stem.to_string());
+                    }
+                }
+            }
+        }
+        keys.len()
     }
 
-    /// `true` when no entry files exist.
+    /// `true` when no entries exist in either tier.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Total size in bytes of all entry files currently on disk.
+    /// Total *live* entry bytes on disk: legacy file sizes plus
+    /// index-reachable segment payload (what [`GcPolicy::max_bytes`]
+    /// budgets against — dead payload bytes are compaction's business,
+    /// not the capacity budget's).
     pub fn total_bytes(&self) -> u64 {
-        fs::read_dir(&self.dir)
+        let segment_live = {
+            let mut view = self.seg_guard();
+            self.refresh_view(&mut view, false);
+            view.live_bytes()
+        };
+        let legacy: u64 = fs::read_dir(&self.dir)
             .map(|dir| {
                 dir.flatten()
                     .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("json"))
@@ -526,16 +1179,59 @@ impl CacheStore {
                     .map(|m| m.len())
                     .sum()
             })
-            .unwrap_or(0)
+            .unwrap_or(0);
+        segment_live + legacy
     }
 
-    /// Enforce `policy` on the disk tier, deleting entry files until both
-    /// budgets hold. See [`GcPolicy`] for the eviction order.
+    /// A point-in-time description of the disk tier's shape (format,
+    /// index size, live/dead payload split) for stats surfaces.
+    pub fn disk_stats(&self) -> DiskTierStats {
+        let (has_segment, index_entries, segment_bytes, live_bytes, dead_bytes) = {
+            let mut view = self.seg_guard();
+            self.refresh_view(&mut view, false);
+            match view.stat {
+                Some((len, _)) => (
+                    true,
+                    view.entries.len(),
+                    len,
+                    view.live_bytes(),
+                    view.dead_bytes(),
+                ),
+                None => (false, 0, 0, 0, 0),
+            }
+        };
+        let legacy_files = fs::read_dir(&self.dir)
+            .map(|dir| {
+                dir.flatten()
+                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("json"))
+                    .count()
+            })
+            .unwrap_or(0);
+        let format = match (has_segment, legacy_files > 0) {
+            (true, false) => "segment",
+            (false, true) => "legacy",
+            (true, true) => "mixed",
+            (false, false) => "empty",
+        };
+        DiskTierStats {
+            format: format.to_string(),
+            index_entries,
+            legacy_files,
+            segment_bytes,
+            live_bytes,
+            dead_bytes,
+            compactions: self.compactions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Enforce `policy` on the disk tier, evicting digests until both
+    /// budgets hold and compacting the segment when enough payload is
+    /// dead. See [`GcPolicy`] for the eviction order.
     ///
     /// # Errors
     ///
     /// Returns the I/O error when the directory cannot be scanned;
-    /// per-file deletion failures are counted in
+    /// per-digest eviction failures are counted in
     /// [`GcReport::delete_errors`] instead of aborting the sweep.
     pub fn gc(&self, policy: &GcPolicy) -> io::Result<GcReport> {
         self.gc_at(policy, SystemTime::now())
@@ -549,10 +1245,11 @@ impl CacheStore {
     /// Returns the I/O error when the directory cannot be scanned.
     pub fn gc_at(&self, policy: &GcPolicy, now: SystemTime) -> io::Result<GcReport> {
         let mut report = GcReport::default();
-        // (mtime, size, path) for every entry file, oldest first. Files
-        // with unreadable metadata are treated as epoch-old so a damaged
-        // entry is the first victim rather than an immortal one.
-        let mut entries: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+        let now_ms = time_to_millis(now);
+        // Directory scan: sweep orphaned temp and lock files, collect
+        // legacy entry candidates. (Entry recency comes from the index
+        // for the packed tier — GC no longer stats per-entry files.)
+        let mut legacy: Vec<(u64, u64, String, PathBuf)> = Vec::new();
         for dir_entry in fs::read_dir(&self.dir)?.flatten() {
             let path = dir_entry.path();
             let extension = path.extension().and_then(|e| e.to_str());
@@ -577,7 +1274,8 @@ impl CacheStore {
             // Solve locks orphaned by crashed holders: past the staleness
             // bound they would otherwise only be reclaimed when someone
             // re-requests that exact digest, so the sweep retires them too
-            // (a live holder's lock is younger than the bound and spared).
+            // (a live holder's lock is younger than the bound and spared;
+            // the segment writer lock falls under the same sweep).
             if extension == Some("lock") {
                 let stale = now
                     .duration_since(mtime)
@@ -591,69 +1289,561 @@ impl CacheStore {
             if extension != Some("json") {
                 continue;
             }
-            entries.push((mtime, size, path));
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string();
+            legacy.push((time_to_millis(mtime), size, stem, path));
         }
-        entries.sort();
-        report.examined = entries.len();
-        let mut total: u64 = entries.iter().map(|(_, size, _)| size).sum();
 
-        let expired = |mtime: &SystemTime| {
-            policy.max_age.is_some_and(|max_age| {
-                now.duration_since(*mtime)
-                    .map(|age| age > max_age)
-                    .unwrap_or(false)
-            })
-        };
-        for (i, (mtime, size, path)) in entries.iter().enumerate() {
-            let over_bytes = policy
-                .max_bytes
-                .is_some_and(|max| total > max && i + 1 < entries.len());
-            if !expired(mtime) && !over_bytes {
+        // Candidate list: one row per distinct digest, oldest-saved
+        // first. A digest present in both tiers is one candidate whose
+        // eviction clears both copies (so the legacy copy's eviction can
+        // never resurrect the packed one, or vice versa).
+        struct Candidate {
+            millis: u64,
+            bytes: u64,
+            key: String,
+            legacy_path: Option<PathBuf>,
+            in_segment: bool,
+        }
+        let mut view = self.seg_guard();
+        self.refresh_view(&mut view, true);
+        let mut cands: Vec<Candidate> = Vec::new();
+        let legacy_keys: HashSet<&str> = legacy.iter().map(|(_, _, k, _)| k.as_str()).collect();
+        for (millis, size, key, path) in &legacy {
+            let seg_bytes = view.find(key).map(|e| 8 + e.len).unwrap_or(0);
+            cands.push(Candidate {
+                millis: *millis,
+                bytes: size + seg_bytes,
+                key: key.clone(),
+                legacy_path: Some(path.clone()),
+                in_segment: seg_bytes > 0,
+            });
+        }
+        for row in &view.entries {
+            if legacy_keys.contains(row.key.as_str()) {
                 continue;
             }
-            match fs::remove_file(path) {
-                // NotFound means a concurrent sweeper (the daemon's
-                // periodic GC racing an offline one on a shared dir) beat
-                // us to this victim; either way the file is gone, and the
-                // report's retained/examined arithmetic tracks what
-                // remains, not who deleted it.
-                Ok(()) => {
-                    report.removed += 1;
-                    report.removed_bytes += size;
-                    total -= size;
+            cands.push(Candidate {
+                millis: row.saved_at_millis,
+                bytes: 8 + row.len,
+                key: row.key.clone(),
+                legacy_path: None,
+                in_segment: true,
+            });
+        }
+        cands.sort_by(|a, b| (a.millis, &a.key).cmp(&(b.millis, &b.key)));
+        report.examined = cands.len();
+        let mut total: u64 = cands.iter().map(|c| c.bytes).sum();
+
+        // Decide the victim set first, then execute — the packed tier
+        // evicts as one batch (one tombstone append + header rewrite),
+        // and a failed batch must not be double-counted.
+        let max_age_ms = policy
+            .max_age
+            .map(|max| u64::try_from(max.as_millis()).unwrap_or(u64::MAX));
+        let expired =
+            |millis: u64| max_age_ms.is_some_and(|max| now_ms.saturating_sub(millis) > max);
+        let mut victims: Vec<usize> = Vec::new();
+        {
+            let mut running = total;
+            for (i, c) in cands.iter().enumerate() {
+                let over_bytes = policy
+                    .max_bytes
+                    .is_some_and(|max| running > max && i + 1 < cands.len());
+                if expired(c.millis) || over_bytes {
+                    victims.push(i);
+                    running -= c.bytes;
                 }
-                Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                    report.removed += 1;
-                    report.removed_bytes += size;
-                    total -= size;
+            }
+        }
+        let seg_victims: Vec<Pending> = victims
+            .iter()
+            .filter(|&&i| cands[i].in_segment)
+            .map(|&i| Pending::Tombstone {
+                key: cands[i].key.clone(),
+            })
+            .collect();
+        let seg_ok = if seg_victims.is_empty() {
+            true
+        } else {
+            self.apply_pendings(&mut view, seg_victims, BATCH_LOCK_WAIT, false)
+                .is_ok()
+        };
+        for &i in &victims {
+            let c = &cands[i];
+            if c.in_segment && !seg_ok {
+                // The whole candidate stays (its legacy twin too, so a
+                // partially-evicted digest can never serve a stale copy).
+                report.delete_errors += 1;
+                continue;
+            }
+            let mut ok = true;
+            if let Some(path) = &c.legacy_path {
+                match fs::remove_file(path) {
+                    // NotFound means a concurrent sweeper (the daemon's
+                    // periodic GC racing an offline one on a shared dir)
+                    // beat us to this victim; either way it is gone.
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(_) => {
+                        report.delete_errors += 1;
+                        ok = false;
+                    }
                 }
-                Err(_) => report.delete_errors += 1,
+            }
+            if ok {
+                report.removed += 1;
+                report.removed_bytes += c.bytes;
+                total -= c.bytes;
             }
         }
         report.retained = report.examined - report.removed;
         report.retained_bytes = total;
+
+        // Compaction: once evictions (here and in prior sweeps) have
+        // turned enough payload dead, rewrite live records into a fresh
+        // segment. Cost scales with the index, not with history.
+        if view.stat.is_some() {
+            let dead = view.dead_bytes();
+            let threshold = policy
+                .compact_min_dead
+                .unwrap_or_else(|| view.live_bytes().max(DEFAULT_COMPACT_MIN_DEAD));
+            if dead > 0 && dead >= threshold {
+                let old_len = view.file_len;
+                if self
+                    .apply_pendings(&mut view, Vec::new(), BATCH_LOCK_WAIT, true)
+                    .is_ok()
+                {
+                    report.compactions += 1;
+                    report.compacted_bytes += old_len.saturating_sub(view.file_len);
+                    self.compactions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         Ok(report)
     }
 
-    /// Delete every entry file, returning how many were removed.
+    /// Delete every entry in both tiers, returning how many distinct
+    /// digests were removed.
     ///
     /// # Errors
     ///
     /// Returns the first I/O error encountered.
     pub fn clear(&self) -> io::Result<usize> {
-        let mut removed = 0;
+        let removed = self.len();
         for dir_entry in fs::read_dir(&self.dir)?.flatten() {
             let path = dir_entry.path();
             if path.extension().and_then(|e| e.to_str()) == Some("json") {
                 fs::remove_file(&path)?;
-                removed += 1;
             }
         }
+        let mut view = self.seg_guard();
+        let _lock = self
+            .try_segment_lock(BATCH_LOCK_WAIT)
+            .ok_or_else(contended)?;
+        match fs::remove_file(self.segment_path()) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => return Err(e),
+            _ => {}
+        }
+        *view = SegmentView {
+            initialized: true,
+            ..SegmentView::default()
+        };
         Ok(removed)
     }
+
+    /// Apply a batch of mutations to the segment under the writer lock:
+    /// re-sync the view from disk (merging other writers' appends),
+    /// append payload frames, fsync, then rewrite the header in place.
+    /// Falls back to a full rewrite-then-rename when the index outgrows
+    /// its capacity or the on-disk header is damaged; `force_rewrite`
+    /// requests that path outright (compaction).
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when the writer lock stays contended past `wait`
+    /// (callers fail open); otherwise the underlying I/O error.
+    fn apply_pendings(
+        &self,
+        view: &mut SegmentView,
+        pendings: Vec<Pending>,
+        wait: Duration,
+        force_rewrite: bool,
+    ) -> io::Result<()> {
+        let _lock = self.try_segment_lock(wait).ok_or_else(contended)?;
+        self.refresh_view(view, true);
+        // Surviving old rows, and the new frames in batch order (later
+        // writes of one digest supersede earlier ones within the batch).
+        let mut entries = view.entries.clone();
+        let mut frames: Vec<(Option<SegmentIndexEntry>, String)> = Vec::new();
+        for pending in pendings {
+            match pending {
+                Pending::Entry {
+                    key,
+                    json,
+                    backend,
+                    saved_at_millis,
+                } => {
+                    entries.retain(|e| e.key != key);
+                    frames.retain(|(m, _)| m.as_ref().map(|m| m.key != key).unwrap_or(true));
+                    let len = json.len() as u64;
+                    frames.push((
+                        Some(SegmentIndexEntry {
+                            key,
+                            offset: 0,
+                            len,
+                            version: STORE_VERSION,
+                            backend,
+                            saved_at_millis,
+                        }),
+                        json,
+                    ));
+                }
+                Pending::Tombstone { key } => {
+                    entries.retain(|e| e.key != key);
+                    frames.retain(|(m, _)| m.as_ref().map(|m| m.key != key).unwrap_or(true));
+                    // The tombstone frame is appended even though the
+                    // index row is dropped: a future torn-header scan
+                    // replays the log and must not resurrect the digest.
+                    let json = tombstone_json(&key);
+                    frames.push((None, json));
+                }
+            }
+        }
+
+        if view.header_ok && !force_rewrite {
+            // In-place attempt: assign offsets at the current end of
+            // file, and check the resulting index still fits.
+            let mut off = view.file_len;
+            let mut final_entries = entries.clone();
+            for (meta, json) in &frames {
+                if let Some(meta) = meta {
+                    let mut row = meta.clone();
+                    row.offset = off + 8;
+                    final_entries.push(row);
+                }
+                off += 8 + json.len() as u64;
+            }
+            let header_json = encode_header(&final_entries)?;
+            if header_json.len() as u64 <= view.capacity {
+                let mut file = fs::OpenOptions::new()
+                    .write(true)
+                    .open(self.segment_path())?;
+                let mut buf: Vec<u8> = Vec::new();
+                for (_, json) in &frames {
+                    buf.extend_from_slice(&(json.len() as u64).to_le_bytes());
+                    buf.extend_from_slice(json.as_bytes());
+                }
+                // Crash ordering: payload first, fsync, then the header
+                // — a torn run leaves the old index intact and the new
+                // frames recoverable only by the replay scan.
+                file.seek(SeekFrom::Start(view.file_len))?;
+                file.write_all(&buf)?;
+                file.sync_all()?;
+                let mut padded = header_json.into_bytes();
+                padded.resize(view.capacity as usize, b' ');
+                file.seek(SeekFrom::Start(8))?;
+                file.write_all(&padded)?;
+                file.sync_all()?;
+                drop(file);
+                view.entries = final_entries;
+                view.file_len = off;
+                view.skipped = 0;
+                view.stat = file_stat(&self.segment_path());
+                return Ok(());
+            }
+        }
+
+        // Full rewrite: carry live payloads over, drop dead bytes and
+        // tombstones (the rewrite *is* a compaction), rename into place.
+        let mut items: Vec<(SegmentIndexEntry, Vec<u8>)> = Vec::new();
+        if !entries.is_empty() {
+            let mut file = fs::File::open(self.segment_path())?;
+            for row in &entries {
+                if let Some(bytes) = read_bytes_in(&mut file, row.offset, row.len) {
+                    items.push((row.clone(), bytes));
+                }
+            }
+        }
+        for (meta, json) in frames {
+            if let Some(meta) = meta {
+                items.push((meta, json.into_bytes()));
+            }
+        }
+        *view = self.write_segment_file(&items)?;
+        Ok(())
+    }
+
+    /// Write a complete segment (header sized with growth slack, then
+    /// payload frames) to a temp file, fsync, and atomically rename it
+    /// into place; the directory is fsynced so the rename is durable
+    /// before callers delete what it replaced.
+    fn write_segment_file(
+        &self,
+        items: &[(SegmentIndexEntry, Vec<u8>)],
+    ) -> io::Result<SegmentView> {
+        // Capacity from a conservative provisional encoding: the real
+        // offsets print in at most 20 digits where the provisional zeros
+        // print in one, and doubling leaves in-place growth room.
+        let provisional: Vec<SegmentIndexEntry> = items.iter().map(|(m, _)| m.clone()).collect();
+        let provisional_len = encode_header(&provisional)?.len() as u64;
+        let capacity = MIN_HEADER_CAPACITY.max(2 * (provisional_len + 20 * items.len() as u64));
+        let mut entries = Vec::with_capacity(items.len());
+        let mut off = 8 + capacity;
+        for (meta, payload) in items {
+            let mut row = meta.clone();
+            row.offset = off + 8;
+            row.len = payload.len() as u64;
+            entries.push(row);
+            off += 8 + payload.len() as u64;
+        }
+        let header_json = encode_header(&entries)?;
+        if header_json.len() as u64 > capacity {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "segment header overflowed its provisioned capacity",
+            ));
+        }
+        let tmp = self.dir.join(format!(
+            ".segment.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&capacity.to_le_bytes())?;
+            let mut padded = header_json.into_bytes();
+            padded.resize(capacity as usize, b' ');
+            f.write_all(&padded)?;
+            for (_, payload) in items {
+                f.write_all(&(payload.len() as u64).to_le_bytes())?;
+                f.write_all(payload)?;
+            }
+            f.sync_all()?;
+        }
+        if let Err(e) = fs::rename(&tmp, self.segment_path()) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        let _ = fs::File::open(&self.dir).and_then(|d| d.sync_all());
+        Ok(SegmentView {
+            initialized: true,
+            stat: file_stat(&self.segment_path()),
+            header_ok: true,
+            capacity,
+            file_len: off,
+            entries,
+            skipped: 0,
+        })
+    }
+}
+
+/// The error kind saves interpret as "fail open to the legacy tier".
+fn contended() -> io::Error {
+    io::Error::new(io::ErrorKind::WouldBlock, "segment writer lock contended")
+}
+
+fn file_stat(path: &Path) -> Option<(u64, SystemTime)> {
+    fs::metadata(path)
+        .ok()
+        .map(|m| (m.len(), m.modified().unwrap_or(SystemTime::UNIX_EPOCH)))
+}
+
+fn time_to_millis(t: SystemTime) -> u64 {
+    t.duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+fn now_millis() -> u64 {
+    time_to_millis(SystemTime::now())
+}
+
+/// Serialize the versioned record envelope for one entry — the payload
+/// frame body, and byte-identically the legacy file content.
+fn encode_record(key: &str, entry: &CacheEntry) -> io::Result<String> {
+    let stored = StoredEntry {
+        version: STORE_VERSION,
+        key: key.to_string(),
+        entry: entry.clone(),
+    };
+    serde_json::to_string(&stored)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn encode_header(entries: &[SegmentIndexEntry]) -> io::Result<String> {
+    let header = SegmentHeader {
+        version: SEGMENT_VERSION,
+        entries: entries.to_vec(),
+    };
+    serde_json::to_string(&header)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// The eviction record appended for a digest (keys are validated
+/// alphanumerics, so direct formatting is escape-safe).
+fn tombstone_json(key: &str) -> String {
+    format!("{{\"version\":{STORE_VERSION},\"key\":\"{key}\",\"evicted\":true}}")
 }
 
 fn read_entry(path: &Path) -> Option<StoredEntry> {
     let text = fs::read_to_string(path).ok()?;
     serde_json::from_str(&text).ok()
+}
+
+/// Read `len` bytes at `offset` from an already-open segment file.
+fn read_bytes_in(file: &mut fs::File, offset: u64, len: u64) -> Option<Vec<u8>> {
+    file.seek(SeekFrom::Start(offset)).ok()?;
+    let mut buf = vec![0u8; len as usize];
+    file.read_exact(&mut buf).ok()?;
+    Some(buf)
+}
+
+fn read_record_in(file: &mut fs::File, offset: u64, len: u64) -> Option<StoredEntry> {
+    let buf = read_bytes_in(file, offset, len)?;
+    let text = std::str::from_utf8(&buf).ok()?;
+    serde_json::from_str(text).ok()
+}
+
+/// Open the segment and decode one record (the lazy read-through path).
+fn read_record_at(path: &Path, offset: u64, len: u64) -> Option<StoredEntry> {
+    let mut file = fs::File::open(path).ok()?;
+    read_record_in(&mut file, offset, len)
+}
+
+/// Read and validate the segment file into a view. Never panics and
+/// never fails hard: a missing file is an empty view, a torn header
+/// falls back to replaying the frame log, and index rows pointing past
+/// the end of a truncated file are skipped and counted.
+fn read_segment_view(path: &Path) -> SegmentView {
+    let mut view = SegmentView {
+        initialized: true,
+        ..SegmentView::default()
+    };
+    let Ok(mut file) = fs::File::open(path) else {
+        return view;
+    };
+    let Ok(meta) = file.metadata() else {
+        return view;
+    };
+    let file_len = meta.len();
+    view.stat = Some((file_len, meta.modified().unwrap_or(SystemTime::UNIX_EPOCH)));
+    view.file_len = file_len;
+    if file_len < 8 {
+        return view;
+    }
+    let mut cap_buf = [0u8; 8];
+    if file.read_exact(&mut cap_buf).is_err() {
+        return view;
+    }
+    let capacity = u64::from_le_bytes(cap_buf);
+    view.capacity = capacity;
+    if capacity == 0 || capacity.saturating_add(8) > file_len {
+        // The header region itself is cut (or the length prefix is
+        // garbage). The payload lives *after* the header, so a
+        // truncation here left no recoverable records either — an empty
+        // view is positionally exact, not a give-up.
+        return view;
+    }
+    let mut header_buf = vec![0u8; capacity as usize];
+    if file.read_exact(&mut header_buf).is_err() {
+        return view;
+    }
+    let parsed = std::str::from_utf8(&header_buf)
+        .ok()
+        .and_then(|s| serde_json::from_str::<SegmentHeader>(s.trim_end()).ok())
+        .filter(|h| h.version == SEGMENT_VERSION);
+    match parsed {
+        Some(header) => {
+            view.header_ok = true;
+            for row in header.entries {
+                let in_payload = row.offset >= 8 + capacity;
+                let readable = row.offset.saturating_add(row.len) <= file_len;
+                if in_payload && readable {
+                    view.entries.push(row);
+                } else {
+                    view.skipped += 1;
+                }
+            }
+        }
+        // Torn or scribbled header: replay the frame log. Entry frames
+        // re-insert digests, tombstone frames delete them — so recovery
+        // sees every record before the torn point and never resurrects
+        // an evicted digest.
+        None => scan_payload(&mut file, capacity, file_len, &mut view),
+    }
+    view
+}
+
+/// Replay the length-prefixed frame log from the start of the payload
+/// region, stopping at the first torn or unreadable frame.
+fn scan_payload(file: &mut fs::File, capacity: u64, file_len: u64, view: &mut SegmentView) {
+    let mut pos = 8 + capacity;
+    if file.seek(SeekFrom::Start(pos)).is_err() {
+        return;
+    }
+    let mut reader = io::BufReader::new(file);
+    while pos + 8 <= file_len {
+        let mut len_buf = [0u8; 8];
+        if reader.read_exact(&mut len_buf).is_err() {
+            view.skipped += 1;
+            return;
+        }
+        let len = u64::from_le_bytes(len_buf);
+        if len == 0 || pos + 8 + len > file_len {
+            // Torn frame: its length prefix promises bytes past the cut,
+            // so it and everything after are unrecoverable.
+            view.skipped += 1;
+            return;
+        }
+        let mut buf = vec![0u8; len as usize];
+        if reader.read_exact(&mut buf).is_err() {
+            view.skipped += 1;
+            return;
+        }
+        let offset = pos + 8;
+        pos += 8 + len;
+        let record = std::str::from_utf8(&buf).ok().and_then(parse_record);
+        match record {
+            Some(Record::Entry(stored)) => {
+                let stored = *stored;
+                view.entries.retain(|e| e.key != stored.key);
+                view.entries.push(SegmentIndexEntry {
+                    key: stored.key,
+                    offset,
+                    len,
+                    version: stored.version,
+                    backend: stored.entry.backend,
+                    // Recency is an index-only attribute; replayed
+                    // entries age to the epoch (first GC victims).
+                    saved_at_millis: 0,
+                });
+            }
+            Some(Record::Tombstone { key }) => view.entries.retain(|e| e.key != key),
+            // Framing is intact (the length prefix was honored), so a
+            // single unparseable record does not end the replay.
+            None => view.skipped += 1,
+        }
+    }
+}
+
+fn parse_record(text: &str) -> Option<Record> {
+    let value: serde::Value = serde_json::from_str(text).ok()?;
+    let map = value.as_map()?;
+    let evicted = map
+        .iter()
+        .any(|(k, v)| k == "evicted" && matches!(v, serde::Value::Bool(true)));
+    if evicted {
+        let key = map
+            .iter()
+            .find(|(k, _)| k == "key")
+            .and_then(|(_, v)| v.as_str())?
+            .to_string();
+        return Some(Record::Tombstone { key });
+    }
+    let stored = StoredEntry::from_value(&value).ok()?;
+    (stored.version == STORE_VERSION).then(|| Record::Entry(Box::new(stored)))
 }

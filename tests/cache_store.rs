@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 use std::time::{Duration, Instant, SystemTime};
 
-use cosa_repro::engine::{CacheEntry, CacheStore, STORE_VERSION};
+use cosa_repro::engine::{CacheEntry, CacheStore, StoreFormat, STORE_VERSION};
 use cosa_repro::prelude::*;
 
 mod common;
@@ -87,7 +87,11 @@ fn corrupt_entries_are_skipped_not_fatal() {
     let network = tiny_network();
     let mapper = quick_random();
 
+    // Populate in the legacy per-file layout so there are `*.json` files
+    // to damage (the segment tier's corruption story is covered by the
+    // truncation proptest in `tests/properties.rs`).
     let engine = Engine::new(Arch::simba_baseline())
+        .with_cache_format(StoreFormat::Legacy)
         .with_cache_dir(&dir)
         .expect("open cache dir");
     engine.schedule_network(&network, &mapper);
@@ -191,15 +195,23 @@ fn cache_bounds_after_cache_dir_keep_warm_entries() {
     drop(engine);
 
     // Bounding the cache *after* attaching the dir must not discard the
-    // warm-loaded entries (both unique shapes fit a 16-entry bound).
+    // warm-loaded entries (both unique shapes fit a 16-entry bound). The
+    // segment warm start is lazy — the index is known but payloads decode
+    // on first use — so the resident count grows from 0 to 2 across the
+    // run while the run itself stays solver-free.
     let engine = Engine::new(Arch::simba_baseline())
         .with_cache_dir(&dir)
         .expect("open cache dir")
         .with_cache(16);
     assert_eq!(engine.cache_stats().warm_entries, 2);
-    assert_eq!(engine.cache_stats().entries, 2);
     let run = engine.schedule_network(&network, &mapper);
     assert_eq!(run.cache_misses, 0, "warm start survives re-bounding");
+    assert_eq!(run.cache_hits, network.layers.len() as u64);
+    assert_eq!(
+        engine.cache_stats().entries,
+        2,
+        "lazily decoded entries become resident"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -263,8 +275,12 @@ fn digests_are_stable_across_engines_and_save_load() {
         .expect("open cache dir");
     let scheduled = engine.schedule_layer(&mapper, &layer).expect("valid");
     assert!(
-        dir.join(format!("{key}.json")).is_file(),
-        "entry file named by the canonical digest"
+        dir.join("segment.cosa").is_file(),
+        "packed segment holds the entry"
+    );
+    assert!(
+        CacheStore::open(&dir).unwrap().load_entry(&key).is_some(),
+        "entry indexed by the canonical digest"
     );
     let load = CacheStore::open(&dir).unwrap().load();
     assert_eq!(load.skipped, 0);
@@ -484,5 +500,81 @@ fn engine_waits_out_another_processes_solve_lock() {
     assert_eq!(stats.misses, 0, "the whole wait cost zero solver calls");
     assert_eq!(stats.dedup_waits, 1);
     assert_eq!(stats.hits, 1, "the foreign entry lands as a hit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_dirs_migrate_into_segment_exactly_once() {
+    let dir = scratch_dir("migrate");
+    let network = tiny_network();
+    let mapper = quick_random();
+
+    // A pre-packed cache dir: legacy per-digest JSON files, no segment.
+    let engine = Engine::new(Arch::simba_baseline())
+        .with_cache_format(StoreFormat::Legacy)
+        .with_cache_dir(&dir)
+        .expect("open cache dir");
+    engine.schedule_network(&network, &mapper);
+    drop(engine);
+    let legacy_files: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+        .map(|p| {
+            (
+                p.file_stem().unwrap().to_str().unwrap().to_string(),
+                std::fs::read_to_string(&p).unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(legacy_files.len(), 2);
+    assert!(!dir.join("segment.cosa").exists());
+    let before = CacheStore::open(&dir).unwrap().load();
+    assert_eq!(before.entries.len(), 2);
+
+    // First segment-format warm load migrates the whole tier: every file
+    // is imported byte-verbatim (its exact bytes appear in the new
+    // segment's payload region), and the originals are removed only
+    // after the rewritten segment is durably renamed into place.
+    let store = CacheStore::open(&dir).unwrap();
+    let load = store.load_index();
+    assert_eq!(load.entries, 2);
+    assert_eq!(load.migrated, 2, "both legacy files imported");
+    assert_eq!(load.skipped, 0);
+    assert!(dir.join("segment.cosa").is_file());
+    let segment = std::fs::read(dir.join("segment.cosa")).unwrap();
+    for (key, text) in &legacy_files {
+        assert!(
+            !dir.join(format!("{key}.json")).exists(),
+            "original {key}.json removed after import"
+        );
+        assert!(
+            segment.windows(text.len()).any(|w| w == text.as_bytes()),
+            "legacy bytes for {key} imported verbatim"
+        );
+    }
+
+    // The migrated entries load identically to the pre-migration ones,
+    // and a second warm load imports nothing (migration is one-shot).
+    for (key, entry) in &before.entries {
+        assert_eq!(
+            store.load_entry(key).as_ref(),
+            Some(entry),
+            "migrated {key} round-trips"
+        );
+    }
+    let again = CacheStore::open(&dir).unwrap().load_index();
+    assert_eq!(again.migrated, 0, "second load migrates nothing");
+    assert_eq!(again.entries, 2);
+
+    // And the migrated dir warm-starts an engine solver-free.
+    let warm = Engine::new(Arch::simba_baseline())
+        .with_cache_dir(&dir)
+        .expect("warm start");
+    assert_eq!(warm.cache_stats().warm_entries, 2);
+    let run = warm.schedule_network(&network, &mapper);
+    assert_eq!(run.cache_misses, 0, "migrated entries serve the rerun");
+
     let _ = std::fs::remove_dir_all(&dir);
 }

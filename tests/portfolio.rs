@@ -341,6 +341,11 @@ fn cache_entry_backend_provenance_round_trips_and_legacy_loads() {
     let store = CacheStore::open(&dir).expect("reopen store");
     let load = store.load();
     let (key, entry) = load.entries.first().expect("entry persisted").clone();
+    // Materialize the entry as a legacy per-digest file (the pre-packed
+    // layout a pre-provenance writer would have produced); the legacy
+    // tier wins over the segment copy on read, so the stripped file is
+    // what subsequent loads observe.
+    store.save_legacy(&key, &entry).expect("write legacy file");
     let path = dir.join(format!("{key}.json"));
     let text = std::fs::read_to_string(&path).expect("read entry file");
     assert!(text.contains("\"backend\""), "fresh entries carry backend");

@@ -289,12 +289,20 @@ impl Parser<'_> {
                 }
                 Some(&b) if b < 0x20 => return Err(Error::custom("control character in string")),
                 Some(_) => {
-                    // Copy a full UTF-8 character.
-                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Bulk-copy a run of plain characters up to the next
+                    // quote/escape/control byte. Validating UTF-8 once per
+                    // run (not once per character over the whole remaining
+                    // input) keeps parsing linear in document size.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::custom("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("nonempty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(s);
                 }
                 None => return Err(Error::custom("unterminated string")),
             }
