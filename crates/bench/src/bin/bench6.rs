@@ -180,20 +180,16 @@ fn bench_engine(arch: &Arch, network: &Network, full: bool) -> Value {
 /// Axis 3: serve p50/p99 against an in-process daemon (default `cosa`
 /// serving scheduler — the daemon's own default path).
 fn bench_serve(network: &Network) -> Value {
-    let handle = Server::start(ServeConfig {
-        workers: 2,
-        ..ServeConfig::default()
-    })
-    .expect("start daemon");
+    let handle = Server::start(ServeConfig::builder().workers(2).build()).expect("start daemon");
     let request = ScheduleRequest::for_network(network.clone());
     let body = serde_json::to_string(&request).expect("request serializes");
     const REQUESTS: usize = 12;
     for i in 0..REQUESTS {
-        let resp = http::request(handle.addr(), "POST", "/schedule", &body)
+        let resp = http::request(handle.addr(), "POST", "/v1/schedule", &body)
             .unwrap_or_else(|e| panic!("request {i}: {e}"));
         assert_eq!(resp.status, 200, "request {i} answered {}", resp.status);
     }
-    let resp = http::request(handle.addr(), "GET", "/stats", "").expect("GET /stats");
+    let resp = http::request(handle.addr(), "GET", "/v1/stats", "").expect("GET /v1/stats");
     let stats: StatsResponse = serde_json::from_str(&resp.body).expect("stats parse");
     handle.shutdown().expect("daemon shutdown");
     println!(

@@ -132,18 +132,19 @@ fn bench_tier(tier: StoreFormat, n: usize, entry: &CacheEntry, tag: &str) -> (Va
 fn bench_serve_tier(network: &Network, tier: StoreFormat, tag: &str) -> Value {
     let dir = std::env::temp_dir().join(format!("cosa-bench7-serve-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let config = || ServeConfig {
-        workers: 2,
-        cache_dir: Some(dir.clone()),
-        cache_format: tier,
-        ..ServeConfig::default()
+    let config = || {
+        ServeConfig::builder()
+            .workers(2)
+            .cache_dir(dir.clone())
+            .cache_format(tier)
+            .build()
     };
     let request = ScheduleRequest::for_network(network.clone());
     let body = serde_json::to_string(&request).expect("request serializes");
 
     // Cold pass: solve + persist.
     let handle = Server::start(config()).expect("start cold daemon");
-    let resp = http::request(handle.addr(), "POST", "/schedule", &body).expect("cold request");
+    let resp = http::request(handle.addr(), "POST", "/v1/schedule", &body).expect("cold request");
     assert_eq!(resp.status, 200);
     handle.shutdown().expect("cold daemon shutdown");
 
@@ -153,7 +154,7 @@ fn bench_serve_tier(network: &Network, tier: StoreFormat, tag: &str) -> Value {
     let ready_micros = start.elapsed().as_micros() as u64;
     const REQUESTS: usize = 12;
     for i in 0..REQUESTS {
-        let resp = http::request(handle.addr(), "POST", "/schedule", &body)
+        let resp = http::request(handle.addr(), "POST", "/v1/schedule", &body)
             .unwrap_or_else(|e| panic!("warm request {i}: {e}"));
         assert_eq!(
             resp.status, 200,
@@ -161,7 +162,7 @@ fn bench_serve_tier(network: &Network, tier: StoreFormat, tag: &str) -> Value {
             resp.status
         );
     }
-    let resp = http::request(handle.addr(), "GET", "/stats", "").expect("GET /stats");
+    let resp = http::request(handle.addr(), "GET", "/v1/stats", "").expect("GET /v1/stats");
     let stats: StatsResponse = serde_json::from_str(&resp.body).expect("stats parse");
     assert_eq!(stats.cache.misses, 0, "warm daemon must not re-solve");
     handle.shutdown().expect("warm daemon shutdown");

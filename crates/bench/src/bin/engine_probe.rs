@@ -33,8 +33,8 @@ use std::time::Duration;
 
 use cosa_bench::{flag_value, parse_flags, write_csv};
 use cosa_repro::api::Scheduler;
-use cosa_repro::engine::{CacheStore, Engine, GcPolicy, StoreFormat};
-use cosa_repro::serve::scheduler_from_name;
+use cosa_repro::engine::{CacheStore, Engine, GcPolicy};
+use cosa_repro::serve::{scheduler_from_name, CommonArgs};
 use cosa_spec::{Arch, Network, Suite};
 
 /// Write the canonical (volatiles-stripped) report artifact that the CI
@@ -71,16 +71,13 @@ fn write_report_artifact(report: &cosa_repro::engine::NetworkReport) -> std::pat
 fn main() {
     let (quick, suite) = parse_flags();
     let args: Vec<String> = std::env::args().collect();
-    let scheduler_name = flag_value(&args, "--scheduler").unwrap_or_else(|| "cosa".to_string());
-    let cache_dir =
-        flag_value(&args, "--cache-dir").or_else(|| std::env::var("COSA_CACHE_DIR").ok());
-    let with_noc = args.iter().any(|a| a == "--noc");
+    // The shared scheduler/cache flag set — the same parser the daemon,
+    // the router and `serve_probe` use, so the flags cannot drift.
+    let common = CommonArgs::parse(&args);
+    let scheduler_name = common.scheduler.clone();
+    let cache_dir = common.cache_dir.as_ref().map(|p| p.display().to_string());
+    let with_noc = common.noc;
     let expect_warm = args.iter().any(|a| a == "--expect-warm");
-    let cache_format = flag_value(&args, "--cache-format")
-        .map(|f| {
-            StoreFormat::parse(&f).unwrap_or_else(|| panic!("bad value `{f}` for --cache-format"))
-        })
-        .unwrap_or_default();
 
     // Offline disk-tier GC: sweep before scheduling so the run below sees
     // exactly the surviving entries.
@@ -147,9 +144,8 @@ fn main() {
             scheduler.as_ref(),
             threads,
             &dir,
-            with_noc,
+            &common,
             expect_warm,
-            cache_format,
         );
     } else {
         run_in_memory(&arch, &network, scheduler.as_ref(), threads, with_noc);
@@ -210,7 +206,8 @@ fn run_offline_gc(dir: &str, policy: &GcPolicy) {
 }
 
 /// One engine against a persistent cache directory: the warm-start path
-/// the CI `warm-cache` job exercises twice.
+/// the CI `warm-cache` job exercises twice. The cache-facing knobs
+/// (format, NoC, lock staleness) come from the shared [`CommonArgs`] set.
 #[allow(clippy::too_many_arguments)]
 fn run_persistent(
     arch: &Arch,
@@ -218,15 +215,17 @@ fn run_persistent(
     scheduler: &dyn Scheduler,
     threads: usize,
     dir: &str,
-    with_noc: bool,
+    common: &CommonArgs,
     expect_warm: bool,
-    cache_format: StoreFormat,
 ) {
     let mut engine = Engine::new(arch.clone())
         .with_threads(threads)
-        .with_cache_format(cache_format);
-    if with_noc {
+        .with_cache_format(common.cache_format);
+    if common.noc {
         engine = engine.with_noc();
+    }
+    if let Some(staleness) = common.lock_staleness {
+        engine = engine.with_lock_staleness(staleness);
     }
     let engine = engine.with_cache_dir(dir).expect("open cache dir");
     let loaded = engine.cache_stats();

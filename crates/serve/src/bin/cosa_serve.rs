@@ -4,12 +4,15 @@
 //! Run with: `cargo run --release -p cosa-serve --bin cosa_serve -- \
 //!     --addr 127.0.0.1:7878 --cache-dir .cosa-cache --noc`
 //!
-//! Flags:
+//! Flags (all parsed by `cosa_serve::cli::config_from_args` onto
+//! `ServeConfig::builder`):
 //!
 //! * `--addr HOST:PORT` — bind address (default `127.0.0.1:7878`; port 0
 //!   picks an ephemeral port, printed at startup).
 //! * `--workers N` / `--queue N` — worker pool width and bounded-queue
 //!   capacity.
+//! * `--max-connections N` — bound on simultaneously open connections
+//!   (the epoll front keeps idle/parsing connections off the workers).
 //! * `--cache-dir PATH` (or `COSA_CACHE_DIR`) — shared persistent
 //!   schedule cache; restarts warm-start from it.
 //! * `--cache-format segment|legacy` — disk-tier layout: the packed
@@ -23,56 +26,24 @@
 //! * `--request-delay-micros N` — artificial service delay (load-test
 //!   instrumentation only).
 //!
-//! The daemon logs one line per request to stdout and exits cleanly on
-//! `POST /shutdown`, draining queued requests first.
+//! The daemon serves the versioned wire API (`POST /v1/schedule`,
+//! `GET /v1/stats`, `GET /v1/healthz`, `POST /v1/shutdown`; unversioned
+//! paths remain as deprecated aliases), logs one line per request to
+//! stdout and exits cleanly on `POST /v1/shutdown`, draining queued
+//! requests first.
 
-use std::time::Duration;
-
-use cosa_repro::engine::{GcPolicy, StoreFormat};
-use cosa_serve::cli::{flag_value, parse_flag};
-use cosa_serve::{ServeConfig, Server};
+use cosa_serve::cli::config_from_args;
+use cosa_serve::Server;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut config = ServeConfig {
-        addr: flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string()),
-        log_requests: true,
-        ..ServeConfig::default()
-    };
-    if let Some(workers) = parse_flag(&args, "--workers") {
-        config.workers = workers;
-    }
-    if let Some(queue) = parse_flag(&args, "--queue") {
-        config.queue_capacity = queue;
-    }
-    config.cache_dir = flag_value(&args, "--cache-dir")
-        .or_else(|| std::env::var("COSA_CACHE_DIR").ok())
-        .map(Into::into);
-    config.lock_staleness =
-        parse_flag::<u64>(&args, "--lock-staleness-secs").map(Duration::from_secs);
-    if let Some(format) = flag_value(&args, "--cache-format") {
-        config.cache_format = StoreFormat::parse(&format)
-            .unwrap_or_else(|| panic!("bad value `{format}` for --cache-format"));
-    }
-    config.noc = args.iter().any(|a| a == "--noc");
-    let mut gc = GcPolicy::default();
-    if let Some(max_bytes) = parse_flag(&args, "--gc-max-bytes") {
-        gc = gc.with_max_bytes(max_bytes);
-    }
-    if let Some(secs) = parse_flag::<u64>(&args, "--gc-max-age-secs") {
-        gc = gc.with_max_age(Duration::from_secs(secs));
-    }
-    config.gc = gc;
-    if let Some(every) = parse_flag(&args, "--gc-every") {
-        config.gc_every = every;
-    }
-    if let Some(micros) = parse_flag::<u64>(&args, "--request-delay-micros") {
-        config.request_delay = Some(Duration::from_micros(micros));
-    }
-
+    let config = config_from_args(&args, "127.0.0.1:7878")
+        .log_requests(true)
+        .build();
     let handle = Server::start(config).expect("start daemon");
     println!(
-        "[serve] ready at http://{} — POST /schedule, GET /stats, GET /healthz, POST /shutdown",
+        "[serve] ready at http://{} — POST /v1/schedule, GET /v1/stats, GET /v1/healthz, \
+         POST /v1/shutdown",
         handle.addr()
     );
     handle.join().expect("daemon threads exit cleanly");

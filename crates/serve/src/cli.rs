@@ -1,28 +1,59 @@
-//! The `--flag value` CLI convention shared by the daemon and probe
-//! binaries (`cosa_serve`, `serve_probe`, `engine_probe`) — one
-//! implementation so a parsing change (say, `--flag=value` support)
-//! lands everywhere at once.
+//! CLI → [`ServeConfig`] mapping for the daemon binaries.
+//!
+//! The `--flag value` helpers and the shared scheduler/cache flag set
+//! ([`CommonArgs`]) live in `cosa_repro::serve` — one implementation for
+//! `cosa_serve`, `cosa_router`, `serve_probe` and `engine_probe` — and
+//! are re-exported here for the existing import paths. What remains in
+//! this module is the thin translation from parsed flags onto
+//! [`ServeConfig::builder`].
 
-/// The value following `--flag` in `args`, when present.
-pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
+pub use cosa_repro::serve::{flag_value, parse_flag, CommonArgs};
 
-/// Parse the value following `--flag`, panicking with the flag name on
-/// malformed input (the binaries fail fast on bad invocations).
-pub fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
-    flag_value(args, flag).map(|v| {
-        v.parse()
-            .unwrap_or_else(|_| panic!("bad value `{v}` for {flag}"))
-    })
+use std::time::Duration;
+
+use cosa_repro::engine::GcPolicy;
+
+use crate::{ServeConfig, ServeConfigBuilder};
+
+/// Map the daemon flag set onto a [`ServeConfig`] builder:
+/// `--addr`/`--workers`/`--queue`/`--max-connections`, the [`CommonArgs`]
+/// set (`--cache-dir`/`--cache-format`/`--lock-staleness-secs`/`--noc`),
+/// `--gc-max-bytes`/`--gc-max-age-secs`/`--gc-every` and
+/// `--request-delay-micros`.
+pub fn config_from_args(args: &[String], default_addr: &str) -> ServeConfigBuilder {
+    let mut builder = ServeConfig::builder()
+        .addr(flag_value(args, "--addr").unwrap_or_else(|| default_addr.to_string()))
+        .common(&CommonArgs::parse(args));
+    if let Some(workers) = parse_flag(args, "--workers") {
+        builder = builder.workers(workers);
+    }
+    if let Some(queue) = parse_flag(args, "--queue") {
+        builder = builder.queue_capacity(queue);
+    }
+    if let Some(max) = parse_flag(args, "--max-connections") {
+        builder = builder.max_connections(max);
+    }
+    let mut gc = GcPolicy::default();
+    if let Some(max_bytes) = parse_flag(args, "--gc-max-bytes") {
+        gc = gc.with_max_bytes(max_bytes);
+    }
+    if let Some(secs) = parse_flag::<u64>(args, "--gc-max-age-secs") {
+        gc = gc.with_max_age(Duration::from_secs(secs));
+    }
+    builder = builder.gc(gc);
+    if let Some(every) = parse_flag(args, "--gc-every") {
+        builder = builder.gc_every(every);
+    }
+    if let Some(micros) = parse_flag::<u64>(args, "--request-delay-micros") {
+        builder = builder.request_delay(Duration::from_micros(micros));
+    }
+    builder
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cosa_repro::engine::StoreFormat;
 
     #[test]
     fn flag_value_finds_pairs_and_tolerates_absence() {
@@ -37,5 +68,44 @@ mod tests {
             "trailing flag has no value"
         );
         assert_eq!(parse_flag::<u16>(&args, "--workers"), None);
+    }
+
+    #[test]
+    fn config_from_args_maps_every_daemon_flag() {
+        let args: Vec<String> = [
+            "bin",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "3",
+            "--queue",
+            "9",
+            "--max-connections",
+            "111",
+            "--cache-format",
+            "legacy",
+            "--lock-staleness-secs",
+            "42",
+            "--noc",
+            "--gc-every",
+            "5",
+            "--request-delay-micros",
+            "250",
+        ]
+        .map(String::from)
+        .to_vec();
+        let config = config_from_args(&args, "127.0.0.1:7878").build();
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.queue_capacity, 9);
+        assert_eq!(config.max_connections, 111);
+        assert_eq!(config.cache_format, StoreFormat::Legacy);
+        assert_eq!(config.lock_staleness, Some(Duration::from_secs(42)));
+        assert!(config.noc);
+        assert_eq!(config.gc_every, 5);
+        assert_eq!(config.request_delay, Some(Duration::from_micros(250)));
+
+        let defaults = config_from_args(&["bin".to_string()], "127.0.0.1:7878").build();
+        assert_eq!(defaults.addr, "127.0.0.1:7878");
     }
 }

@@ -7,6 +7,14 @@
 //! Not supported (and not needed by the protocol): keep-alive, chunked
 //! transfer, multi-line headers, trailers. Both sides bound header and
 //! body sizes so a misbehaving peer cannot balloon a worker.
+//!
+//! The server side parses *incrementally* through [`RequestParser`]: the
+//! readiness-driven front feeds it whatever bytes `epoll` says have
+//! arrived, and only a **complete** request ever reaches a worker thread —
+//! a byte-trickling (slowloris-style) client occupies a parser buffer, not
+//! a worker. The blocking [`read_request`] used by tests and simple tools
+//! is a thin loop over the same parser, so both paths accept exactly the
+//! same requests.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -20,8 +28,9 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// JSON; 16 MB leaves two orders of magnitude of headroom).
 pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 
-/// Per-connection socket read/write timeout: a stalled peer frees its
-/// worker instead of wedging it.
+/// Per-connection socket read/write timeout for the *blocking* helpers: a
+/// stalled peer frees the calling thread instead of wedging it. The
+/// readiness-driven front enforces its own per-phase deadlines instead.
 pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Client-side response-read timeout. Deliberately much longer than
@@ -35,7 +44,7 @@ pub const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(600);
 pub struct Request {
     /// `GET`, `POST`, ...
     pub method: String,
-    /// Absolute path, e.g. `/schedule`.
+    /// Absolute path, e.g. `/v1/schedule`.
     pub path: String,
     /// The raw body bytes as UTF-8 (JSON for every protocol endpoint).
     pub body: String,
@@ -45,7 +54,117 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Read one request from `stream`.
+/// Parsed head fields, held while the body streams in.
+#[derive(Debug)]
+struct Head {
+    method: String,
+    path: String,
+    content_length: usize,
+    /// Offset of the first body byte in the parser's buffer.
+    body_start: usize,
+}
+
+/// An incremental request parser: feed it bytes as they arrive, get a
+/// [`Request`] back once the head and `Content-Length` body are complete.
+///
+/// The parser enforces [`MAX_HEAD_BYTES`] / [`MAX_BODY_BYTES`] as the
+/// bytes stream in, so a hostile peer is cut off at the bound instead of
+/// ballooning the buffer. One parser serves one connection for one
+/// request (`Connection: close` protocol).
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    head: Option<Head>,
+}
+
+impl RequestParser {
+    /// A fresh parser.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Total bytes buffered so far (head + partial body).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` once at least one byte has arrived — distinguishes a
+    /// stalled mid-request peer from a silent idle connection.
+    pub fn started(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Feed freshly-arrived bytes. Returns `Ok(Some(request))` when the
+    /// request is complete, `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed or oversized requests; the
+    /// connection should answer 400 and close.
+    pub fn feed(&mut self, bytes: &[u8]) -> io::Result<Option<Request>> {
+        self.buf.extend_from_slice(bytes);
+        self.advance()
+    }
+
+    /// Try to complete a request from the bytes buffered so far.
+    fn advance(&mut self) -> io::Result<Option<Request>> {
+        if self.head.is_none() {
+            let Some(head_end) = find_head_end(&self.buf) else {
+                if self.buf.len() > MAX_HEAD_BYTES {
+                    return Err(invalid("request head exceeds 16 KiB"));
+                }
+                return Ok(None);
+            };
+            let head = std::str::from_utf8(&self.buf[..head_end])
+                .map_err(|_| invalid("head is not UTF-8"))?;
+            let mut lines = head.split("\r\n");
+            let request_line = lines.next().unwrap_or_default();
+            let mut parts = request_line.split_whitespace();
+            let (method, path) = match (parts.next(), parts.next()) {
+                (Some(m), Some(p)) if !m.is_empty() && p.starts_with('/') => (m, p),
+                _ => return Err(invalid(format!("bad request line `{request_line}`"))),
+            };
+            let mut content_length = 0usize;
+            for line in lines {
+                if let Some((name, value)) = line.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("content-length") {
+                        content_length = value
+                            .trim()
+                            .parse()
+                            .map_err(|_| invalid("bad Content-Length"))?;
+                    }
+                }
+            }
+            if content_length > MAX_BODY_BYTES {
+                return Err(invalid("request body exceeds 16 MiB"));
+            }
+            self.head = Some(Head {
+                method: method.to_string(),
+                path: path.to_string(),
+                content_length,
+                body_start: head_end + 4,
+            });
+        }
+        let head = self.head.as_ref().expect("head parsed above");
+        if self.buf.len() < head.body_start + head.content_length {
+            return Ok(None);
+        }
+        let head = self.head.take().expect("head parsed above");
+        let body = self.buf[head.body_start..head.body_start + head.content_length].to_vec();
+        let body = String::from_utf8(body).map_err(|_| invalid("body is not UTF-8"))?;
+        // One request per connection: trailing bytes are ignored.
+        self.buf.clear();
+        Ok(Some(Request {
+            method: head.method,
+            path: head.path,
+            body,
+        }))
+    }
+}
+
+/// Read one request from `stream`, blocking (with [`IO_TIMEOUT`]) until it
+/// is complete. A thin loop over [`RequestParser`], so the blocking and
+/// readiness-driven paths accept identical requests.
 ///
 /// # Errors
 ///
@@ -53,65 +172,21 @@ fn invalid(msg: impl Into<String>) -> io::Error {
 /// underlying socket error (including read-timeout) verbatim.
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
-
-    // Read until the blank line separating head from body, keeping any
-    // body bytes that arrived in the same segment.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut parser = RequestParser::new();
     let mut chunk = [0u8; 2048];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(invalid("request head exceeds 16 KiB"));
-        }
+    loop {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            return Err(invalid("connection closed mid-head"));
+            return Err(invalid(if parser.head.is_none() {
+                "connection closed mid-head"
+            } else {
+                "connection closed mid-body"
+            }));
         }
-        buf.extend_from_slice(&chunk[..n]);
-    };
-
-    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| invalid("head is not UTF-8"))?;
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split_whitespace();
-    let (method, path) = match (parts.next(), parts.next()) {
-        (Some(m), Some(p)) if !m.is_empty() && p.starts_with('/') => (m, p),
-        _ => return Err(invalid(format!("bad request line `{request_line}`"))),
-    };
-
-    let mut content_length = 0usize;
-    for line in lines {
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| invalid("bad Content-Length"))?;
-            }
+        if let Some(request) = parser.feed(&chunk[..n])? {
+            return Ok(request);
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        return Err(invalid("request body exceeds 16 MiB"));
-    }
-
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(invalid("connection closed mid-body"));
-        }
-        body.extend_from_slice(&chunk[..n]);
-    }
-    body.truncate(content_length);
-    let body = String::from_utf8(body).map_err(|_| invalid("body is not UTF-8"))?;
-
-    Ok(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        body,
-    })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -125,36 +200,58 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
-/// Write one `application/json` response and flush. The connection is
+/// Serialize one complete `application/json` response (head + body) into
+/// the byte buffer the readiness-driven front writes out as the socket
+/// drains. `extra_headers` carries route-level additions — notably the
+/// `Deprecation` header on unversioned alias paths. The connection is
 /// single-request, so `Connection: close` is always sent.
+pub fn response_bytes(status: u16, body: &str, extra_headers: &[(&str, &str)]) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
+}
+
+/// Write one `application/json` response and flush (blocking helper for
+/// tests and simple tools; the daemon's front writes [`response_bytes`]
+/// incrementally instead).
 ///
 /// # Errors
 ///
 /// Returns the underlying socket error.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        reason(status),
-        body.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(&response_bytes(status, body, &[]))?;
     stream.flush()
 }
 
-/// A client-side response: status code plus body.
+/// A client-side response: status code, headers and body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers as `(lowercased-name, value)` pairs, in wire order.
+    pub headers: Vec<(String, String)>,
     /// Response body (JSON for every protocol endpoint).
     pub body: String,
 }
@@ -164,13 +261,21 @@ impl Response {
     pub fn is_ok(&self) -> bool {
         (200..300).contains(&self.status)
     }
+
+    /// The first header named `name` (case-insensitive), when present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// One-shot client request: connect, send, read the full response.
 ///
 /// The protocol is one request per connection, so this is the entire
-/// client surface — `serve_probe`, the integration tests and the example
-/// all go through here.
+/// client surface — `serve_probe`, the router's shard forwarding, the
+/// integration tests and the example all go through here.
 ///
 /// # Errors
 ///
@@ -190,17 +295,32 @@ pub fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> io::Re
 
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
-    let head_end = find_head_end(&raw).ok_or_else(|| invalid("response missing head"))?;
+    parse_response(&raw)
+}
+
+/// Parse a full raw response (head + body) into a [`Response`].
+fn parse_response(raw: &[u8]) -> io::Result<Response> {
+    let head_end = find_head_end(raw).ok_or_else(|| invalid("response missing head"))?;
     let head =
         std::str::from_utf8(&raw[..head_end]).map_err(|_| invalid("response head is not UTF-8"))?;
-    let status: u16 = head
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| invalid(format!("bad status line `{head}`")))?;
+        .ok_or_else(|| invalid(format!("bad status line `{status_line}`")))?;
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
     let body = String::from_utf8(raw[head_end + 4..].to_vec())
         .map_err(|_| invalid("response body is not UTF-8"))?;
-    Ok(Response { status, body })
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -222,6 +342,8 @@ mod tests {
         let resp = request(addr, "POST", "/echo", r#"{"x":1}"#).unwrap();
         assert!(resp.is_ok());
         assert_eq!(resp.body, r#"{"x":1}"#);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.header("deprecation"), None);
         server.join().unwrap();
     }
 
@@ -236,5 +358,46 @@ mod tests {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
         server.join().unwrap();
+    }
+
+    #[test]
+    fn parser_completes_byte_at_a_time() {
+        let raw = b"POST /v1/schedule HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"x\":1}";
+        let mut parser = RequestParser::new();
+        let mut result = None;
+        for (i, byte) in raw.iter().enumerate() {
+            assert!(result.is_none(), "complete before the last byte at {i}");
+            result = parser.feed(std::slice::from_ref(byte)).unwrap();
+        }
+        let request = result.expect("request completes on the final byte");
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/schedule");
+        assert_eq!(request.body, r#"{"x":1}"#);
+    }
+
+    #[test]
+    fn parser_enforces_head_and_body_bounds() {
+        // A head that never terminates is cut off at the bound.
+        let mut parser = RequestParser::new();
+        let flood = vec![b'a'; MAX_HEAD_BYTES + 8];
+        assert!(parser.feed(&flood).is_err(), "oversized head rejected");
+
+        // An honest head declaring an oversized body is rejected at the
+        // head, before any body byte arrives.
+        let mut parser = RequestParser::new();
+        let head = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(parser.feed(head.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn response_bytes_carries_extra_headers() {
+        let bytes = response_bytes(200, "{}", &[("Deprecation", "true")]);
+        let resp = parse_response(&bytes).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("Deprecation"), Some("true"));
+        assert_eq!(resp.body, "{}");
     }
 }

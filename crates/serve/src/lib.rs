@@ -3,36 +3,46 @@
 //! A long-lived scheduling daemon over the batch
 //! [`Engine`](cosa_repro::engine::Engine): the serving front-end the
 //! ROADMAP names. One process owns a (shared, persistent) schedule-cache
-//! directory, answers `POST /schedule` requests with canonical
+//! directory, answers `POST /v1/schedule` requests with canonical
 //! [`Scheduled`](cosa_repro::api::Scheduled) /
 //! [`NetworkReport`](cosa_repro::engine::NetworkReport) JSON, and keeps
 //! the disk tier bounded with a [`GcPolicy`] sweep at startup and every N
 //! requests.
 //!
 //! The wire protocol lives in [`cosa_repro::serve`]; the HTTP/1.1 subset
-//! (hand-rolled over [`std::net`], no vendored deps) in [`http`].
+//! (hand-rolled over [`std::net`], no vendored deps) in [`http`]; the
+//! epoll readiness layer in [`poll`]; the event-loop front in [`front`].
 //!
 //! # Architecture
 //!
 //! ```text
-//!             acceptor thread               worker pool (N threads)
-//!  TcpListener ──accept──► bounded queue ──pop──► parse → route → respond
-//!                   │ full?                         │
-//!                   └──► 429 immediately            └──► Engine (shared,
-//!                                                        cache-dir warm)
+//!        event-loop thread (epoll)            worker pool (N threads)
+//!  accept ─► nonblocking parse ─► bounded queue ─pop─► route → respond
+//!                 │ full?                               │
+//!                 └──► 429 from the loop                └──► Engine
+//!                                                      (shared, cache-dir
+//!                                                       warm)
 //! ```
 //!
-//! * **Bounded queue** — accepted connections wait in a FIFO of at most
-//!   `queue_capacity`; beyond that the acceptor answers `429` without
+//! * **Readiness-driven front** — one epoll event loop owns every
+//!   connection; a worker is involved only once a *complete* request has
+//!   been parsed, so connection count decouples from worker count and a
+//!   byte-trickling client cannot pin a worker (see [`front`]).
+//! * **Bounded queue** — complete requests wait in a FIFO of at most
+//!   `queue_capacity`; beyond that the event loop answers `429` without
 //!   touching a worker, so overload degrades crisply instead of piling up
 //!   latency.
 //! * **Warm restarts** — the engine loads the cache dir before the
-//!   listener binds, so `/healthz` answering at all means warm-start is
+//!   listener binds, so `/v1/healthz` answering at all means warm-start is
 //!   done; a restarted daemon serves its whole request set with zero
 //!   solver calls and zero NoC simulations.
-//! * **Graceful shutdown** — `POST /shutdown` (or
-//!   [`ServerHandle::shutdown`]) stops accepting, lets workers drain every
-//!   queued connection, then joins all threads.
+//! * **Graceful shutdown** — `POST /v1/shutdown` (or
+//!   [`ServerHandle::shutdown`]) stops dispatching, answers new arrivals
+//!   `503`, flushes every in-flight response, then joins all threads.
+//! * **Versioned wire API** — routes live under `/v1/`; the original
+//!   unversioned paths remain as deprecated aliases that answer with a
+//!   `Deprecation: true` header. The sharding [`router`] speaks only
+//!   `/v1`.
 //!
 //! # Example
 //!
@@ -41,10 +51,11 @@
 //! use cosa_repro::serve::ScheduleRequest;
 //! use cosa_spec::Suite;
 //!
-//! let handle = Server::start(ServeConfig::default()).expect("bind");
+//! let config = ServeConfig::builder().workers(2).build();
+//! let handle = Server::start(config).expect("bind");
 //! let req = ScheduleRequest::for_suite(Suite::AlexNet);
 //! let body = serde_json::to_string(&req).unwrap();
-//! let resp = http::request(handle.addr(), "POST", "/schedule", &body).unwrap();
+//! let resp = http::request(handle.addr(), "POST", "/v1/schedule", &body).unwrap();
 //! assert!(resp.is_ok());
 //! handle.shutdown().expect("clean shutdown");
 //! ```
@@ -52,37 +63,45 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod front;
 pub mod http;
+pub mod poll;
+pub mod router;
+pub mod shard;
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io;
-use std::io::Read as _;
-use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use cosa_repro::engine::{CacheStats, Engine, GcPolicy, StoreFormat};
 use cosa_repro::serve::{
-    scheduler_from_name, HealthResponse, LatencyRecorder, ScheduleRequest, ScheduleResponse,
+    scheduler_from_name, CommonArgs, HealthResponse, ScheduleRequest, ScheduleResponse,
     StatsResponse,
 };
 use cosa_spec::{canon, Arch, Network, Suite};
 
-use http::{read_request, write_response, Request};
+use front::{FrontConfig, FrontView, Handler, Routed};
+use http::Request;
 
-/// Daemon configuration. Fields are public; `Default` is a loopback
-/// ephemeral-port daemon with no persistence and GC off.
+/// Daemon configuration. Construct through [`ServeConfig::builder`];
+/// `Default` is a loopback ephemeral-port daemon with no persistence and
+/// GC off.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
     /// Worker threads handling requests.
     pub workers: usize,
-    /// Bound on queued (accepted, unhandled) connections; beyond it the
-    /// acceptor answers `429`.
+    /// Bound on queued (complete, undispatched) requests; beyond it the
+    /// event loop answers `429`.
     pub queue_capacity: usize,
+    /// Bound on simultaneously open connections; beyond it new accepts
+    /// are dropped outright. Idle and mid-parse connections are cheap
+    /// (one fd + a parse buffer), so this sits far above `workers`.
+    pub max_connections: usize,
     /// Shared persistent schedule-cache directory, when set.
     pub cache_dir: Option<PathBuf>,
     /// Cross-process solve-lock staleness bound (`None` = the engine's
@@ -118,6 +137,7 @@ impl Default for ServeConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             queue_capacity: 64,
+            max_connections: 1024,
             cache_dir: None,
             lock_staleness: None,
             noc: false,
@@ -131,22 +151,172 @@ impl Default for ServeConfig {
     }
 }
 
-/// Counters the daemon exposes through `/stats`.
+impl ServeConfig {
+    /// Start building a config from the defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServeConfig`] — the one way daemons, routers, probes and
+/// tests assemble a config, so a new field lands everywhere at once
+/// instead of in N struct literals.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    #[must_use]
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Worker threads handling requests.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Bound on queued complete requests before `429` shedding.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Bound on simultaneously open connections.
+    #[must_use]
+    pub fn max_connections(mut self, max: usize) -> Self {
+        self.config.max_connections = max;
+        self
+    }
+
+    /// Persistent schedule-cache directory.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Optional cache directory (CLI mapping convenience).
+    #[must_use]
+    pub fn maybe_cache_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.config.cache_dir = dir;
+        self
+    }
+
+    /// Cross-process solve-lock staleness bound.
+    #[must_use]
+    pub fn lock_staleness(mut self, staleness: Duration) -> Self {
+        self.config.lock_staleness = Some(staleness);
+        self
+    }
+
+    /// Enable engine-level NoC evaluation.
+    #[must_use]
+    pub fn noc(mut self, noc: bool) -> Self {
+        self.config.noc = noc;
+        self
+    }
+
+    /// Disk-tier storage format.
+    #[must_use]
+    pub fn cache_format(mut self, format: StoreFormat) -> Self {
+        self.config.cache_format = format;
+        self
+    }
+
+    /// Disk-tier GC policy.
+    #[must_use]
+    pub fn gc(mut self, gc: GcPolicy) -> Self {
+        self.config.gc = gc;
+        self
+    }
+
+    /// Run GC every this many served schedule requests (0 = startup only).
+    #[must_use]
+    pub fn gc_every(mut self, every: u64) -> Self {
+        self.config.gc_every = every;
+        self
+    }
+
+    /// Default architecture for requests that don't carry one.
+    #[must_use]
+    pub fn default_arch(mut self, arch: Arch) -> Self {
+        self.config.default_arch = arch;
+        self
+    }
+
+    /// Artificial per-request service delay (tests and load probes).
+    #[must_use]
+    pub fn request_delay(mut self, delay: Duration) -> Self {
+        self.config.request_delay = Some(delay);
+        self
+    }
+
+    /// Log one line per request to stdout.
+    #[must_use]
+    pub fn log_requests(mut self, log: bool) -> Self {
+        self.config.log_requests = log;
+        self
+    }
+
+    /// Apply the shared `--scheduler`/`--cache-format`/`--cache-dir`/
+    /// `--lock-staleness-secs`/`--noc` flag set parsed by
+    /// [`CommonArgs`] (the per-request scheduler choice does not live in
+    /// the daemon config and is ignored here).
+    #[must_use]
+    pub fn common(mut self, common: &CommonArgs) -> Self {
+        self.config.cache_format = common.cache_format;
+        self.config.lock_staleness = common.lock_staleness;
+        if common.cache_dir.is_some() {
+            self.config.cache_dir = common.cache_dir.clone();
+        }
+        if common.noc {
+            self.config.noc = true;
+        }
+        self
+    }
+
+    /// Finish: the assembled [`ServeConfig`].
+    #[must_use]
+    pub fn build(self) -> ServeConfig {
+        self.config
+    }
+}
+
+/// Strip the `/v1` version prefix, reporting whether the request used it.
+/// `/v1/schedule` → (`/schedule`, versioned); `/schedule` →
+/// (`/schedule`, unversioned — a deprecated alias when it matches a
+/// route).
+fn split_version(path: &str) -> (&str, bool) {
+    match path.strip_prefix("/v1") {
+        Some(rest) if rest.starts_with('/') => (rest, true),
+        _ => (path, false),
+    }
+}
+
+/// GC counters the engine handler exposes through `/v1/stats`.
 #[derive(Debug, Default)]
-struct Counters {
-    served: AtomicU64,
-    errors: AtomicU64,
-    rejected: AtomicU64,
+struct GcCounters {
     gc_runs: AtomicU64,
     gc_removed: AtomicU64,
     /// Schedule requests since the last GC sweep (drives `gc_every`).
     since_gc: AtomicU64,
 }
 
-/// Everything the acceptor, workers and handlers share.
-struct ServerState {
+/// The engine-backed request handler: everything above the transport.
+/// Owns the architecture-keyed engine map, the GC cadence and the
+/// `/v1/*` routing table; the [`front`] owns sockets, the queue and the
+/// latency/served/rejected counters.
+struct EngineHandler {
     config: ServeConfig,
-    addr: SocketAddr,
     /// Engines keyed by the canonical digest of their architecture; the
     /// default architecture's engine is created at startup (its warm load
     /// gates readiness), others lazily per request. All share one cache
@@ -154,17 +324,13 @@ struct ServerState {
     engines: Mutex<HashMap<String, Arc<Engine>>>,
     default_engine: Arc<Engine>,
     /// Cache counters folded in from non-retained (over-cap) engines, so
-    /// `/stats` never loses solver activity — a `--expect-warm` style
+    /// `/v1/stats` never loses solver activity — a `--expect-warm` style
     /// zero-solve check must see every miss, resident engine or not.
     overflow_stats: Mutex<CacheStats>,
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_ready: Condvar,
-    shutdown: AtomicBool,
-    counters: Counters,
-    latency: Mutex<LatencyRecorder>,
+    gc: GcCounters,
 }
 
-impl ServerState {
+impl EngineHandler {
     /// Bound on architecture-keyed engines kept resident. Each engine
     /// carries its own in-memory cache front (warm-loaded from the shared
     /// dir), so an attacker mutating one arch field per request must not
@@ -174,7 +340,7 @@ impl ServerState {
     /// The engine for a request's architecture (the default engine when
     /// the request carries none or repeats the default), plus whether it
     /// is retained in the resident map. Callers must fold a non-retained
-    /// engine's counters into [`ServerState::overflow_stats`] when done
+    /// engine's counters into [`EngineHandler::overflow_stats`] when done
     /// with it.
     fn engine_for(&self, arch: Option<Arch>) -> io::Result<(Arc<Engine>, bool)> {
         let Some(arch) = arch else {
@@ -193,7 +359,7 @@ impl ServerState {
         let mut engines = self.engines.lock().expect("engines lock");
         // A racing request for the same arch may have inserted first;
         // keep the incumbent (replacing it would discard its cache
-        // counters and make /stats deltas go backwards).
+        // counters and make /v1/stats deltas go backwards).
         if let Some(existing) = engines.get(&key) {
             return Ok((existing.clone(), true));
         }
@@ -255,8 +421,8 @@ impl ServerState {
         if let Some(result) = self.default_engine.gc_store(&self.config.gc) {
             match result {
                 Ok(report) => {
-                    self.counters.gc_runs.fetch_add(1, Ordering::Relaxed);
-                    self.counters
+                    self.gc.gc_runs.fetch_add(1, Ordering::Relaxed);
+                    self.gc
                         .gc_removed
                         .fetch_add(report.removed as u64, Ordering::Relaxed);
                     if self.config.log_requests {
@@ -273,36 +439,153 @@ impl ServerState {
 
     /// Count a served schedule request and trigger the every-N GC sweep.
     fn after_schedule_request(&self) {
-        self.counters.served.fetch_add(1, Ordering::Relaxed);
         if self.config.gc_every == 0 {
             return;
         }
-        let since = self.counters.since_gc.fetch_add(1, Ordering::Relaxed) + 1;
+        let since = self.gc.since_gc.fetch_add(1, Ordering::Relaxed) + 1;
         if since >= self.config.gc_every {
-            self.counters.since_gc.store(0, Ordering::Relaxed);
+            self.gc.since_gc.store(0, Ordering::Relaxed);
             self.run_gc("periodic");
         }
     }
 
-    fn begin_shutdown(&self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return; // Already shutting down.
+    fn handle_schedule(&self, body: &str) -> (u16, String) {
+        let request: ScheduleRequest = match serde_json::from_str(body) {
+            Ok(r) => r,
+            Err(e) => return (400, error_body(&format!("malformed request JSON: {e}"))),
+        };
+        if let Err(msg) = request.work_item() {
+            return (400, error_body(&msg));
         }
-        self.queue_ready.notify_all();
-        // Unblock the acceptor's blocking `accept` with a dummy connect;
-        // it observes the flag before queueing. An unspecified bind IP
-        // (0.0.0.0 / [::]) is not itself connectable everywhere, so dial
-        // the loopback of the same family instead.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            let loopback: std::net::IpAddr = if wake.is_ipv4() {
-                std::net::Ipv4Addr::LOCALHOST.into()
-            } else {
-                std::net::Ipv6Addr::LOCALHOST.into()
-            };
-            wake.set_ip(loopback);
+        // Derived deserialization accepts structurally valid but
+        // semantically broken architectures (no levels, NoC level out of
+        // range, ...); validate before any solver code can trip over one.
+        if let Some(arch) = &request.arch {
+            if let Err(e) = arch.validate() {
+                return (400, error_body(&format!("invalid architecture: {e}")));
+            }
         }
-        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        // Resolve the work item before touching an engine: a bad suite
+        // name must not cost a lazy engine build.
+        let network = match (&request.network, &request.suite) {
+            (Some(network), _) => Some(network.clone()),
+            (None, Some(name)) => match name.parse::<Suite>() {
+                Ok(suite) => Some(Network::from_suite(suite)),
+                Err(e) => return (400, error_body(&e.to_string())),
+            },
+            (None, None) => None, // work_item() guarantees `layer` is set.
+        };
+
+        let (engine, retained) = match self.engine_for(request.arch.clone()) {
+            Ok(engine) => engine,
+            Err(e) => return (500, error_body(&format!("engine unavailable: {e}"))),
+        };
+        let scheduler_name = request.scheduler.as_deref().unwrap_or("cosa");
+        let scheduler = match scheduler_from_name(scheduler_name, engine.arch()) {
+            Ok(s) => s,
+            Err(msg) => return (400, error_body(&msg)),
+        };
+
+        let outcome = match (&request.layer, network) {
+            (Some(layer), _) => engine
+                .schedule_layer(scheduler.as_ref(), layer)
+                .map(ScheduleResponse::from_scheduled)
+                .map_err(|e| e.to_string()),
+            (None, Some(network)) => {
+                let run = engine.schedule_network(&network, scheduler.as_ref());
+                Ok(ScheduleResponse::from_report(run.report))
+            }
+            (None, None) => unreachable!("work_item() guarantees one item"),
+        };
+        // A non-retained engine is dropped here; bank its counters so
+        // /v1/stats still accounts for the solver work it did.
+        if !retained {
+            self.fold_overflow_stats(&engine);
+        }
+        match outcome {
+            Ok(response) => {
+                self.after_schedule_request();
+                (
+                    200,
+                    serde_json::to_string(&response).expect("response serializes"),
+                )
+            }
+            Err(message) => (422, error_body(&message)),
+        }
+    }
+
+    fn handle_stats(&self, front: &FrontView<'_>) -> String {
+        let engines = self.engines.lock().expect("engines lock").len();
+        let cache = self.summed_cache_stats();
+        let (p50_micros, p99_micros, max_micros) = front.latency_micros();
+        let stats = StatsResponse {
+            served: front.served(),
+            errors: front.errors(),
+            rejected: front.rejected(),
+            queue_depth: front.queue_depth(),
+            queue_capacity: front.queue_capacity(),
+            workers: front.workers(),
+            engines,
+            p50_micros,
+            p99_micros,
+            max_micros,
+            gc_runs: self.gc.gc_runs.load(Ordering::Relaxed),
+            gc_removed: self.gc.gc_removed.load(Ordering::Relaxed),
+            cache,
+        };
+        serde_json::to_string(&stats).expect("stats serialize")
+    }
+
+    fn handle_healthz(&self) -> String {
+        let health = HealthResponse {
+            status: "ok".to_string(),
+            warm_entries: self.default_engine.cache_stats().warm_entries,
+            cache_dir: self
+                .config
+                .cache_dir
+                .as_ref()
+                .map(|d| d.display().to_string()),
+            noc: self.config.noc,
+        };
+        serde_json::to_string(&health).expect("health serializes")
+    }
+}
+
+impl Handler for EngineHandler {
+    fn handle(&self, request: &Request, front: FrontView<'_>) -> Routed {
+        let (path, versioned) = split_version(&request.path);
+        let deprecated = !versioned;
+        match (request.method.as_str(), path) {
+            ("POST", "/schedule") => {
+                let (status, body) = self.handle_schedule(&request.body);
+                Routed {
+                    status,
+                    body,
+                    deprecated,
+                    shutdown: false,
+                }
+            }
+            ("GET", "/stats") => Routed {
+                status: 200,
+                body: self.handle_stats(&front),
+                deprecated,
+                shutdown: false,
+            },
+            ("GET", "/healthz") => Routed {
+                status: 200,
+                body: self.handle_healthz(),
+                deprecated,
+                shutdown: false,
+            },
+            ("POST", "/shutdown") => Routed {
+                status: 200,
+                body: error_body("shutting down: draining in-flight requests"),
+                deprecated,
+                shutdown: true,
+            },
+            ("POST" | "GET", _) => Routed::new(404, error_body(&format!("no route {path}"))),
+            (method, _) => Routed::new(405, error_body(&format!("method {method} not allowed"))),
+        }
     }
 }
 
@@ -339,7 +622,7 @@ fn build_engine(config: &ServeConfig, arch: Arch, cache_bytes: u64) -> io::Resul
 }
 
 /// Accumulate one engine's counters into a running total.
-fn add_cache_stats(total: &mut CacheStats, s: CacheStats) {
+pub(crate) fn add_cache_stats(total: &mut CacheStats, s: CacheStats) {
     total.hits += s.hits;
     total.misses += s.misses;
     total.evictions += s.evictions;
@@ -387,9 +670,13 @@ fn add_cache_stats(total: &mut CacheStats, s: CacheStats) {
     total.backend_wins.sort_by(|a, b| a.backend.cmp(&b.backend));
 }
 
+fn error_body(message: &str) -> String {
+    serde_json::to_string(&ScheduleResponse::from_error(message)).expect("error serializes")
+}
+
 /// The daemon. [`Server::start`] warm-starts the default engine, runs the
-/// startup GC sweep, binds the listener and spawns the acceptor + worker
-/// pool, returning a [`ServerHandle`].
+/// startup GC sweep, binds the listener and spawns the event loop +
+/// worker pool, returning a [`ServerHandle`].
 pub struct Server;
 
 impl Server {
@@ -402,83 +689,66 @@ impl Server {
     pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         // Warm start before binding: a connectable daemon is a ready one.
         let default_engine = build_engine(&config, config.default_arch.clone(), 0)?;
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
 
         let mut engines = HashMap::new();
         engines.insert(arch_digest(default_engine.arch()), default_engine.clone());
-        let state = Arc::new(ServerState {
-            addr,
+        let handler = Arc::new(EngineHandler {
             engines: Mutex::new(engines),
             default_engine,
-            queue: Mutex::new(VecDeque::new()),
-            queue_ready: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
-            latency: Mutex::new(LatencyRecorder::new()),
             overflow_stats: Mutex::new(CacheStats::default()),
-            config,
+            gc: GcCounters::default(),
+            config: config.clone(),
         });
-        state.run_gc("startup");
+        handler.run_gc("startup");
 
-        let mut workers = Vec::with_capacity(state.config.workers.max(1));
-        for i in 0..state.config.workers.max(1) {
-            let state = state.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("cosa-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&state))?,
-            );
-        }
-        let acceptor = {
-            let state = state.clone();
-            std::thread::Builder::new()
-                .name("cosa-serve-acceptor".to_string())
-                .spawn(move || acceptor_loop(&listener, &state))?
-        };
+        let front = front::start(
+            FrontConfig {
+                addr: config.addr.clone(),
+                workers: config.workers,
+                queue_capacity: config.queue_capacity,
+                max_connections: config.max_connections,
+                request_delay: config.request_delay,
+                log_requests: config.log_requests,
+            },
+            handler.clone(),
+        )?;
 
-        if state.config.log_requests {
+        if config.log_requests {
             println!(
-                "[serve] listening on {addr} — {} workers, queue {} — {} warm entries{}",
-                state.config.workers,
-                state.config.queue_capacity,
-                state.default_engine.cache_stats().warm_entries,
-                state
-                    .config
+                "[serve] listening on {} — {} workers, queue {} — {} warm entries{}",
+                front.addr(),
+                config.workers,
+                config.queue_capacity,
+                handler.default_engine.cache_stats().warm_entries,
+                config
                     .cache_dir
                     .as_ref()
                     .map(|d| format!(", cache dir {}", d.display()))
                     .unwrap_or_default(),
             );
         }
-        Ok(ServerHandle {
-            state,
-            acceptor,
-            workers,
-        })
+        Ok(ServerHandle { front })
     }
 }
 
 /// A running daemon: its bound address plus shutdown/join control.
 pub struct ServerHandle {
-    state: Arc<ServerState>,
-    acceptor: std::thread::JoinHandle<()>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    front: front::FrontHandle,
 }
 
 impl ServerHandle {
     /// The bound address (resolves `:0` to the actual ephemeral port).
-    pub fn addr(&self) -> SocketAddr {
-        self.state.addr
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.front.addr()
     }
 
-    /// Signal shutdown without waiting: stop accepting, let workers drain
-    /// the queue. Idempotent.
+    /// Signal shutdown without waiting: stop dispatching, answer new
+    /// arrivals `503`, let workers drain the queue. Idempotent.
     pub fn begin_shutdown(&self) {
-        self.state.begin_shutdown();
+        self.front.begin_shutdown();
     }
 
-    /// Block until the daemon exits (a `POST /shutdown` or a prior
+    /// Block until the daemon exits (a `POST /v1/shutdown` or a prior
     /// [`ServerHandle::begin_shutdown`]). In-flight and queued requests
     /// finish first.
     ///
@@ -486,12 +756,7 @@ impl ServerHandle {
     ///
     /// Returns an error when a daemon thread panicked.
     pub fn join(self) -> io::Result<()> {
-        let panicked = |_| io::Error::other("daemon thread panicked");
-        self.acceptor.join().map_err(panicked)?;
-        for worker in self.workers {
-            worker.join().map_err(panicked)?;
-        }
-        Ok(())
+        self.front.join()
     }
 
     /// Graceful shutdown: [`ServerHandle::begin_shutdown`] then
@@ -504,305 +769,4 @@ impl ServerHandle {
         self.begin_shutdown();
         self.join()
     }
-}
-
-/// Answer a connection whose request we never read (shed or shutdown),
-/// then close it politely: half-close our side and drain whatever the
-/// peer already sent. Dropping a socket with unread bytes pending makes
-/// the kernel send RST, which clobbers the response before the client can
-/// read it — the drain turns the close into an orderly FIN.
-fn reject_connection(mut conn: TcpStream, status: u16, message: &str) {
-    let body = error_body(message);
-    let _ = write_response(&mut conn, status, &body);
-    let _ = conn.shutdown(std::net::Shutdown::Write);
-    // Bounded politeness: drain at most 64 KiB for at most 2 seconds. A
-    // well-behaved peer's request is long gone by then; a byte-trickling
-    // one gets its reset after the deadline instead of pinning a thread.
-    let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
-    let deadline = Instant::now() + Duration::from_secs(2);
-    let mut sink = [0u8; 4096];
-    let mut drained = 0usize;
-    while drained < 64 * 1024 && Instant::now() < deadline {
-        match conn.read(&mut sink) {
-            Ok(n) if n > 0 => drained += n,
-            _ => break,
-        }
-    }
-}
-
-/// Cap on concurrent 429-rejector threads. Beyond it, shed connections
-/// are dropped outright (the peer sees a reset): under a flood that is
-/// the honest signal, and it keeps overload from converting into
-/// unbounded thread spawn.
-const MAX_REJECTOR_THREADS: usize = 32;
-
-fn acceptor_loop(listener: &TcpListener, state: &ServerState) {
-    let rejectors = Arc::new(AtomicUsize::new(0));
-    for stream in listener.incoming() {
-        if state.shutdown.load(Ordering::SeqCst) {
-            if let Ok(conn) = stream {
-                reject_connection(conn, 503, "daemon is shutting down");
-            }
-            break;
-        }
-        let Ok(conn) = stream else { continue };
-        let mut queue = state.queue.lock().expect("queue lock");
-        // Re-check under the queue lock: begin_shutdown may have landed
-        // since the loop-top check, and workers that already observed
-        // shutdown + empty queue have exited — a connection pushed now
-        // would never be served.
-        if state.shutdown.load(Ordering::SeqCst) {
-            drop(queue);
-            reject_connection(conn, 503, "daemon is shutting down");
-            break;
-        }
-        if queue.len() >= state.config.queue_capacity {
-            drop(queue);
-            state.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            if state.config.log_requests {
-                println!("[serve] 429 queue full");
-            }
-            // Off-thread: the drain can wait on a slow peer for up to
-            // 2s, and the acceptor must keep accepting meanwhile.
-            if rejectors.fetch_add(1, Ordering::Relaxed) < MAX_REJECTOR_THREADS {
-                let rejectors = rejectors.clone();
-                std::thread::spawn(move || {
-                    reject_connection(conn, 429, "request queue full, retry later");
-                    rejectors.fetch_sub(1, Ordering::Relaxed);
-                });
-            } else {
-                // Over the rejector budget: drop without ceremony.
-                rejectors.fetch_sub(1, Ordering::Relaxed);
-            }
-            continue;
-        }
-        queue.push_back(conn);
-        drop(queue);
-        state.queue_ready.notify_one();
-    }
-}
-
-fn worker_loop(state: &ServerState) {
-    loop {
-        let conn = {
-            let mut queue = state.queue.lock().expect("queue lock");
-            loop {
-                if let Some(conn) = queue.pop_front() {
-                    break Some(conn);
-                }
-                if state.shutdown.load(Ordering::SeqCst) {
-                    break None;
-                }
-                let (q, _) = state
-                    .queue_ready
-                    .wait_timeout(queue, Duration::from_millis(100))
-                    .expect("queue lock");
-                queue = q;
-            }
-        };
-        match conn {
-            Some(mut conn) => {
-                // Validation keeps panics out of the normal path, but a
-                // worker must survive the abnormal one: without this, a
-                // single panicking request permanently shrinks the pool
-                // until the daemon accepts connections it never serves.
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_connection(state, &mut conn)
-                }));
-                if outcome.is_err() {
-                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    let body = error_body("internal error handling request");
-                    let _ = write_response(&mut conn, 500, &body);
-                    eprintln!("[serve] worker caught a request panic (500 returned)");
-                }
-            }
-            // Shutdown observed with an empty queue: every accepted
-            // connection has been drained.
-            None => return,
-        }
-    }
-}
-
-fn error_body(message: &str) -> String {
-    serde_json::to_string(&ScheduleResponse::from_error(message)).expect("error serializes")
-}
-
-fn handle_connection(state: &ServerState, conn: &mut TcpStream) {
-    let request = match read_request(conn) {
-        Ok(request) => request,
-        Err(e) => {
-            state.counters.errors.fetch_add(1, Ordering::Relaxed);
-            // The request may be partially unread; close politely (see
-            // `reject_connection`) so the peer reads the 400, not a reset.
-            if let Ok(conn) = conn.try_clone() {
-                reject_connection(conn, 400, &format!("bad request: {e}"));
-            }
-            return;
-        }
-    };
-    let started = Instant::now();
-    if let Some(delay) = state.config.request_delay {
-        std::thread::sleep(delay);
-    }
-    let (status, body, shutdown_after) = route(state, &request);
-    let _ = write_response(conn, status, &body);
-    let micros = started.elapsed().as_micros() as u64;
-
-    if request.path == "/schedule" {
-        state.latency.lock().expect("latency lock").record(micros);
-        if status == 200 {
-            state.after_schedule_request();
-        }
-    }
-    if status != 200 {
-        state.counters.errors.fetch_add(1, Ordering::Relaxed);
-    }
-    if state.config.log_requests {
-        println!(
-            "[serve] {} {} {status} {micros}µs",
-            request.method, request.path
-        );
-    }
-    if shutdown_after {
-        state.begin_shutdown();
-    }
-}
-
-/// Dispatch one parsed request, returning `(status, body, shutdown?)`.
-fn route(state: &ServerState, request: &Request) -> (u16, String, bool) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/schedule") => {
-            let (status, body) = handle_schedule(state, &request.body);
-            (status, body, false)
-        }
-        ("GET", "/stats") => (200, handle_stats(state), false),
-        ("GET", "/healthz") => (200, handle_healthz(state), false),
-        ("POST", "/shutdown") => {
-            let body = serde_json::to_string(&ScheduleResponse::from_error(
-                "shutting down: draining in-flight requests",
-            ))
-            .expect("serializes");
-            (200, body, true)
-        }
-        ("POST" | "GET", _) => (
-            404,
-            error_body(&format!("no route {}", request.path)),
-            false,
-        ),
-        (method, _) => (
-            405,
-            error_body(&format!("method {method} not allowed")),
-            false,
-        ),
-    }
-}
-
-fn handle_schedule(state: &ServerState, body: &str) -> (u16, String) {
-    let request: ScheduleRequest = match serde_json::from_str(body) {
-        Ok(r) => r,
-        Err(e) => return (400, error_body(&format!("malformed request JSON: {e}"))),
-    };
-    if let Err(msg) = request.work_item() {
-        return (400, error_body(&msg));
-    }
-    // Derived deserialization accepts structurally valid but semantically
-    // broken architectures (no levels, NoC level out of range, ...);
-    // validate before any solver code can trip over one.
-    if let Some(arch) = &request.arch {
-        if let Err(e) = arch.validate() {
-            return (400, error_body(&format!("invalid architecture: {e}")));
-        }
-    }
-    // Resolve the work item before touching an engine: a bad suite name
-    // must not cost a lazy engine build.
-    let network = match (&request.network, &request.suite) {
-        (Some(network), _) => Some(network.clone()),
-        (None, Some(name)) => match name.parse::<Suite>() {
-            Ok(suite) => Some(Network::from_suite(suite)),
-            Err(e) => return (400, error_body(&e.to_string())),
-        },
-        (None, None) => None, // work_item() guarantees `layer` is set.
-    };
-
-    let (engine, retained) = match state.engine_for(request.arch.clone()) {
-        Ok(engine) => engine,
-        Err(e) => return (500, error_body(&format!("engine unavailable: {e}"))),
-    };
-    let scheduler_name = request.scheduler.as_deref().unwrap_or("cosa");
-    let scheduler = match scheduler_from_name(scheduler_name, engine.arch()) {
-        Ok(s) => s,
-        Err(msg) => return (400, error_body(&msg)),
-    };
-
-    let outcome = match (&request.layer, network) {
-        (Some(layer), _) => engine
-            .schedule_layer(scheduler.as_ref(), layer)
-            .map(ScheduleResponse::from_scheduled)
-            .map_err(|e| e.to_string()),
-        (None, Some(network)) => {
-            let run = engine.schedule_network(&network, scheduler.as_ref());
-            Ok(ScheduleResponse::from_report(run.report))
-        }
-        (None, None) => unreachable!("work_item() guarantees one item"),
-    };
-    // A non-retained engine is dropped here; bank its counters so /stats
-    // still accounts for the solver work it did.
-    if !retained {
-        state.fold_overflow_stats(&engine);
-    }
-    match outcome {
-        Ok(response) => (
-            200,
-            serde_json::to_string(&response).expect("response serializes"),
-        ),
-        Err(message) => (422, error_body(&message)),
-    }
-}
-
-fn handle_stats(state: &ServerState) -> String {
-    // One lock per statement: a guard created inside the struct literal
-    // would live to the end of the whole statement, overlapping the other
-    // locks (summed_cache_stats re-locks `engines`, which self-deadlocks a
-    // non-reentrant mutex, and a live `queue` guard wedges every worker).
-    let queue_depth = state.queue.lock().expect("queue lock").len();
-    let engines = state.engines.lock().expect("engines lock").len();
-    let cache = state.summed_cache_stats();
-    let (p50_micros, p99_micros, max_micros) = {
-        let latency = state.latency.lock().expect("latency lock");
-        (
-            latency.percentile(0.50),
-            latency.percentile(0.99),
-            latency.max(),
-        )
-    };
-    let stats = StatsResponse {
-        served: state.counters.served.load(Ordering::Relaxed),
-        errors: state.counters.errors.load(Ordering::Relaxed),
-        rejected: state.counters.rejected.load(Ordering::Relaxed),
-        queue_depth,
-        queue_capacity: state.config.queue_capacity,
-        workers: state.config.workers,
-        engines,
-        p50_micros,
-        p99_micros,
-        max_micros,
-        gc_runs: state.counters.gc_runs.load(Ordering::Relaxed),
-        gc_removed: state.counters.gc_removed.load(Ordering::Relaxed),
-        cache,
-    };
-    serde_json::to_string(&stats).expect("stats serialize")
-}
-
-fn handle_healthz(state: &ServerState) -> String {
-    let health = HealthResponse {
-        status: "ok".to_string(),
-        warm_entries: state.default_engine.cache_stats().warm_entries,
-        cache_dir: state
-            .config
-            .cache_dir
-            .as_ref()
-            .map(|d| d.display().to_string()),
-        noc: state.config.noc,
-    };
-    serde_json::to_string(&health).expect("health serializes")
 }

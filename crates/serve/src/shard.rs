@@ -1,0 +1,170 @@
+//! Consistent hashing of canonical cache-key digests onto a fleet of
+//! shard daemons.
+//!
+//! The cache already names every schedule by a canonical digest
+//! (`cosa_spec::canon` — see `Engine::cache_key` and
+//! [`cosa_repro::serve::routing_digest`]); the ring maps each digest to
+//! exactly one shard, so a shard's memory LRU and single-flight map stay
+//! hot for *its* slice of the keyspace and the fleet solves each digest
+//! once. Classic ring construction: every shard contributes
+//! [`HashRing::REPLICAS`] virtual points (hash of `addr#replica`), a key
+//! hashes to a point, and the first shard point clockwise owns it —
+//! adding or removing one shard only remaps the `1/N` of the keyspace
+//! adjacent to its points.
+//!
+//! Both the `cosa-router` daemon and `serve_probe --shards` (client-side
+//! sharding) route through this type, so they always agree on ownership.
+
+use cosa_spec::canon;
+
+/// A consistent-hash ring over shard addresses.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    shards: Vec<String>,
+    /// `(point, shard index)` sorted by point — the ring, flattened.
+    points: Vec<(u64, usize)>,
+}
+
+/// Hash anything onto the ring's `u64` point space: both 64-bit halves
+/// of the canonical digest, folded together and run through a strong
+/// bit-mix finalizer (the murmur3 fmix64 constants).
+///
+/// The finalizer matters: the digest is FNV-1a, whose raw output
+/// clusters badly for short, similar inputs — exactly what the
+/// `addr#replica` virtual-point names are. Without it a 3-shard ring
+/// splits the keyspace as unevenly as 56/8/35 and small workloads land
+/// entirely on one shard.
+fn ring_point(key: &str) -> u64 {
+    let digest = canon::digest128_hex(key.as_bytes());
+    let lo = u64::from_str_radix(&digest[..16], 16).expect("digest is hex");
+    let hi = u64::from_str_radix(&digest[16..], 16).expect("digest is hex");
+    let mut x = lo ^ hi.rotate_left(32);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+impl HashRing {
+    /// Virtual points per shard. Enough that a 3-shard fleet splits the
+    /// keyspace within a few percent of evenly; small enough that ring
+    /// construction is trivially cheap.
+    pub const REPLICAS: usize = 64;
+
+    /// Build a ring over `shards` (typically `host:port` strings). Order
+    /// does not matter: the same set always yields the same ring, which
+    /// is what lets the router and client-side sharding agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is empty — an empty fleet cannot own keys.
+    pub fn new(shards: Vec<String>) -> HashRing {
+        assert!(!shards.is_empty(), "hash ring needs at least one shard");
+        let mut points = Vec::with_capacity(shards.len() * Self::REPLICAS);
+        for (index, shard) in shards.iter().enumerate() {
+            for replica in 0..Self::REPLICAS {
+                points.push((ring_point(&format!("{shard}#{replica}")), index));
+            }
+        }
+        // Ties (a 1-in-2^64 event) resolve by shard index, keeping the
+        // ring deterministic regardless of input order after the sort.
+        points.sort_unstable();
+        HashRing { shards, points }
+    }
+
+    /// The shards the ring was built over, in construction order.
+    pub fn shards(&self) -> &[String] {
+        &self.shards
+    }
+
+    /// The shard owning `key` (a canonical digest, but any string keys
+    /// consistently): the first ring point clockwise from the key's hash.
+    pub fn owner(&self, key: &str) -> &str {
+        let point = ring_point(key);
+        let at = self
+            .points
+            .partition_point(|(p, _)| *p < point)
+            .checked_rem(self.points.len())
+            .expect("ring is non-empty");
+        &self.shards[self.points[at].1]
+    }
+
+    /// The index (into [`HashRing::shards`]) of the shard owning `key`.
+    pub fn owner_index(&self, key: &str) -> usize {
+        let point = ring_point(key);
+        let at = self
+            .points
+            .partition_point(|(p, _)| *p < point)
+            .checked_rem(self.points.len())
+            .expect("ring is non-empty");
+        self.points[at].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_order_independent() {
+        let a = HashRing::new(fleet(3));
+        let mut reversed = fleet(3);
+        reversed.reverse();
+        let b = HashRing::new(reversed);
+        for i in 0..200 {
+            let key = canon::digest128_hex(format!("key-{i}").as_bytes());
+            assert_eq!(
+                a.owner(&key),
+                b.owner(&key),
+                "shard-set order must not matter"
+            );
+            assert_eq!(a.owner(&key), a.owner(&key));
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_every_shard() {
+        let ring = HashRing::new(fleet(3));
+        let mut counts = [0usize; 3];
+        for i in 0..600 {
+            let key = canon::digest128_hex(format!("key-{i}").as_bytes());
+            counts[ring.owner_index(&key)] += 1;
+        }
+        for (i, count) in counts.iter().enumerate() {
+            assert!(
+                *count > 600 / 5,
+                "shard {i} owns {count}/600 keys — ring is badly skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_remaps_its_keys() {
+        let three = HashRing::new(fleet(3));
+        let two = HashRing::new(fleet(2));
+        let (mut stable, mut moved) = (0usize, 0usize);
+        for i in 0..600 {
+            let key = canon::digest128_hex(format!("key-{i}").as_bytes());
+            let owner = three.owner(&key);
+            if owner == three.shards()[2] {
+                continue; // Owned by the removed shard: must remap.
+            }
+            if two.owner(&key) == owner {
+                stable += 1;
+            } else {
+                moved += 1;
+            }
+        }
+        assert!(
+            moved * 10 < stable,
+            "consistent hashing must keep surviving shards' keys in place \
+             (stable {stable}, moved {moved})"
+        );
+    }
+}

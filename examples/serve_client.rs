@@ -1,6 +1,6 @@
 //! Serving quickstart: start an in-process `cosa-serve` daemon with a
 //! persistent cache dir, schedule a layer and a network over HTTP, show
-//! the cache doing its job via `/stats`, then shut down gracefully.
+//! the cache doing its job via `/v1/stats`, then shut down gracefully.
 //!
 //! Run with: `cargo run --release --example serve_client`
 //!
@@ -14,16 +14,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A daemon on an ephemeral port, persisting schedules next to the
     // other example/bench artifacts. `cosa_serve` is the standalone
     // binary with the same knobs.
-    let handle = Server::start(ServeConfig {
-        cache_dir: Some(".cosa-serve-example-cache".into()),
-        gc: GcPolicy::default().with_max_bytes(64 * 1024 * 1024),
-        ..ServeConfig::default()
-    })?;
+    let handle = Server::start(
+        ServeConfig::builder()
+            .cache_dir(".cosa-serve-example-cache")
+            .gc(GcPolicy::default().with_max_bytes(64 * 1024 * 1024))
+            .build(),
+    )?;
     let addr = handle.addr();
     println!("daemon listening on http://{addr}");
 
     let health: HealthResponse =
-        serde_json::from_str(&http::request(addr, "GET", "/healthz", "")?.body)?;
+        serde_json::from_str(&http::request(addr, "GET", "/v1/healthz", "")?.body)?;
     println!(
         "healthz: {} ({} warm entries)\n",
         health.status, health.warm_entries
@@ -32,7 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One layer through the fast `random` scheduler.
     let layer = Layer::conv("demo", 3, 3, 8, 8, 16, 16, 1, 1, 1);
     let request = ScheduleRequest::for_layer(layer).with_scheduler("random");
-    let resp = http::request(addr, "POST", "/schedule", &serde_json::to_string(&request)?)?;
+    let resp = http::request(
+        addr,
+        "POST",
+        "/v1/schedule",
+        &serde_json::to_string(&request)?,
+    )?;
     let answer: ScheduleResponse = serde_json::from_str(&resp.body)?;
     let scheduled = answer.scheduled.expect("layer answer");
     println!(
@@ -48,7 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     network.layers.truncate(8);
     network.name = "ResNet-50 (conv1 + conv2 stage)".to_string();
     let request = ScheduleRequest::for_network(network).with_scheduler("random");
-    let resp = http::request(addr, "POST", "/schedule", &serde_json::to_string(&request)?)?;
+    let resp = http::request(
+        addr,
+        "POST",
+        "/v1/schedule",
+        &serde_json::to_string(&request)?,
+    )?;
     let answer: ScheduleResponse = serde_json::from_str(&resp.body)?;
     let report = answer.report.expect("network answer");
     println!(
@@ -60,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let stats: StatsResponse =
-        serde_json::from_str(&http::request(addr, "GET", "/stats", "")?.body)?;
+        serde_json::from_str(&http::request(addr, "GET", "/v1/stats", "")?.body)?;
     println!(
         "stats: {} served, cache {} hits / {} misses, p99 {}µs, {} gc runs\n",
         stats.served, stats.cache.hits, stats.cache.misses, stats.p99_micros, stats.gc_runs,

@@ -9,32 +9,134 @@
 //! same schema — responses are canonically serialized by the workspace
 //! serde, so identical inputs yield byte-identical bodies.
 //!
-//! Endpoints (served by `cosa-serve`):
+//! Endpoints (served by `cosa-serve` under `/v1/`, with the unversioned
+//! paths kept as deprecated aliases that answer with a
+//! `Deprecation: true` header):
 //!
-//! * `POST /schedule` — a [`ScheduleRequest`] naming a layer, an inline
+//! * `POST /v1/schedule` — a [`ScheduleRequest`] naming a layer, an inline
 //!   network or a suite; answers a [`ScheduleResponse`].
-//! * `GET /stats` — a [`StatsResponse`]: cache counters plus request
+//! * `GET /v1/stats` — a [`StatsResponse`]: cache counters plus request
 //!   counters and latency percentiles.
-//! * `GET /healthz` — a [`HealthResponse`]; ready means the warm start
+//! * `GET /v1/healthz` — a [`HealthResponse`]; ready means the warm start
 //!   (cache-dir load) already happened.
-//! * `POST /shutdown` — graceful shutdown: stop accepting, drain in-flight
-//!   requests, exit.
+//! * `POST /v1/shutdown` — graceful shutdown: stop accepting, drain
+//!   in-flight requests, exit.
 //!
 //! The offline serde treats a missing request field as an error, so
 //! [`ScheduleRequest`] deserialization is hand-written: absent and `null`
 //! fields both mean "default". Responses always carry every field.
+//!
+//! This module also owns the shared pieces every serving process needs:
+//! the [`CommonArgs`] CLI parser (`--scheduler`/`--cache-format`/
+//! `--cache-dir`/`--lock-staleness-secs`/`--noc`, one implementation for
+//! `cosa_serve`, `cosa_router`, `serve_probe` and `engine_probe`) and the
+//! [`routing_digest`] that consistent-hash sharding keys on.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use cosa_core::CosaScheduler;
 use cosa_mappers::{HybridConfig, HybridMapper, RandomMapper, SearchLimits};
 use cosa_sat::SatScheduler;
-use cosa_spec::{Arch, Layer, Network, Suite};
+use cosa_spec::{canon, Arch, Layer, Network, Suite};
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 use crate::api::{PortfolioScheduler, Scheduled, Scheduler};
 use crate::engine::CacheStats;
 use crate::engine::NetworkReport;
+use crate::engine::StoreFormat;
+
+/// The value following `--flag` in `args`, when present.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parse the value following `--flag`, panicking with the flag name on
+/// malformed input (the binaries fail fast on bad invocations).
+pub fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("bad value `{v}` for {flag}"))
+    })
+}
+
+/// The scheduler/cache flag set shared by every serving binary
+/// (`cosa_serve`, `cosa_router`, `serve_probe`, `engine_probe`) — one
+/// parser so `--scheduler`, `--cache-format`, `--cache-dir`,
+/// `--lock-staleness-secs` and `--noc` cannot drift apart between the
+/// daemon and the probes that must hit its cache entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonArgs {
+    /// `--scheduler NAME` (default `cosa`); validated lazily by
+    /// [`scheduler_from_name`] so the error names the valid set.
+    pub scheduler: String,
+    /// `--cache-format segment|legacy` (default segment).
+    pub cache_format: StoreFormat,
+    /// `--lock-staleness-secs N` (`None` = the engine default).
+    pub lock_staleness: Option<Duration>,
+    /// `--cache-dir PATH`, falling back to `COSA_CACHE_DIR`.
+    pub cache_dir: Option<PathBuf>,
+    /// `--noc` present.
+    pub noc: bool,
+}
+
+impl CommonArgs {
+    /// Parse the shared flags out of `args` (unrelated flags are left for
+    /// the caller). Panics with the flag name on a malformed value.
+    pub fn parse(args: &[String]) -> CommonArgs {
+        let cache_format = match flag_value(args, "--cache-format") {
+            Some(name) => StoreFormat::parse(&name)
+                .unwrap_or_else(|| panic!("bad value `{name}` for --cache-format")),
+            None => StoreFormat::default(),
+        };
+        CommonArgs {
+            scheduler: flag_value(args, "--scheduler").unwrap_or_else(|| "cosa".to_string()),
+            cache_format,
+            lock_staleness: parse_flag::<u64>(args, "--lock-staleness-secs")
+                .map(Duration::from_secs),
+            cache_dir: flag_value(args, "--cache-dir")
+                .or_else(|| std::env::var("COSA_CACHE_DIR").ok())
+                .map(Into::into),
+            noc: args.iter().any(|a| a == "--noc"),
+        }
+    }
+}
+
+/// The digest consistent-hash sharding routes a request by.
+///
+/// For single-layer requests this is exactly the engine's cache key
+/// (scheduler fingerprint + canonical arch JSON + canonical layer JSON —
+/// see `Engine::cache_key`), so every request that would produce the same
+/// cache entry lands on the same shard and the fleet solves each digest
+/// exactly once. Network/suite requests hash their canonical request JSON
+/// instead: identical requests still colocate (their per-layer entries
+/// all warm the same shard), which is the property the fleet needs —
+/// per-layer placement cannot apply to a request that fans out into many
+/// layers server-side.
+pub fn routing_digest(request: &ScheduleRequest, default_arch: &Arch) -> String {
+    let arch = request.arch.as_ref().unwrap_or(default_arch);
+    if let Some(layer) = &request.layer {
+        let name = request.scheduler.as_deref().unwrap_or("cosa");
+        if let Ok(scheduler) = scheduler_from_name(name, arch) {
+            let arch_json = serde_json::to_string(arch).expect("arch serializes");
+            let layer_json = serde_json::to_string(layer).expect("layer serializes");
+            return canon::cache_digest(&[&scheduler.fingerprint(), &arch_json, &layer_json]);
+        }
+        // Unknown scheduler: fall through to request hashing — the owning
+        // shard answers the 400 so every client sees the same error.
+    }
+    let mut canonical = request.clone();
+    if canonical.arch.is_none() {
+        // Pin the effective arch so "default arch" and "explicit default
+        // arch" requests route identically.
+        canonical.arch = Some(arch.clone());
+    }
+    let json = serde_json::to_string(&canonical).expect("request serializes");
+    canon::digest128_hex(json.as_bytes())
+}
 
 /// Node budget for the default (`"cosa"`) serving scheduler — the same
 /// bound `engine_probe` uses, so the daemon and the probes share cache
@@ -405,6 +507,65 @@ mod tests {
             assert_eq!(s.name(), name);
         }
         assert!(scheduler_from_name("simulated-annealing", &arch).is_err());
+    }
+
+    #[test]
+    fn common_args_parse_shared_flags() {
+        let args: Vec<String> = [
+            "bin",
+            "--scheduler",
+            "sat",
+            "--cache-format",
+            "legacy",
+            "--lock-staleness-secs",
+            "17",
+            "--cache-dir",
+            "/tmp/c",
+            "--noc",
+        ]
+        .map(String::from)
+        .to_vec();
+        let common = CommonArgs::parse(&args);
+        assert_eq!(common.scheduler, "sat");
+        assert_eq!(common.cache_format, StoreFormat::Legacy);
+        assert_eq!(common.lock_staleness, Some(Duration::from_secs(17)));
+        assert_eq!(
+            common.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/c"))
+        );
+        assert!(common.noc);
+
+        let defaults = CommonArgs::parse(&["bin".to_string()]);
+        assert_eq!(defaults.scheduler, "cosa");
+        assert_eq!(defaults.cache_format, StoreFormat::default());
+        assert!(defaults.lock_staleness.is_none() && !defaults.noc);
+    }
+
+    #[test]
+    fn routing_digest_matches_engine_cache_key_for_layers() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+        let req = ScheduleRequest::for_layer(layer.clone());
+        let engine = crate::engine::Engine::new(arch.clone());
+        let scheduler = scheduler_from_name("cosa", &arch).unwrap();
+        assert_eq!(
+            routing_digest(&req, &arch),
+            engine.cache_key(scheduler.as_ref(), &layer),
+            "layer requests must route by the exact cache key"
+        );
+        // Default arch and explicit default arch route identically.
+        let explicit = req.clone().with_arch(arch.clone());
+        assert_eq!(
+            routing_digest(&req, &arch),
+            routing_digest(&explicit, &arch)
+        );
+        // Suite requests are stable and scheduler-sensitive.
+        let suite = ScheduleRequest::for_suite(Suite::AlexNet);
+        assert_eq!(routing_digest(&suite, &arch), routing_digest(&suite, &arch));
+        assert_ne!(
+            routing_digest(&suite, &arch),
+            routing_digest(&suite.clone().with_scheduler("sat"), &arch)
+        );
     }
 
     #[test]

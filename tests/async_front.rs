@@ -1,0 +1,144 @@
+//! Tests for the readiness-driven connection front: slow senders and
+//! idle connections must never occupy a worker — connection count is
+//! decoupled from worker count by the epoll event loop, which owns every
+//! connection until a complete request has been parsed.
+//!
+//! Every daemon runs on `127.0.0.1:0` with the fast `random` scheduler.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use cosa_repro::prelude::*;
+use cosa_serve::http;
+use cosa_serve::{ServeConfig, Server};
+
+/// A serialized `/v1/schedule` request for one tiny layer.
+fn layer_body() -> String {
+    serde_json::to_string(
+        &ScheduleRequest::for_layer(Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1))
+            .with_scheduler("random"),
+    )
+    .expect("request serializes")
+}
+
+/// The raw wire bytes of a well-formed `POST /v1/schedule`.
+fn raw_request(body: &str) -> Vec<u8> {
+    format!(
+        "POST /v1/schedule HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Read the whole response off a raw stream (the daemon closes after one
+/// response) and return the status code from the status line.
+fn read_status(stream: &mut TcpStream) -> u16 {
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("read response");
+    let text = String::from_utf8_lossy(&bytes);
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .expect("status line has a code");
+    status.parse().expect("numeric status")
+}
+
+#[test]
+fn slow_sender_does_not_occupy_the_only_worker() {
+    // One worker. A slowloris-style client trickles its request a few
+    // bytes at a time; with the old blocking accept loop that connection
+    // would pin the worker and starve everyone else. The epoll front
+    // keeps parsing it off-thread, so concurrent full requests must be
+    // answered promptly the whole time.
+    let handle = Server::start(ServeConfig::builder().workers(1).build()).expect("start daemon");
+    let addr = handle.addr();
+
+    let wire = raw_request(&layer_body());
+    let mut slow = TcpStream::connect(addr).expect("connect slow client");
+    slow.write_all(&wire[..16]).expect("first trickle");
+
+    // While the slow request is incomplete, the single worker serves a
+    // burst of normal requests. 5 s is far under the front's 10 s
+    // request deadline and far over any healthy serving latency.
+    let started = Instant::now();
+    for i in 0..4 {
+        let resp =
+            http::request(addr, "POST", "/v1/schedule", &layer_body()).expect("full request");
+        assert_eq!(resp.status, 200, "request {i}: {}", resp.body);
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "full requests starved behind a slow sender: {:?}",
+        started.elapsed()
+    );
+
+    // The trickled request itself still completes once its bytes arrive.
+    for chunk in wire[16..].chunks(64) {
+        slow.write_all(chunk).expect("trickle chunk");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(read_status(&mut slow), 200, "slow request completes");
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn idle_connections_do_not_block_serving() {
+    // Far more open connections than workers: 64 idle sockets sit in the
+    // event loop while two workers keep serving real traffic.
+    let handle = Server::start(ServeConfig::builder().workers(2).build()).expect("start daemon");
+    let addr = handle.addr();
+
+    let idle: Vec<TcpStream> = (0..64)
+        .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle connection {i}: {e}")))
+        .collect();
+    assert_eq!(idle.len(), 64);
+
+    let body = layer_body();
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..8)
+            .map(|_| {
+                let body = body.as_str();
+                scope.spawn(move || {
+                    http::request(addr, "POST", "/v1/schedule", body)
+                        .expect("request alongside idle connections")
+                        .status
+                })
+            })
+            .collect();
+        clients.into_iter().map(|c| c.join().unwrap()).collect()
+    });
+    assert!(
+        statuses.iter().all(|s| *s == 200),
+        "all requests served despite 64 idle connections: {statuses:?}"
+    );
+
+    drop(idle);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn half_request_then_silence_gets_a_408() {
+    // A connection that starts a request and goes quiet is timed out by
+    // the event loop with 408, not left to hold resources forever. The
+    // front's request deadline is 10 s — this test rides just past it.
+    let handle = Server::start(ServeConfig::builder().workers(1).build()).expect("start daemon");
+    let addr = handle.addr();
+
+    let mut quiet = TcpStream::connect(addr).expect("connect");
+    quiet
+        .write_all(b"POST /v1/schedule HTTP/1.1\r\n")
+        .expect("partial head");
+    quiet
+        .set_read_timeout(Some(Duration::from_secs(
+            cosa_serve::front::REQUEST_DEADLINE.as_secs() + 5,
+        )))
+        .expect("read timeout");
+    assert_eq!(read_status(&mut quiet), 408, "stalled request is expired");
+
+    // The daemon is unharmed.
+    let resp = http::request(addr, "GET", "/v1/healthz", "").expect("healthz");
+    assert_eq!(resp.status, 200);
+    handle.shutdown().expect("clean shutdown");
+}

@@ -1,7 +1,8 @@
-//! Integration tests for the `cosa-serve` daemon: request/response
-//! round-trips, error handling (the daemon must survive bad input),
-//! bounded-queue load shedding, graceful shutdown draining, warm restarts
-//! against a shared cache dir, and disk-tier GC eviction ordering.
+//! Integration tests for the `cosa-serve` daemon: `/v1` request/response
+//! round-trips, deprecated unversioned aliases, error handling (the
+//! daemon must survive bad input), bounded-queue load shedding, graceful
+//! shutdown draining, warm restarts against a shared cache dir, and
+//! disk-tier GC eviction ordering.
 //!
 //! Every server runs on `127.0.0.1:0` (a fresh ephemeral port), with the
 //! fast `random` scheduler and tiny layers so the whole file stays quick.
@@ -34,20 +35,16 @@ fn tiny_network() -> Network {
 
 /// A quick daemon: two workers, no persistence.
 fn quick_server() -> ServerHandle {
-    Server::start(ServeConfig {
-        workers: 2,
-        ..ServeConfig::default()
-    })
-    .expect("start daemon")
+    Server::start(ServeConfig::builder().workers(2).build()).expect("start daemon")
 }
 
 fn post_schedule(handle: &ServerHandle, request: &ScheduleRequest) -> http::Response {
     let body = serde_json::to_string(request).expect("request serializes");
-    http::request(handle.addr(), "POST", "/schedule", &body).expect("POST /schedule")
+    http::request(handle.addr(), "POST", "/v1/schedule", &body).expect("POST /v1/schedule")
 }
 
 fn get_stats(handle: &ServerHandle) -> StatsResponse {
-    let resp = http::request(handle.addr(), "GET", "/stats", "").expect("GET /stats");
+    let resp = http::request(handle.addr(), "GET", "/v1/stats", "").expect("GET /v1/stats");
     assert_eq!(resp.status, 200);
     serde_json::from_str(&resp.body).expect("stats parse")
 }
@@ -60,9 +57,13 @@ fn parse_response(resp: &http::Response) -> ScheduleResponse {
 fn layer_and_network_requests_round_trip() {
     let handle = quick_server();
 
-    // Readiness: the daemon answers /healthz as soon as it listens.
-    let health = http::request(handle.addr(), "GET", "/healthz", "").expect("GET /healthz");
+    // Readiness: the daemon answers /v1/healthz as soon as it listens.
+    let health = http::request(handle.addr(), "GET", "/v1/healthz", "").expect("GET /v1/healthz");
     assert_eq!(health.status, 200);
+    assert!(
+        health.header("deprecation").is_none(),
+        "versioned routes carry no Deprecation header"
+    );
     let health: HealthResponse = serde_json::from_str(&health.body).expect("health parses");
     assert_eq!(health.status, "ok");
     assert_eq!(health.warm_entries, 0, "memory-only daemon starts cold");
@@ -118,16 +119,57 @@ fn layer_and_network_requests_round_trip() {
 }
 
 #[test]
+fn unversioned_aliases_answer_with_deprecation_header() {
+    let handle = quick_server();
+    let request = ScheduleRequest::for_layer(Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1))
+        .with_scheduler("random");
+    let body = serde_json::to_string(&request).unwrap();
+
+    // Every unversioned alias still answers — flagged as deprecated.
+    for (method, path, payload) in [
+        ("POST", "/schedule", body.as_str()),
+        ("GET", "/stats", ""),
+        ("GET", "/healthz", ""),
+    ] {
+        let resp = http::request(handle.addr(), method, path, payload).expect("alias request");
+        assert_eq!(resp.status, 200, "{method} {path}: {}", resp.body);
+        assert_eq!(
+            resp.header("deprecation"),
+            Some("true"),
+            "{method} {path} must carry `Deprecation: true`"
+        );
+    }
+
+    // The /v1 answer is the same body, without the header.
+    let v1 = post_schedule(&handle, &request);
+    assert_eq!(v1.status, 200, "{}", v1.body);
+    assert!(v1.header("deprecation").is_none());
+    let alias = http::request(handle.addr(), "POST", "/schedule", &body).unwrap();
+    assert_eq!(
+        serde_json::to_string(&parse_response(&v1).without_timings()).unwrap(),
+        serde_json::to_string(&parse_response(&alias).without_timings()).unwrap(),
+        "alias and /v1 answers are canonically byte-identical"
+    );
+
+    // Unknown paths are plain 404s, not deprecated aliases.
+    let resp = http::request(handle.addr(), "GET", "/v2/stats", "").unwrap();
+    assert_eq!(resp.status, 404);
+    assert!(resp.header("deprecation").is_none());
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn malformed_requests_get_4xx_and_daemon_stays_up() {
     let handle = quick_server();
 
     // Malformed JSON → 400 with an error body.
-    let resp = http::request(handle.addr(), "POST", "/schedule", "{not json").unwrap();
+    let resp = http::request(handle.addr(), "POST", "/v1/schedule", "{not json").unwrap();
     assert_eq!(resp.status, 400);
     assert!(parse_response(&resp).error.is_some());
 
     // Well-formed JSON without a work item → 400.
-    let resp = http::request(handle.addr(), "POST", "/schedule", "{}").unwrap();
+    let resp = http::request(handle.addr(), "POST", "/v1/schedule", "{}").unwrap();
     assert_eq!(resp.status, 400);
 
     // Unknown scheduler and unknown suite → 400.
@@ -136,18 +178,24 @@ fn malformed_requests_get_4xx_and_daemon_stays_up() {
         &ScheduleRequest::for_suite(Suite::AlexNet).with_scheduler("annealing"),
     );
     assert_eq!(resp.status, 400);
-    let resp = http::request(handle.addr(), "POST", "/schedule", r#"{"suite": "vgg19"}"#).unwrap();
+    let resp = http::request(
+        handle.addr(),
+        "POST",
+        "/v1/schedule",
+        r#"{"suite": "vgg19"}"#,
+    )
+    .unwrap();
     assert_eq!(resp.status, 400);
 
     // Unknown route → 404; bad method → 405; not even HTTP → 400.
     assert_eq!(
-        http::request(handle.addr(), "GET", "/nope", "")
+        http::request(handle.addr(), "GET", "/v1/nope", "")
             .unwrap()
             .status,
         404
     );
     assert_eq!(
-        http::request(handle.addr(), "DELETE", "/schedule", "")
+        http::request(handle.addr(), "DELETE", "/v1/schedule", "")
             .unwrap()
             .status,
         405
@@ -171,12 +219,13 @@ fn malformed_requests_get_4xx_and_daemon_stays_up() {
 fn bounded_queue_sheds_load_with_429() {
     // One slow worker and a single queue slot: of several concurrent
     // requests at most two can be in the system, the rest must be shed.
-    let handle = Server::start(ServeConfig {
-        workers: 1,
-        queue_capacity: 1,
-        request_delay: Some(Duration::from_millis(300)),
-        ..ServeConfig::default()
-    })
+    let handle = Server::start(
+        ServeConfig::builder()
+            .workers(1)
+            .queue_capacity(1)
+            .request_delay(Duration::from_millis(300))
+            .build(),
+    )
     .expect("start daemon");
 
     let body = serde_json::to_string(
@@ -189,7 +238,7 @@ fn bounded_queue_sheds_load_with_429() {
             .map(|_| {
                 let (addr, body) = (handle.addr(), body.as_str());
                 scope.spawn(move || {
-                    http::request(addr, "POST", "/schedule", body)
+                    http::request(addr, "POST", "/v1/schedule", body)
                         .unwrap()
                         .status
                 })
@@ -212,11 +261,12 @@ fn bounded_queue_sheds_load_with_429() {
 fn graceful_shutdown_drains_queued_requests() {
     // One slow worker: the first request is in-flight and two more are
     // queued when shutdown begins — all three must still be answered 200.
-    let handle = Server::start(ServeConfig {
-        workers: 1,
-        request_delay: Some(Duration::from_millis(200)),
-        ..ServeConfig::default()
-    })
+    let handle = Server::start(
+        ServeConfig::builder()
+            .workers(1)
+            .request_delay(Duration::from_millis(200))
+            .build(),
+    )
     .expect("start daemon");
     let addr = handle.addr();
 
@@ -229,7 +279,7 @@ fn graceful_shutdown_drains_queued_requests() {
         let requests: Vec<_> = (0..3)
             .map(|_| {
                 let body = body.as_str();
-                scope.spawn(move || http::request(addr, "POST", "/schedule", body).unwrap())
+                scope.spawn(move || http::request(addr, "POST", "/v1/schedule", body).unwrap())
             })
             .collect();
         // Let the requests get accepted/queued, then shut down mid-flight.
@@ -261,7 +311,7 @@ fn graceful_shutdown_drains_queued_requests() {
 
     // The daemon is gone: new connections are refused.
     assert!(
-        http::request(addr, "GET", "/healthz", "").is_err(),
+        http::request(addr, "GET", "/v1/healthz", "").is_err(),
         "port must be closed after shutdown"
     );
 }
@@ -274,10 +324,11 @@ fn two_daemons_sharing_a_cache_dir_solve_each_digest_once() {
     // answer canonically byte-identical, and a third daemon started
     // afterwards must serve the same traffic as a 100% warm start.
     let dir = scratch_dir("cross-process-dedup");
-    let config = || ServeConfig {
-        workers: 2,
-        cache_dir: Some(dir.clone()),
-        ..ServeConfig::default()
+    let config = || {
+        ServeConfig::builder()
+            .workers(2)
+            .cache_dir(dir.clone())
+            .build()
     };
     let daemon_a = Server::start(config()).expect("start daemon a");
     let daemon_b = Server::start(config()).expect("start daemon b");
@@ -337,10 +388,11 @@ fn two_daemons_sharing_a_cache_dir_solve_each_digest_once() {
 #[test]
 fn warm_restart_serves_from_shared_cache_dir() {
     let dir = scratch_dir("daemon-warm");
-    let config = || ServeConfig {
-        workers: 2,
-        cache_dir: Some(dir.clone()),
-        ..ServeConfig::default()
+    let config = || {
+        ServeConfig::builder()
+            .workers(2)
+            .cache_dir(dir.clone())
+            .build()
     };
     let request = ScheduleRequest::for_network(tiny_network()).with_scheduler("random");
 
@@ -356,7 +408,7 @@ fn warm_restart_serves_from_shared_cache_dir() {
     // Warm daemon on the same dir: zero solves, byte-identical answer.
     let warm = Server::start(config()).expect("start warm daemon");
     let health: HealthResponse = serde_json::from_str(
-        &http::request(warm.addr(), "GET", "/healthz", "")
+        &http::request(warm.addr(), "GET", "/v1/healthz", "")
             .unwrap()
             .body,
     )
@@ -461,13 +513,14 @@ fn daemon_periodic_gc_keeps_disk_tier_bounded() {
     let dir = scratch_dir("daemon-gc");
     // Tiny byte budget, GC after every served request: the disk tier can
     // never hold more than one entry past a request boundary.
-    let handle = Server::start(ServeConfig {
-        workers: 1,
-        cache_dir: Some(dir.clone()),
-        gc: GcPolicy::default().with_max_bytes(1),
-        gc_every: 1,
-        ..ServeConfig::default()
-    })
+    let handle = Server::start(
+        ServeConfig::builder()
+            .workers(1)
+            .cache_dir(dir.clone())
+            .gc(GcPolicy::default().with_max_bytes(1))
+            .gc_every(1)
+            .build(),
+    )
     .expect("start daemon");
 
     for layer in [
