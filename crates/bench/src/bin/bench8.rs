@@ -174,7 +174,7 @@ fn main() {
     let default_arch = Arch::simba_baseline();
     let digests: Vec<String> = requests
         .iter()
-        .map(|r| routing_digest(r, &default_arch))
+        .map(|r| routing_digest(r, &default_arch, &Default::default()))
         .collect();
     let unique: HashSet<&String> = digests.iter().collect();
     assert_eq!(unique.len(), UNIQUE_LAYERS, "one digest per distinct layer");

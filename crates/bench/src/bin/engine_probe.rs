@@ -76,7 +76,6 @@ fn main() {
     let common = CommonArgs::parse(&args);
     let scheduler_name = common.scheduler.clone();
     let cache_dir = common.cache_dir.as_ref().map(|p| p.display().to_string());
-    let with_noc = common.noc;
     let expect_warm = args.iter().any(|a| a == "--expect-warm");
 
     // Offline disk-tier GC: sweep before scheduling so the run below sees
@@ -148,7 +147,7 @@ fn main() {
             expect_warm,
         );
     } else {
-        run_in_memory(&arch, &network, scheduler.as_ref(), threads, with_noc);
+        run_in_memory(&arch, &network, scheduler.as_ref(), threads, &common);
     }
 }
 
@@ -220,7 +219,8 @@ fn run_persistent(
 ) {
     let mut engine = Engine::new(arch.clone())
         .with_threads(threads)
-        .with_cache_format(common.cache_format);
+        .with_cache_format(common.cache_format)
+        .with_interlayer(common.interlayer);
     if common.noc {
         engine = engine.with_noc();
     }
@@ -281,6 +281,23 @@ fn run_persistent(
         );
     }
 
+    if let Some(inter) = &run.report.interlayer {
+        // Machine-readable residency line: CI extracts `offchip=` /
+        // `baseline=` to assert the memory-aware run strictly reduces
+        // off-chip traffic.
+        println!(
+            "interlayer: strategy={} budget={} resident={}/{} baseline={:.0} offchip={:.0} \
+             saved={:.0}",
+            inter.strategy,
+            inter.budget_bytes,
+            inter.resident_edges,
+            inter.edges.len(),
+            inter.baseline_offchip_bytes,
+            inter.offchip_bytes,
+            inter.saved_offchip_bytes,
+        );
+    }
+
     if expect_warm {
         assert!(
             stats.warm_entries > 0,
@@ -324,9 +341,17 @@ fn run_in_memory(
     network: &Network,
     scheduler: &dyn Scheduler,
     threads: usize,
-    with_noc: bool,
+    common: &CommonArgs,
 ) {
-    let maybe_noc = |e: Engine| if with_noc { e.with_noc() } else { e };
+    let with_noc = common.noc;
+    let maybe_noc = |e: Engine| {
+        let e = e.with_interlayer(common.interlayer);
+        if with_noc {
+            e.with_noc()
+        } else {
+            e
+        }
+    };
 
     // Single-threaded, cold cache.
     let single = maybe_noc(Engine::new(arch.clone()).with_threads(1));
@@ -352,6 +377,19 @@ fn run_in_memory(
     );
 
     print_backend_wins(&multi.cache_stats());
+    if let Some(inter) = &run_n.report.interlayer {
+        println!(
+            "interlayer: strategy={} budget={} resident={}/{} baseline={:.0} offchip={:.0} \
+             saved={:.0}",
+            inter.strategy,
+            inter.budget_bytes,
+            inter.resident_edges,
+            inter.edges.len(),
+            inter.baseline_offchip_bytes,
+            inter.offchip_bytes,
+            inter.saved_offchip_bytes,
+        );
+    }
 
     // The hybrid mapper races its internal search threads on metric ties,
     // and the portfolio's MILP-vs-SAT race can be won by either backend

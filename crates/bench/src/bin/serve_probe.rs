@@ -61,6 +61,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use cosa_bench::{flag_value, parse_flag, write_csv};
+use cosa_repro::engine::InterlayerOptions;
 use cosa_repro::serve::{
     routing_digest, CommonArgs, LatencyRecorder, ScheduleRequest, ScheduleResponse, StatsResponse,
 };
@@ -141,7 +142,9 @@ fn main() {
         .unwrap_or("resnet50")
         .parse()
         .expect("known suite (alexnet|resnet50|resnext50|deepbench)");
-    let scheduler = CommonArgs::parse(&args).scheduler;
+    let common = CommonArgs::parse(&args);
+    let scheduler = common.scheduler.clone();
+    let interlayer = common.interlayer;
     let wait = Duration::from_secs(parse_flag(&args, "--wait-secs").unwrap_or(60));
     let expect_warm = args.iter().any(|a| a == "--expect-warm");
     let expect_unique = args.iter().any(|a| a == "--expect-unique-solves");
@@ -183,7 +186,11 @@ fn main() {
             })
             .collect()
     } else {
-        vec![ScheduleRequest::for_network(network.clone()).with_scheduler(&scheduler)]
+        let mut request = ScheduleRequest::for_network(network.clone()).with_scheduler(&scheduler);
+        if interlayer.enabled {
+            request = request.with_interlayer(interlayer);
+        }
+        vec![request]
     };
     // Routing mirrors `cosa_router` exactly: same digest, same ring.
     let default_arch = Arch::simba_baseline();
@@ -201,7 +208,7 @@ fn main() {
         .map(|i| {
             let group = i % payloads.len();
             let request = &payloads[group];
-            let digest = routing_digest(request, &default_arch);
+            let digest = routing_digest(request, &default_arch, &InterlayerOptions::disabled());
             let addr = match &ring {
                 Some(ring) => targets[ring.owner_index(&digest)],
                 None => addr,

@@ -38,6 +38,9 @@ pub struct Evaluation {
     pub pe_utilization: f64,
     /// Fraction of per-PE MAC lanes with work mapped to them.
     pub mac_utilization: f64,
+    /// DRAM bytes broken down by tensor (indexed by [`DataTensor::index`]):
+    /// the share of [`Evaluation::dram_bytes`] each operand accounts for.
+    pub dram_tensor_bytes: [f64; 3],
     /// The underlying nest analysis (tile sizes, fills, instances).
     pub analysis: NestAnalysis,
 }
@@ -46,6 +49,11 @@ impl Evaluation {
     /// Bytes read from DRAM plus written back, the dominant energy term.
     pub fn dram_bytes(&self) -> f64 {
         self.level_traffic.last().map(|t| t.total()).unwrap_or(0.0)
+    }
+
+    /// DRAM bytes attributable to one tensor.
+    pub fn dram_bytes_for(&self, v: DataTensor) -> f64 {
+        self.dram_tensor_bytes[v.index()]
     }
 }
 
@@ -82,19 +90,60 @@ impl CostModel {
 
     /// Evaluate without validity checks (callers that already validated).
     pub fn evaluate_unchecked(&self, layer: &Layer, schedule: &Schedule) -> Evaluation {
+        self.evaluate_resident_unchecked(layer, schedule, [false; 3])
+    }
+
+    /// Validate `schedule` and evaluate it with some tensors held resident
+    /// in the level directly below DRAM (see
+    /// [`evaluate_resident_unchecked`](Self::evaluate_resident_unchecked)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidSchedule`] as [`evaluate`](Self::evaluate).
+    pub fn evaluate_resident(
+        &self,
+        layer: &Layer,
+        schedule: &Schedule,
+        resident: [bool; 3],
+    ) -> Result<Evaluation, SpecError> {
+        schedule.validate(layer, &self.arch)?;
+        Ok(self.evaluate_resident_unchecked(layer, schedule, resident))
+    }
+
+    /// Evaluate with `resident[v.index()]` tensors pinned in the level
+    /// directly below DRAM: every DRAM-touching movement term for a resident
+    /// tensor is dropped (fills already sit on chip, evictions stay on
+    /// chip), which re-weights latency, energy and traffic exactly as the
+    /// inter-layer residency pass requires. `resident = [false; 3]` is the
+    /// ordinary evaluation.
+    pub fn evaluate_resident_unchecked(
+        &self,
+        layer: &Layer,
+        schedule: &Schedule,
+        resident: [bool; 3],
+    ) -> Evaluation {
         let arch = &self.arch;
         let num_levels = arch.num_levels();
+        let dram = arch.dram_level();
         let analysis = NestAnalysis::new(layer, arch, schedule);
         let mut traffic = vec![LevelTraffic::default(); num_levels];
+        let mut dram_tensor_bytes = [0.0f64; 3];
 
         // Inter-level tile movement.
         for v in DataTensor::ALL {
             let prec = arch.precision(v) as f64;
+            let pinned = resident[v.index()];
             for level in 0..num_levels {
                 let Some(s) = analysis.get(level, v) else {
                     continue;
                 };
                 let Some(parent) = s.parent else { continue };
+                // A resident tensor never crosses the DRAM boundary: the
+                // whole fill/evict term against DRAM disappears (the data is
+                // already in, and stays in, the on-chip buffer).
+                if pinned && parent == dram {
+                    continue;
+                }
                 let parent_inst = analysis.get(parent, v).map(|p| p.instances).unwrap_or(1);
                 let tile = s.tile_elements as f64;
                 let fills = s.fills as f64;
@@ -105,9 +154,12 @@ impl CostModel {
                     DataTensor::Weights | DataTensor::Inputs => {
                         // Downward: parent read (multicast counted once),
                         // child write (every copy lands).
-                        traffic[parent].read_bytes +=
-                            fills * tile * parent_inst as f64 * unicast * prec;
+                        let parent_read = fills * tile * parent_inst as f64 * unicast * prec;
+                        traffic[parent].read_bytes += parent_read;
                         traffic[level].write_bytes += fills * tile * child_inst * prec;
+                        if parent == dram {
+                            dram_tensor_bytes[v.index()] += parent_read;
+                        }
                     }
                     DataTensor::Outputs => {
                         // Tiles still being reduced move as 24-bit partial
@@ -122,29 +174,43 @@ impl CostModel {
                         // Downward: only revisited partial sums are read
                         // back (fresh tiles start at zero).
                         let revisits = (s.fills - s.distinct) as f64;
-                        traffic[parent].read_bytes +=
-                            revisits * tile * parent_inst as f64 * unicast * prec;
+                        let parent_read = revisits * tile * parent_inst as f64 * unicast * prec;
+                        traffic[parent].read_bytes += parent_read;
                         traffic[level].write_bytes += revisits * tile * child_inst * prec;
                         // Upward: every fill is eventually evicted; spatial
                         // reduction merges irrelevant lanes before the
                         // parent write (Fig. 5c).
+                        let parent_write = fills * tile * parent_inst as f64 * unicast * up_prec;
                         traffic[level].read_bytes += fills * tile * child_inst * up_prec;
-                        traffic[parent].write_bytes +=
-                            fills * tile * parent_inst as f64 * unicast * up_prec;
+                        traffic[parent].write_bytes += parent_write;
+                        if parent == dram {
+                            dram_tensor_bytes[v.index()] += parent_read + parent_write;
+                        }
                     }
                 }
             }
 
             // MAC-feeding accesses at the innermost stored level.
             let inner = analysis.innermost_level[v.index()];
+            if pinned && inner == dram {
+                continue;
+            }
             let elems = analysis.inner_access_elements[v.index()] as f64;
             match v {
                 DataTensor::Outputs => {
                     // Accumulation: read-modify-write per MAC group.
                     traffic[inner].read_bytes += elems * prec;
                     traffic[inner].write_bytes += elems * prec;
+                    if inner == dram {
+                        dram_tensor_bytes[v.index()] += 2.0 * elems * prec;
+                    }
                 }
-                _ => traffic[inner].read_bytes += elems * prec,
+                _ => {
+                    traffic[inner].read_bytes += elems * prec;
+                    if inner == dram {
+                        dram_tensor_bytes[v.index()] += elems * prec;
+                    }
+                }
             }
         }
 
@@ -188,6 +254,7 @@ impl CostModel {
             level_traffic: traffic,
             pe_utilization,
             mac_utilization,
+            dram_tensor_bytes,
             analysis,
         }
     }
@@ -293,6 +360,56 @@ mod tests {
         let dram_pj = eval.dram_bytes() * 100.0;
         assert!(eval.energy_pj > dram_pj);
         assert!(eval.energy_pj < 3.0 * dram_pj + layer.macs() as f64 * 10.0);
+    }
+
+    #[test]
+    fn dram_tensor_breakdown_sums_to_total() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::parse_paper_name("3_7_512_512_1").unwrap();
+        let model = CostModel::new(&arch);
+        let eval = model.evaluate(&layer, &dram_all(&layer, &arch)).unwrap();
+        let sum: f64 = eval.dram_tensor_bytes.iter().sum();
+        assert!(
+            (sum - eval.dram_bytes()).abs() < 1e-6 * eval.dram_bytes().max(1.0),
+            "breakdown {sum} vs total {}",
+            eval.dram_bytes()
+        );
+        for v in DataTensor::ALL {
+            assert!(eval.dram_bytes_for(v) > 0.0, "{v:?} share missing");
+        }
+    }
+
+    #[test]
+    fn resident_tensors_drop_their_dram_terms() {
+        let arch = Arch::simba_baseline();
+        let layer = Layer::parse_paper_name("3_7_512_512_1").unwrap();
+        let model = CostModel::new(&arch);
+        let schedule = dram_all(&layer, &arch);
+        let base = model.evaluate(&layer, &schedule).unwrap();
+
+        // Pin outputs on chip: exactly the outputs' DRAM share disappears.
+        let mut resident = [false; 3];
+        resident[DataTensor::Outputs.index()] = true;
+        let res = model
+            .evaluate_resident(&layer, &schedule, resident)
+            .unwrap();
+        assert!((res.dram_bytes_for(DataTensor::Outputs)).abs() < 1e-9);
+        let expect = base.dram_bytes() - base.dram_bytes_for(DataTensor::Outputs);
+        assert!(
+            (res.dram_bytes() - expect).abs() < 1e-6 * base.dram_bytes(),
+            "resident {} vs expected {}",
+            res.dram_bytes(),
+            expect
+        );
+        // Dropping traffic can only help latency and energy.
+        assert!(res.energy_pj < base.energy_pj);
+        assert!(res.latency_cycles <= base.latency_cycles);
+        // All-false residency is the ordinary evaluation.
+        let plain = model
+            .evaluate_resident(&layer, &schedule, [false; 3])
+            .unwrap();
+        assert_eq!(plain.dram_bytes(), base.dram_bytes());
+        assert_eq!(plain.energy_pj, base.energy_pj);
     }
 
     #[test]

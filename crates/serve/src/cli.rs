@@ -91,6 +91,9 @@ mod tests {
             "5",
             "--request-delay-micros",
             "250",
+            "--interlayer",
+            "--interlayer-budget-bytes",
+            "131072",
         ]
         .map(String::from)
         .to_vec();
@@ -104,8 +107,13 @@ mod tests {
         assert!(config.noc);
         assert_eq!(config.gc_every, 5);
         assert_eq!(config.request_delay, Some(Duration::from_micros(250)));
+        assert_eq!(
+            config.interlayer,
+            cosa_repro::engine::InterlayerOptions::enabled().with_budget_bytes(131072)
+        );
 
         let defaults = config_from_args(&["bin".to_string()], "127.0.0.1:7878").build();
         assert_eq!(defaults.addr, "127.0.0.1:7878");
+        assert!(!defaults.interlayer.enabled);
     }
 }

@@ -76,12 +76,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use cosa_repro::engine::{CacheStats, Engine, GcPolicy, StoreFormat};
+use cosa_repro::engine::{CacheStats, Engine, GcPolicy, InterlayerOptions, StoreFormat};
 use cosa_repro::serve::{
-    scheduler_from_name, CommonArgs, HealthResponse, ScheduleRequest, ScheduleResponse,
-    StatsResponse,
+    scheduler_from_name, uses_deprecated_fields, CommonArgs, HealthResponse, ScheduleRequest,
+    ScheduleResponse, StatsResponse,
 };
 use cosa_spec::{canon, Arch, Network, Suite};
+use serde::{Deserialize, Value};
 
 use front::{FrontConfig, FrontView, Handler, Routed};
 use http::Request;
@@ -121,6 +122,10 @@ pub struct ServeConfig {
     pub gc_every: u64,
     /// Default architecture for requests that don't carry one.
     pub default_arch: Arch,
+    /// Default inter-layer residency options for network/suite requests
+    /// that don't carry an `options.interlayer` object (disabled unless
+    /// the daemon was started with `--interlayer`).
+    pub interlayer: InterlayerOptions,
     /// Artificial per-request service delay — load-shedding
     /// instrumentation that makes overload and drain behaviour
     /// deterministic in tests and load probes. `None` in production.
@@ -145,6 +150,7 @@ impl Default for ServeConfig {
             gc: GcPolicy::default(),
             gc_every: 64,
             default_arch: Arch::simba_baseline(),
+            interlayer: InterlayerOptions::disabled(),
             request_delay: None,
             log_requests: false,
         }
@@ -253,6 +259,14 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Default inter-layer residency options for requests that don't
+    /// carry an `options.interlayer` object.
+    #[must_use]
+    pub fn interlayer(mut self, options: InterlayerOptions) -> Self {
+        self.config.interlayer = options;
+        self
+    }
+
     /// Artificial per-request service delay (tests and load probes).
     #[must_use]
     pub fn request_delay(mut self, delay: Duration) -> Self {
@@ -281,6 +295,7 @@ impl ServeConfigBuilder {
         if common.noc {
             self.config.noc = true;
         }
+        self.config.interlayer = common.interlayer;
         self
     }
 
@@ -449,18 +464,45 @@ impl EngineHandler {
         }
     }
 
-    fn handle_schedule(&self, body: &str) -> (u16, String) {
-        let request: ScheduleRequest = match serde_json::from_str(body) {
-            Ok(r) => r,
-            Err(e) => return (400, error_body(&format!("malformed request JSON: {e}"))),
+    /// Answer one schedule request. The third element reports whether the
+    /// body used the deprecated top-level `arch`/`scheduler` spelling
+    /// (answered normally, but with a `Deprecation: true` header).
+    fn handle_schedule(&self, body: &str) -> (u16, String, bool) {
+        // Parse to a Value first so the deprecated spelling is detectable
+        // independently of how `ScheduleRequest` folds it in.
+        let value: Value = match serde_json::from_str(body) {
+            Ok(v) => v,
+            Err(e) => {
+                return (
+                    400,
+                    error_body(&format!("malformed request JSON: {e}")),
+                    false,
+                )
+            }
         };
+        let deprecated = uses_deprecated_fields(&value);
+        let request = match ScheduleRequest::from_value(&value) {
+            Ok(r) => r,
+            Err(e) => {
+                return (
+                    400,
+                    error_body(&format!("malformed request JSON: {e}")),
+                    deprecated,
+                )
+            }
+        };
+        let (status, body) = self.handle_schedule_request(&request);
+        (status, body, deprecated)
+    }
+
+    fn handle_schedule_request(&self, request: &ScheduleRequest) -> (u16, String) {
         if let Err(msg) = request.work_item() {
             return (400, error_body(&msg));
         }
         // Derived deserialization accepts structurally valid but
         // semantically broken architectures (no levels, NoC level out of
         // range, ...); validate before any solver code can trip over one.
-        if let Some(arch) = &request.arch {
+        if let Some(arch) = request.arch() {
             if let Err(e) = arch.validate() {
                 return (400, error_body(&format!("invalid architecture: {e}")));
             }
@@ -476,15 +518,15 @@ impl EngineHandler {
             (None, None) => None, // work_item() guarantees `layer` is set.
         };
 
-        let (engine, retained) = match self.engine_for(request.arch.clone()) {
+        let (engine, retained) = match self.engine_for(request.arch().cloned()) {
             Ok(engine) => engine,
             Err(e) => return (500, error_body(&format!("engine unavailable: {e}"))),
         };
-        let scheduler_name = request.scheduler.as_deref().unwrap_or("cosa");
-        let scheduler = match scheduler_from_name(scheduler_name, engine.arch()) {
+        let scheduler = match scheduler_from_name(request.scheduler_name(), engine.arch()) {
             Ok(s) => s,
             Err(msg) => return (400, error_body(&msg)),
         };
+        let interlayer = request.interlayer_or(&self.config.interlayer);
 
         let outcome = match (&request.layer, network) {
             (Some(layer), _) => engine
@@ -492,7 +534,7 @@ impl EngineHandler {
                 .map(ScheduleResponse::from_scheduled)
                 .map_err(|e| e.to_string()),
             (None, Some(network)) => {
-                let run = engine.schedule_network(&network, scheduler.as_ref());
+                let run = engine.schedule_network_with(&network, scheduler.as_ref(), &interlayer);
                 Ok(ScheduleResponse::from_report(run.report))
             }
             (None, None) => unreachable!("work_item() guarantees one item"),
@@ -557,11 +599,11 @@ impl Handler for EngineHandler {
         let deprecated = !versioned;
         match (request.method.as_str(), path) {
             ("POST", "/schedule") => {
-                let (status, body) = self.handle_schedule(&request.body);
+                let (status, body, legacy_fields) = self.handle_schedule(&request.body);
                 Routed {
                     status,
                     body,
-                    deprecated,
+                    deprecated: deprecated || legacy_fields,
                     shutdown: false,
                 }
             }

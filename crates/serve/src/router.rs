@@ -21,8 +21,12 @@ use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
 
-use cosa_repro::serve::{routing_digest, HealthResponse, ScheduleRequest, StatsResponse};
+use cosa_repro::engine::InterlayerOptions;
+use cosa_repro::serve::{
+    routing_digest, uses_deprecated_fields, HealthResponse, ScheduleRequest, StatsResponse,
+};
 use cosa_spec::Arch;
+use serde::{Deserialize, Value};
 
 use crate::front::{self, FrontConfig, FrontView, Handler, Routed};
 use crate::http::{self, Request};
@@ -63,6 +67,9 @@ impl RouterConfig {
 struct RouterHandler {
     ring: HashRing,
     default_arch: Arch,
+    /// Fleet-default inter-layer options, pinned into routing digests so
+    /// "absent" and "explicitly the fleet default" requests colocate.
+    default_interlayer: InterlayerOptions,
     cascade_shutdown: bool,
 }
 
@@ -77,19 +84,39 @@ impl RouterHandler {
         }
     }
 
-    fn handle_schedule(&self, body: &str) -> (u16, String) {
+    /// Route one schedule request; the third element reports whether the
+    /// body used the deprecated top-level `arch`/`scheduler` spelling.
+    fn handle_schedule(&self, body: &str) -> (u16, String, bool) {
         // Validate before routing: malformed requests are answered here,
         // identically no matter which shard would have owned them.
-        let request: ScheduleRequest = match serde_json::from_str(body) {
+        let value: Value = match serde_json::from_str(body) {
+            Ok(v) => v,
+            Err(e) => {
+                return (
+                    400,
+                    error_body(&format!("malformed request JSON: {e}")),
+                    false,
+                )
+            }
+        };
+        let deprecated = uses_deprecated_fields(&value);
+        let request = match ScheduleRequest::from_value(&value) {
             Ok(r) => r,
-            Err(e) => return (400, error_body(&format!("malformed request JSON: {e}"))),
+            Err(e) => {
+                return (
+                    400,
+                    error_body(&format!("malformed request JSON: {e}")),
+                    deprecated,
+                )
+            }
         };
         if let Err(msg) = request.work_item() {
-            return (400, error_body(&msg));
+            return (400, error_body(&msg), deprecated);
         }
-        let digest = routing_digest(&request, &self.default_arch);
+        let digest = routing_digest(&request, &self.default_arch, &self.default_interlayer);
         let shard = self.ring.owner(&digest);
-        self.forward(shard, "POST", "/v1/schedule", body)
+        let (status, body) = self.forward(shard, "POST", "/v1/schedule", body);
+        (status, body, deprecated)
     }
 
     fn handle_stats(&self, front: &FrontView<'_>) -> (u16, String) {
@@ -168,9 +195,13 @@ impl RouterHandler {
 impl Handler for RouterHandler {
     fn handle(&self, request: &Request, front: FrontView<'_>) -> Routed {
         // The router speaks only /v1: unversioned paths are not aliased.
+        // Deprecated *request-body* spellings are still flagged, so a
+        // modern path with a legacy body gets the header too.
+        let mut deprecated = false;
         let (status, body, shutdown) = match (request.method.as_str(), request.path.as_str()) {
             ("POST", "/v1/schedule") => {
-                let (status, body) = self.handle_schedule(&request.body);
+                let (status, body, legacy_fields) = self.handle_schedule(&request.body);
+                deprecated = legacy_fields;
                 (status, body, false)
             }
             ("GET", "/v1/stats") => {
@@ -199,7 +230,7 @@ impl Handler for RouterHandler {
         Routed {
             status,
             body,
-            deprecated: false,
+            deprecated,
             shutdown,
         }
     }
@@ -299,6 +330,7 @@ impl Router {
         let handler = Arc::new(RouterHandler {
             ring: HashRing::new(config.shards.clone()),
             default_arch: config.serve.default_arch.clone(),
+            default_interlayer: config.serve.interlayer,
             cascade_shutdown: config.cascade_shutdown,
         });
         let front = front::start(

@@ -196,6 +196,25 @@ impl Layer {
     pub fn tensor_elements(&self) -> crate::TensorSizes {
         crate::tensor::TensorSizes::of_layer(self)
     }
+
+    /// Output tensor elements `P·Q·K·N` (the footprint a downstream layer
+    /// would consume).
+    pub fn output_elements(&self) -> u64 {
+        self.dim(Dim::P) * self.dim(Dim::Q) * self.dim(Dim::K) * self.dim(Dim::N)
+    }
+
+    /// Whether this layer's output plausibly *is* `next`'s input: channels
+    /// and batch line up (`K == C'`, `N == N'`) and `next`'s receptive field
+    /// covers the produced feature map (`W' ≥ P`, `H' ≥ Q`, so padding and
+    /// strided consumers chain but pooled/flattened hand-offs — where an
+    /// intervening op shrinks the tensor — do not). This is the shape-level
+    /// liveness test behind [`crate::network::Network::interlayer_edges`].
+    pub fn feeds(&self, next: &Layer) -> bool {
+        self.dim(Dim::K) == next.dim(Dim::C)
+            && self.dim(Dim::N) == next.dim(Dim::N)
+            && next.input_width() >= self.dim(Dim::P)
+            && next.input_height() >= self.dim(Dim::Q)
+    }
 }
 
 impl fmt::Display for Layer {

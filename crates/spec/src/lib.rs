@@ -59,6 +59,6 @@ pub use arch::{Arch, ArchBuilder, MemLevel, NocParams};
 pub use dims::{Dim, DimMap};
 pub use error::SpecError;
 pub use layer::Layer;
-pub use network::{Network, NetworkLayer, Suite};
+pub use network::{InterlayerEdge, Network, NetworkLayer, Suite};
 pub use schedule::{Loop, LoopNest, Schedule, TileShape};
 pub use tensor::{DataTensor, TensorSizes};

@@ -189,6 +189,55 @@ impl Network {
     pub fn total_macs(&self) -> u64 {
         self.layers.iter().map(|e| e.count * e.layer.macs()).sum()
     }
+
+    /// The inter-layer tensor hand-offs of this network, in execution order:
+    /// for every pair of adjacent entries whose shapes actually chain
+    /// (producer output feeds consumer input, see [`Layer::feeds`]) a
+    /// *boundary* edge, and for every entry that runs more than once
+    /// back-to-back and feeds itself an *internal* edge with multiplicity
+    /// `count - 1`. These are exactly the tensors an inter-layer residency
+    /// pass may keep on chip.
+    pub fn interlayer_edges(&self) -> Vec<InterlayerEdge> {
+        let mut edges = Vec::new();
+        for (i, e) in self.layers.iter().enumerate() {
+            if e.count > 1 && e.layer.feeds(&e.layer) {
+                edges.push(InterlayerEdge {
+                    producer: i,
+                    consumer: i,
+                    multiplicity: e.count - 1,
+                    elements: e.layer.output_elements(),
+                });
+            }
+            if let Some(next) = self.layers.get(i + 1) {
+                if e.layer.feeds(&next.layer) {
+                    edges.push(InterlayerEdge {
+                        producer: i,
+                        consumer: i + 1,
+                        multiplicity: 1,
+                        elements: e.layer.output_elements(),
+                    });
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// One inter-layer tensor hand-off: the output of a [`Network`] entry that
+/// the next executed instance consumes as its input. Entry indices refer to
+/// [`Network::layers`]; `producer == consumer` marks the internal hand-offs
+/// of an entry that runs back-to-back (`count > 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InterlayerEdge {
+    /// Index of the producing entry.
+    pub producer: usize,
+    /// Index of the consuming entry (equal to `producer` for internal
+    /// repeat edges).
+    pub consumer: usize,
+    /// How many times this hand-off happens during network execution.
+    pub multiplicity: u64,
+    /// Elements of the handed-off tensor (the producer's output footprint).
+    pub elements: u64,
 }
 
 /// One residual stage: `(stage name, number of blocks, first-block convs
@@ -315,6 +364,7 @@ fn bottleneck_network(name: &str, stem: &str, stages: &[StageSpec]) -> Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Dim;
 
     #[test]
     fn resnet50_block_expansion_counts() {
@@ -360,6 +410,50 @@ mod tests {
         let net = Network::new("t").with_layer("a", l.clone(), 3);
         assert_eq!(net.total_macs(), 3 * l.macs());
         assert_eq!(net.num_instances(), 3);
+    }
+
+    #[test]
+    fn resnet50_interlayer_edges_chain_the_stages() {
+        let net = Network::from_suite(Suite::ResNet50);
+        let edges = net.interlayer_edges();
+        assert!(!edges.is_empty());
+        for e in &edges {
+            // Entry indices are in range and adjacent.
+            assert!(e.consumer == e.producer || e.consumer == e.producer + 1);
+            assert!(e.consumer < net.layers.len());
+            assert!(e.multiplicity >= 1);
+            // Edge tensor is the producer's output footprint.
+            assert_eq!(e.elements, net.layers[e.producer].layer.output_elements());
+            // The hand-off is shape-consistent (K feeds C).
+            let prod = &net.layers[e.producer].layer;
+            let cons = &net.layers[e.consumer].layer;
+            assert_eq!(prod.dim(Dim::K), cons.dim(Dim::C));
+        }
+        // The projection convolution consumes the *block input*, not the
+        // expand output (256 -> 64 channels do not chain), so no edge links
+        // expand to proj; the pooled expand -> fc hand-off is also excluded.
+        let idx = |name: &str| {
+            net.layers
+                .iter()
+                .position(|e| e.name == name)
+                .expect("entry exists")
+        };
+        let expand = idx("conv2.0.expand");
+        let proj = idx("conv2.0.proj");
+        assert!(!edges
+            .iter()
+            .any(|e| e.producer == expand && e.consumer == proj));
+        let fc = idx("fc");
+        assert!(!edges.iter().any(|e| e.consumer == fc));
+        // The conv3x3 repeat entries feed themselves back-to-back.
+        let rest3x3 = idx("conv2.rest.conv3x3");
+        let internal = edges
+            .iter()
+            .find(|e| e.producer == rest3x3 && e.consumer == rest3x3)
+            .expect("internal repeat edge");
+        assert_eq!(internal.multiplicity, net.layers[rest3x3].count - 1);
+        // Determinism: recomputation yields the identical edge list.
+        assert_eq!(net.interlayer_edges(), edges);
     }
 
     #[test]

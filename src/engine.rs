@@ -61,6 +61,7 @@
 //! // zero solves, zero NoC re-simulations.
 //! ```
 
+pub mod interlayer;
 pub mod store;
 
 use std::collections::HashMap;
@@ -70,16 +71,23 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use cosa_model::CostModel;
 use cosa_noc::{NocSimulator, NocSummary};
 use cosa_spec::{canon, Arch, Layer, Network};
 use serde::{Deserialize, Serialize};
 
 use crate::api::{ScheduleError, Scheduled, Scheduler};
 
-pub use store::{
-    CacheEntry, CacheStore, DiskTierStats, GcPolicy, GcReport, IndexLoad, SolveLock, StoreFormat,
-    StoreLoad, DEFAULT_LOCK_STALENESS, STORE_VERSION,
+pub use interlayer::{
+    InterlayerEdgeReport, InterlayerOccupancy, InterlayerOptions, InterlayerReport,
+    InterlayerStrategy, INTERLAYER_VERSION,
 };
+pub use store::{
+    CacheEntry, CacheStore, DiskTierStats, DramProfile, GcPolicy, GcReport, IndexLoad, SolveLock,
+    StoreFormat, StoreLoad, DEFAULT_LOCK_STALENESS, STORE_VERSION,
+};
+
+use interlayer::InterlayerPass;
 
 /// How often a cross-process waiter re-checks the shared store for the
 /// entry (or the lock for staleness) while another process solves.
@@ -493,7 +501,7 @@ pub struct LayerReport {
 /// provenance; strip it (and wall-clock) with
 /// [`NetworkReport::without_timings`] before byte-comparing reports across
 /// runs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkReport {
     /// Network name.
     pub network: String,
@@ -520,6 +528,81 @@ pub struct NetworkReport {
     /// The engine's cache/evaluation counters when this report was
     /// assembled (volatile; zeroed by [`NetworkReport::without_timings`]).
     pub cache: CacheStats,
+    /// The versioned inter-layer residency section — present exactly when
+    /// the pass ran (see [`Engine::with_interlayer`]). Omitted from the
+    /// wire when absent, so reports from engines without the pass are
+    /// byte-identical to the pre-interlayer schema, and reports *written*
+    /// before the section existed still deserialize.
+    pub interlayer: Option<InterlayerReport>,
+}
+
+// Hand-written (instead of derived) serialization for wire-schema
+// stability: `interlayer` is *omitted* when `None` — a derive would emit
+// `"interlayer":null`, changing the bytes of every pre-existing report —
+// and *optional on read*, so pre-interlayer report JSON still loads. The
+// field order matches the struct declaration, exactly as the derive would
+// emit it.
+impl Serialize for NetworkReport {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("network".to_string(), self.network.to_value()),
+            ("arch".to_string(), self.arch.to_value()),
+            ("scheduler".to_string(), self.scheduler.to_value()),
+            ("layers".to_string(), self.layers.to_value()),
+            (
+                "scheduled_layers".to_string(),
+                self.scheduled_layers.to_value(),
+            ),
+            ("failed_layers".to_string(), self.failed_layers.to_value()),
+            (
+                "total_latency_cycles".to_string(),
+                self.total_latency_cycles.to_value(),
+            ),
+            (
+                "total_energy_pj".to_string(),
+                self.total_energy_pj.to_value(),
+            ),
+            ("total_macs".to_string(), self.total_macs.to_value()),
+            (
+                "total_noc_cycles".to_string(),
+                self.total_noc_cycles.to_value(),
+            ),
+            ("cache".to_string(), self.cache.to_value()),
+        ];
+        if let Some(interlayer) = &self.interlayer {
+            entries.push(("interlayer".to_string(), interlayer.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for NetworkReport {
+    fn from_value(value: &serde::Value) -> Result<NetworkReport, serde::Error> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for NetworkReport"))?;
+        let interlayer = match map.iter().find(|(k, _)| k == "interlayer") {
+            None => None,
+            Some((_, v)) => Option::<InterlayerReport>::from_value(v)?,
+        };
+        Ok(NetworkReport {
+            network: Deserialize::from_value(serde::map_get(map, "network")?)?,
+            arch: Deserialize::from_value(serde::map_get(map, "arch")?)?,
+            scheduler: Deserialize::from_value(serde::map_get(map, "scheduler")?)?,
+            layers: Deserialize::from_value(serde::map_get(map, "layers")?)?,
+            scheduled_layers: Deserialize::from_value(serde::map_get(map, "scheduled_layers")?)?,
+            failed_layers: Deserialize::from_value(serde::map_get(map, "failed_layers")?)?,
+            total_latency_cycles: Deserialize::from_value(serde::map_get(
+                map,
+                "total_latency_cycles",
+            )?)?,
+            total_energy_pj: Deserialize::from_value(serde::map_get(map, "total_energy_pj")?)?,
+            total_macs: Deserialize::from_value(serde::map_get(map, "total_macs")?)?,
+            total_noc_cycles: Deserialize::from_value(serde::map_get(map, "total_noc_cycles")?)?,
+            cache: Deserialize::from_value(serde::map_get(map, "cache")?)?,
+            interlayer,
+        })
+    }
 }
 
 impl NetworkReport {
@@ -603,6 +686,9 @@ pub struct Engine {
     /// Disk-tier write format override, applied to the store (kept so
     /// the builder methods compose in either order).
     cache_format: Option<StoreFormat>,
+    /// Default inter-layer residency options for network scheduling
+    /// (disabled unless [`Engine::with_interlayer`] set them).
+    interlayer: InterlayerOptions,
 }
 
 impl Engine {
@@ -630,7 +716,23 @@ impl Engine {
             in_flight_peak: AtomicU64::new(0),
             lock_staleness: None,
             cache_format: None,
+            interlayer: InterlayerOptions::disabled(),
         }
+    }
+
+    /// Set the engine-default [`InterlayerOptions`]: with
+    /// `options.enabled`, every [`Engine::schedule_network`] call runs the
+    /// inter-layer residency pass and reports the versioned
+    /// [`NetworkReport::interlayer`] section. Per-call overrides go
+    /// through [`Engine::schedule_network_with`].
+    pub fn with_interlayer(mut self, options: InterlayerOptions) -> Engine {
+        self.interlayer = options;
+        self
+    }
+
+    /// The engine-default inter-layer residency options.
+    pub fn interlayer_options(&self) -> &InterlayerOptions {
+        &self.interlayer
     }
 
     /// Pin the persistent tier's write format (default
@@ -858,8 +960,28 @@ impl Engine {
     /// comparing and storing multi-kilobyte JSON strings, and double as the
     /// persistent store's file names.
     pub fn cache_key(&self, scheduler: &dyn Scheduler, layer: &Layer) -> String {
+        self.cache_key_with(scheduler, layer, &self.interlayer)
+    }
+
+    /// [`Engine::cache_key`] under explicit [`InterlayerOptions`]. With the
+    /// pass enabled the options' fingerprint is folded into the digest, so
+    /// memory-aware entries never collide with per-layer ones (in this
+    /// cache, on disk, or across shards routing by digest); with it
+    /// disabled the key is the pre-interlayer 3-part digest, keeping
+    /// existing cache directories warm for the default path.
+    pub fn cache_key_with(
+        &self,
+        scheduler: &dyn Scheduler,
+        layer: &Layer,
+        interlayer: &InterlayerOptions,
+    ) -> String {
         let layer = serde_json::to_string(layer).expect("layer serializes");
-        canon::cache_digest(&[&scheduler.fingerprint(), &self.arch_json, &layer])
+        if interlayer.enabled {
+            let options = interlayer.fingerprint();
+            canon::cache_digest(&[&scheduler.fingerprint(), &self.arch_json, &layer, &options])
+        } else {
+            canon::cache_digest(&[&scheduler.fingerprint(), &self.arch_json, &layer])
+        }
     }
 
     /// Run the NoC simulator on a chosen schedule, counting the sim.
@@ -901,12 +1023,38 @@ impl Engine {
                 .then(|| self.noc_verdict(layer, &scheduled))
                 .flatten();
             let backend = Some(scheduled.scheduler.clone());
+            let dram = Some(self.dram_profile(layer, &scheduled));
             CacheEntry {
                 scheduled,
                 noc,
                 backend,
+                dram,
             }
         })
+    }
+
+    /// The analytical model's per-tensor DRAM breakdown for a chosen
+    /// schedule — the provenance the inter-layer residency pass reads.
+    fn dram_profile(&self, layer: &Layer, scheduled: &Scheduled) -> DramProfile {
+        let eval = CostModel::new(&self.arch).evaluate_unchecked(layer, &scheduled.schedule);
+        DramProfile::from_tensor_bytes(eval.dram_tensor_bytes)
+    }
+
+    /// Catch a pre-provenance entry up with its DRAM profile so warm
+    /// caches written before the inter-layer pass existed converge too
+    /// (the profile analogue of [`Engine::catch_up_noc`]).
+    fn catch_up_dram(&self, key: &str, mut entry: CacheEntry, layer: &Layer) -> CacheEntry {
+        if entry.dram.is_none() {
+            entry.dram = Some(self.dram_profile(layer, &entry.scheduled));
+            if let Some(cache) = &self.cache {
+                cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(key.to_string(), entry.clone());
+            }
+            self.persist(key, &entry);
+        }
+        entry
     }
 
     /// Catch a schedule-only entry up with NoC evaluation so warm runs
@@ -1117,6 +1265,24 @@ impl Engine {
     /// Per-entry failures are recorded in the report rather than aborting
     /// the network.
     pub fn schedule_network(&self, network: &Network, scheduler: &dyn Scheduler) -> NetworkRun {
+        self.schedule_network_with(network, scheduler, &self.interlayer)
+    }
+
+    /// [`Engine::schedule_network`] with per-call inter-layer options
+    /// overriding the engine default — the entry point the serving tier
+    /// uses for the `interlayer` request object.
+    ///
+    /// When `interlayer.enabled`, the per-layer solves are followed by the
+    /// residency pass (see [`interlayer`](crate::engine::interlayer)) and
+    /// the report carries an [`InterlayerReport`] section; cache keys fold
+    /// in the options' fingerprint so memory-aware and per-layer schedules
+    /// never collide.
+    pub fn schedule_network_with(
+        &self,
+        network: &Network,
+        scheduler: &dyn Scheduler,
+        interlayer: &InterlayerOptions,
+    ) -> NetworkRun {
         let start = Instant::now();
         let noc_sims_before = self.noc_sims.load(Ordering::Relaxed);
 
@@ -1124,7 +1290,7 @@ impl Engine {
         let keys: Vec<String> = network
             .layers
             .iter()
-            .map(|e| self.cache_key(scheduler, &e.layer))
+            .map(|e| self.cache_key_with(scheduler, &e.layer, interlayer))
             .collect();
         let mut unique: Vec<(&str, &Layer)> = Vec::new();
         let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
@@ -1216,6 +1382,20 @@ impl Engine {
             }
         }
 
+        // The residency pass reads per-tensor DRAM provenance; warm cache
+        // hits written before the provenance existed lack one. Catch them
+        // up (and persist), mirroring the NoC backfill above.
+        if interlayer.enabled {
+            for (key, layer) in &unique {
+                if let Some(entry) = resolved.get(*key) {
+                    if entry.dram.is_none() {
+                        let caught = self.catch_up_dram(key, entry.clone(), layer);
+                        resolved.insert(key, caught);
+                    }
+                }
+            }
+        }
+
         // Fresh successes were already folded into the cache and the
         // persistent store inside `resolve_entry` (before the per-digest
         // solve lock released, so cross-process waiters find them).
@@ -1232,6 +1412,10 @@ impl Engine {
         let mut failed_layers = 0usize;
         let mut cache_hits = 0u64;
         let mut first_use: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        // Per-entry DRAM provenance for the residency pass (entries that
+        // arrived without one — e.g. through a flight wait on a pre-pass
+        // disk entry — are profiled inline).
+        let mut pass_profiles: Vec<Option<[f64; 3]>> = Vec::new();
         for (key, entry) in keys.iter().zip(&network.layers) {
             // Every unique key either stayed a job (→ `solved`) or was
             // captured from the cache before solving (→ `resolved`). A
@@ -1250,6 +1434,13 @@ impl Engine {
             };
             let (scheduled, noc, error) = match outcome {
                 Ok(e) => {
+                    if interlayer.enabled {
+                        let profile = match &e.dram {
+                            Some(d) => d.tensor_bytes(),
+                            None => self.dram_profile(&entry.layer, &e.scheduled).tensor_bytes(),
+                        };
+                        pass_profiles.push(Some(profile));
+                    }
                     total_latency += entry.count as f64 * e.scheduled.latency_cycles;
                     total_energy += entry.count as f64 * e.scheduled.energy_pj;
                     if let Some(noc) = &e.noc {
@@ -1262,6 +1453,9 @@ impl Engine {
                     (Some(e.scheduled), e.noc, None)
                 }
                 Err(e) => {
+                    if interlayer.enabled {
+                        pass_profiles.push(None);
+                    }
                     failed_layers += 1;
                     (None, None, Some(e.to_string()))
                 }
@@ -1276,6 +1470,22 @@ impl Engine {
             });
         }
 
+        // With residency enabled, run the inter-layer pass over the chosen
+        // schedules and attach its verdict. The headline totals above stay
+        // the per-layer baseline — the section carries the adjusted ones.
+        let interlayer_report = interlayer.enabled.then(|| {
+            let scheduled_refs: Vec<Option<&Scheduled>> =
+                layers.iter().map(|l| l.scheduled.as_ref()).collect();
+            InterlayerPass::new(
+                &self.arch,
+                network,
+                scheduled_refs,
+                pass_profiles,
+                interlayer,
+            )
+            .run()
+        });
+
         NetworkRun {
             report: NetworkReport {
                 network: network.name.clone(),
@@ -1289,6 +1499,7 @@ impl Engine {
                 total_macs: network.total_macs(),
                 total_noc_cycles: self.simulate_noc.then_some(total_noc),
                 cache: self.cache_stats(),
+                interlayer: interlayer_report,
             },
             cache_hits,
             cache_misses: fresh_solves,

@@ -200,6 +200,43 @@ impl Drop for SolveLock {
     }
 }
 
+/// Per-tensor DRAM traffic of a cached schedule, in bytes per execution:
+/// the analytical model's breakdown of
+/// [`Evaluation::dram_bytes`](cosa_model::Evaluation::dram_bytes) by
+/// operand. Persisted alongside the schedule so warm inter-layer residency
+/// passes read savings off the entry instead of re-running the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramProfile {
+    /// DRAM bytes moved for the weight tensor.
+    pub weights: f64,
+    /// DRAM bytes moved for the input activation tensor.
+    pub inputs: f64,
+    /// DRAM bytes moved for the output activation tensor.
+    pub outputs: f64,
+}
+
+impl DramProfile {
+    /// From the cost model's per-tensor array (indexed by
+    /// `DataTensor::index`).
+    pub fn from_tensor_bytes(bytes: [f64; 3]) -> DramProfile {
+        DramProfile {
+            weights: bytes[0],
+            inputs: bytes[1],
+            outputs: bytes[2],
+        }
+    }
+
+    /// Back to the cost model's index order.
+    pub fn tensor_bytes(&self) -> [f64; 3] {
+        [self.weights, self.inputs, self.outputs]
+    }
+
+    /// Total DRAM bytes per execution.
+    pub fn total(&self) -> f64 {
+        self.weights + self.inputs + self.outputs
+    }
+}
+
 /// One cached value: the scheduling result plus the engine-level NoC
 /// verdict when simulation was enabled for (or has caught up with) the
 /// entry.
@@ -218,15 +255,21 @@ pub struct CacheEntry {
     /// for entries persisted before backend provenance existed; such
     /// legacy entries still load (the field is optional on read).
     pub backend: Option<String>,
+    /// Per-tensor DRAM traffic of `scheduled.schedule` — the inter-layer
+    /// residency pass's input. `None` for entries persisted before this
+    /// provenance existed; such legacy entries still load (the field is
+    /// optional on read) and are caught up lazily.
+    pub dram: Option<DramProfile>,
 }
 
 impl CacheEntry {
-    /// An entry with no NoC verdict or backend provenance yet.
+    /// An entry with no NoC verdict, backend or DRAM provenance yet.
     pub fn new(scheduled: Scheduled) -> CacheEntry {
         CacheEntry {
             scheduled,
             noc: None,
             backend: None,
+            dram: None,
         }
     }
 }
@@ -256,6 +299,7 @@ impl Deserialize for CacheEntry {
             scheduled: Deserialize::from_value(serde::map_get(map, "scheduled")?)?,
             noc: opt_field(map, "noc")?,
             backend: opt_field(map, "backend")?,
+            dram: opt_field(map, "dram")?,
         })
     }
 }

@@ -73,11 +73,13 @@ pub mod prelude {
         race_schedulers, PortfolioScheduler, ScheduleError, ScheduleStats, Scheduled, Scheduler,
     };
     pub use crate::engine::{
-        BackendWin, CacheEntry, CacheStats, CacheStore, Engine, GcPolicy, GcReport, LayerReport,
-        NetworkReport, NetworkRun, ScheduleCache,
+        BackendWin, CacheEntry, CacheStats, CacheStore, Engine, GcPolicy, GcReport,
+        InterlayerOptions, InterlayerReport, InterlayerStrategy, LayerReport, NetworkReport,
+        NetworkRun, ScheduleCache,
     };
     pub use crate::serve::{
-        scheduler_from_name, HealthResponse, ScheduleRequest, ScheduleResponse, StatsResponse,
+        scheduler_from_name, HealthResponse, ScheduleOptions, ScheduleRequest, ScheduleResponse,
+        StatsResponse,
     };
     pub use cosa_core::{CosaResult, CosaScheduler, ObjectiveWeights};
     pub use cosa_mappers::{

@@ -45,6 +45,7 @@ use crate::api::{PortfolioScheduler, Scheduled, Scheduler};
 use crate::engine::CacheStats;
 use crate::engine::NetworkReport;
 use crate::engine::StoreFormat;
+use crate::engine::{InterlayerOptions, InterlayerStrategy};
 
 /// The value following `--flag` in `args`, when present.
 pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -81,6 +82,10 @@ pub struct CommonArgs {
     pub cache_dir: Option<PathBuf>,
     /// `--noc` present.
     pub noc: bool,
+    /// `--interlayer` (plus `--interlayer-budget-bytes N` and
+    /// `--interlayer-strategy greedy|milp`): the inter-layer residency
+    /// pass options, disabled unless `--interlayer` is present.
+    pub interlayer: InterlayerOptions,
 }
 
 impl CommonArgs {
@@ -92,6 +97,19 @@ impl CommonArgs {
                 .unwrap_or_else(|| panic!("bad value `{name}` for --cache-format")),
             None => StoreFormat::default(),
         };
+        let mut interlayer = if args.iter().any(|a| a == "--interlayer") {
+            InterlayerOptions::enabled()
+        } else {
+            InterlayerOptions::disabled()
+        };
+        if let Some(bytes) = parse_flag::<u64>(args, "--interlayer-budget-bytes") {
+            interlayer = interlayer.with_budget_bytes(bytes);
+        }
+        if let Some(name) = flag_value(args, "--interlayer-strategy") {
+            let strategy = InterlayerStrategy::parse(&name)
+                .unwrap_or_else(|| panic!("bad value `{name}` for --interlayer-strategy"));
+            interlayer = interlayer.with_strategy(strategy);
+        }
         CommonArgs {
             scheduler: flag_value(args, "--scheduler").unwrap_or_else(|| "cosa".to_string()),
             cache_format,
@@ -101,8 +119,93 @@ impl CommonArgs {
                 .or_else(|| std::env::var("COSA_CACHE_DIR").ok())
                 .map(Into::into),
             noc: args.iter().any(|a| a == "--noc"),
+            interlayer,
         }
     }
+}
+
+/// The per-request knob set of the `/v1/schedule` schema: everything that
+/// changes *how* a work item is scheduled, as one serializable object.
+///
+/// This is the PR-9 redesign of the request surface: rather than growing
+/// one top-level field per knob (`arch`, `scheduler`, now `interlayer`,
+/// ...), requests carry a single `options` object and every consumer —
+/// daemon, router, probes, tests — reads the same struct. The old
+/// top-level spellings are still accepted (folded into `options` on read)
+/// but answered with a `Deprecation: true` header, exactly like the
+/// unversioned path aliases.
+///
+/// Every field defaults: `{}` is a valid options object, and a missing
+/// field means "the daemon's default".
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ScheduleOptions {
+    /// Architecture to schedule for; `None` uses the daemon's default.
+    pub arch: Option<Arch>,
+    /// Scheduler name (`cosa`|`sat`|`portfolio`|`random`|`hybrid`); `None`
+    /// means `cosa`.
+    pub scheduler: Option<String>,
+    /// Inter-layer residency pass options for network/suite requests;
+    /// `None` uses the daemon's configured default (disabled unless the
+    /// daemon was started with `--interlayer`).
+    pub interlayer: Option<InterlayerOptions>,
+}
+
+impl ScheduleOptions {
+    /// All-defaults options (daemon arch, `cosa`, daemon interlayer).
+    pub fn new() -> ScheduleOptions {
+        ScheduleOptions::default()
+    }
+
+    /// Pin the architecture.
+    #[must_use]
+    pub fn with_arch(mut self, arch: Arch) -> ScheduleOptions {
+        self.arch = Some(arch);
+        self
+    }
+
+    /// Pick a scheduler by name.
+    #[must_use]
+    pub fn with_scheduler(mut self, name: impl Into<String>) -> ScheduleOptions {
+        self.scheduler = Some(name.into());
+        self
+    }
+
+    /// Set the inter-layer residency options explicitly.
+    #[must_use]
+    pub fn with_interlayer(mut self, options: InterlayerOptions) -> ScheduleOptions {
+        self.interlayer = Some(options);
+        self
+    }
+}
+
+// Hand-written so a partial object is valid: absent and `null` fields are
+// the defaults, unknown fields fail loudly.
+impl Deserialize for ScheduleOptions {
+    fn from_value(value: &Value) -> Result<ScheduleOptions, SerdeError> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| SerdeError::custom("expected map for ScheduleOptions"))?;
+        const KNOWN: [&str; 3] = ["arch", "scheduler", "interlayer"];
+        if let Some((unknown, _)) = map.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
+            return Err(SerdeError::custom(format!(
+                "unknown option `{unknown}` (expected one of {KNOWN:?})"
+            )));
+        }
+        Ok(ScheduleOptions {
+            arch: opt_field(map, "arch")?,
+            scheduler: opt_field(map, "scheduler")?,
+            interlayer: opt_field(map, "interlayer")?,
+        })
+    }
+}
+
+/// Whether a parsed request body uses the deprecated pre-PR-9 top-level
+/// `arch`/`scheduler` spelling instead of the `options` object. The
+/// daemon and router answer such requests normally but add a
+/// `Deprecation: true` header, mirroring the unversioned path aliases.
+pub fn uses_deprecated_fields(body: &Value) -> bool {
+    body.as_map()
+        .is_some_and(|m| m.iter().any(|(k, _)| k == "arch" || k == "scheduler"))
 }
 
 /// The digest consistent-hash sharding routes a request by.
@@ -112,14 +215,20 @@ impl CommonArgs {
 /// see `Engine::cache_key`), so every request that would produce the same
 /// cache entry lands on the same shard and the fleet solves each digest
 /// exactly once. Network/suite requests hash their canonical request JSON
-/// instead: identical requests still colocate (their per-layer entries
-/// all warm the same shard), which is the property the fleet needs —
-/// per-layer placement cannot apply to a request that fans out into many
-/// layers server-side.
-pub fn routing_digest(request: &ScheduleRequest, default_arch: &Arch) -> String {
-    let arch = request.arch.as_ref().unwrap_or(default_arch);
+/// instead, with *every* semantics-changing option pinned to its
+/// effective value first — the arch, the scheduler and the inter-layer
+/// options all fold into the digest, so two requests that differ only in
+/// `options.interlayer` route independently and can never share a cache
+/// entry, while "default" and "explicit default" spellings of the same
+/// request route identically.
+pub fn routing_digest(
+    request: &ScheduleRequest,
+    default_arch: &Arch,
+    default_interlayer: &InterlayerOptions,
+) -> String {
+    let arch = request.arch().unwrap_or(default_arch);
     if let Some(layer) = &request.layer {
-        let name = request.scheduler.as_deref().unwrap_or("cosa");
+        let name = request.scheduler_name();
         if let Ok(scheduler) = scheduler_from_name(name, arch) {
             let arch_json = serde_json::to_string(arch).expect("arch serializes");
             let layer_json = serde_json::to_string(layer).expect("layer serializes");
@@ -128,11 +237,17 @@ pub fn routing_digest(request: &ScheduleRequest, default_arch: &Arch) -> String 
         // Unknown scheduler: fall through to request hashing — the owning
         // shard answers the 400 so every client sees the same error.
     }
+    // Pin every effective option so "default" and "explicit default"
+    // requests route identically.
     let mut canonical = request.clone();
-    if canonical.arch.is_none() {
-        // Pin the effective arch so "default arch" and "explicit default
-        // arch" requests route identically.
-        canonical.arch = Some(arch.clone());
+    if canonical.options.arch.is_none() {
+        canonical.options.arch = Some(arch.clone());
+    }
+    if canonical.options.scheduler.is_none() {
+        canonical.options.scheduler = Some(request.scheduler_name().to_string());
+    }
+    if canonical.options.interlayer.is_none() {
+        canonical.options.interlayer = Some(*default_interlayer);
     }
     let json = serde_json::to_string(&canonical).expect("request serializes");
     canon::digest128_hex(json.as_bytes())
@@ -173,18 +288,17 @@ pub fn scheduler_from_name(name: &str, arch: &Arch) -> Result<Box<dyn Scheduler>
     }
 }
 
-/// A `POST /schedule` body: what to schedule and with which scheduler.
+/// A `POST /schedule` body: what to schedule plus one [`ScheduleOptions`]
+/// object saying how.
 ///
-/// Exactly one of `layer`, `network` or `suite` must be set. `arch`
-/// defaults to the daemon's configured architecture and `scheduler` to
-/// `"cosa"`. Missing and `null` fields are equivalent.
+/// Exactly one of `layer`, `network` or `suite` must be set. Missing and
+/// `null` fields are equivalent. The deprecated pre-PR-9 top-level
+/// `arch`/`scheduler` fields still deserialize (folded into `options`);
+/// serialization always emits the `options` form.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct ScheduleRequest {
-    /// Architecture to schedule for; `None` uses the daemon's default.
-    pub arch: Option<Arch>,
-    /// Scheduler name (`cosa`|`sat`|`portfolio`|`random`|`hybrid`); `None`
-    /// means `cosa`.
-    pub scheduler: Option<String>,
+    /// How to schedule: arch, scheduler and inter-layer knobs.
+    pub options: ScheduleOptions,
     /// Schedule one layer, answering [`ScheduleResponse::scheduled`].
     pub layer: Option<Layer>,
     /// Schedule an inline network, answering [`ScheduleResponse::report`].
@@ -209,16 +323,34 @@ impl Deserialize for ScheduleRequest {
             .ok_or_else(|| SerdeError::custom("expected map for ScheduleRequest"))?;
         // Lenient about *missing* fields, strict about *unknown* ones: a
         // misspelled "schedulr" must fail loudly, not silently fall back
-        // to the default scheduler.
-        const KNOWN: [&str; 5] = ["arch", "scheduler", "layer", "network", "suite"];
+        // to the default scheduler. `arch` and `scheduler` are the
+        // deprecated top-level spellings, accepted and folded into
+        // `options` (the daemon answers them with `Deprecation: true`).
+        const KNOWN: [&str; 6] = ["options", "arch", "scheduler", "layer", "network", "suite"];
         if let Some((unknown, _)) = map.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
             return Err(SerdeError::custom(format!(
                 "unknown request field `{unknown}` (expected one of {KNOWN:?})"
             )));
         }
+        let mut options: ScheduleOptions = opt_field(map, "options")?.unwrap_or_default();
+        let legacy_arch: Option<Arch> = opt_field(map, "arch")?;
+        let legacy_scheduler: Option<String> = opt_field(map, "scheduler")?;
+        if (legacy_arch.is_some() && options.arch.is_some())
+            || (legacy_scheduler.is_some() && options.scheduler.is_some())
+        {
+            return Err(SerdeError::custom(
+                "deprecated top-level `arch`/`scheduler` cannot be combined with the same \
+                 field inside `options`",
+            ));
+        }
+        if legacy_arch.is_some() {
+            options.arch = legacy_arch;
+        }
+        if legacy_scheduler.is_some() {
+            options.scheduler = legacy_scheduler;
+        }
         Ok(ScheduleRequest {
-            arch: opt_field(map, "arch")?,
-            scheduler: opt_field(map, "scheduler")?,
+            options,
             layer: opt_field(map, "layer")?,
             network: opt_field(map, "network")?,
             suite: opt_field(map, "suite")?,
@@ -252,15 +384,46 @@ impl ScheduleRequest {
     }
 
     /// Pick a scheduler by name (`cosa`|`sat`|`portfolio`|`random`|`hybrid`).
+    #[must_use]
     pub fn with_scheduler(mut self, name: impl Into<String>) -> ScheduleRequest {
-        self.scheduler = Some(name.into());
+        self.options.scheduler = Some(name.into());
         self
     }
 
     /// Pin the architecture instead of using the daemon's default.
+    #[must_use]
     pub fn with_arch(mut self, arch: Arch) -> ScheduleRequest {
-        self.arch = Some(arch);
+        self.options.arch = Some(arch);
         self
+    }
+
+    /// Set the inter-layer residency options explicitly.
+    #[must_use]
+    pub fn with_interlayer(mut self, options: InterlayerOptions) -> ScheduleRequest {
+        self.options.interlayer = Some(options);
+        self
+    }
+
+    /// Replace the whole options object.
+    #[must_use]
+    pub fn with_options(mut self, options: ScheduleOptions) -> ScheduleRequest {
+        self.options = options;
+        self
+    }
+
+    /// The requested architecture, when pinned.
+    pub fn arch(&self) -> Option<&Arch> {
+        self.options.arch.as_ref()
+    }
+
+    /// The effective scheduler name (`"cosa"` unless overridden).
+    pub fn scheduler_name(&self) -> &str {
+        self.options.scheduler.as_deref().unwrap_or("cosa")
+    }
+
+    /// The effective inter-layer options given the daemon's default.
+    pub fn interlayer_or(&self, default: &InterlayerOptions) -> InterlayerOptions {
+        self.options.interlayer.unwrap_or(*default)
     }
 
     /// Validate the "exactly one work item" rule, naming the violation.
@@ -460,11 +623,61 @@ mod tests {
     fn request_missing_fields_deserialize_to_none() {
         let req: ScheduleRequest = serde_json::from_str(r#"{"suite": "resnet50"}"#).unwrap();
         assert_eq!(req.suite.as_deref(), Some("resnet50"));
-        assert!(req.arch.is_none() && req.layer.is_none() && req.network.is_none());
+        assert!(req.arch().is_none() && req.layer.is_none() && req.network.is_none());
+        assert!(req.options.interlayer.is_none());
         assert!(req.work_item().is_ok());
         // And the empty object is a well-formed (if unserviceable) request.
         let empty: ScheduleRequest = serde_json::from_str("{}").unwrap();
         assert!(empty.work_item().is_err());
+    }
+
+    #[test]
+    fn request_accepts_deprecated_top_level_fields() {
+        // The pre-PR-9 spelling: scheduler/arch at the top level.
+        let legacy: ScheduleRequest =
+            serde_json::from_str(r#"{"suite": "resnet50", "scheduler": "random"}"#).unwrap();
+        assert_eq!(legacy.scheduler_name(), "random");
+        let modern: ScheduleRequest =
+            serde_json::from_str(r#"{"suite": "resnet50", "options": {"scheduler": "random"}}"#)
+                .unwrap();
+        assert_eq!(legacy, modern, "both spellings parse to the same request");
+        // The legacy spelling is detectable for the Deprecation header.
+        let value: Value =
+            serde_json::from_str(r#"{"suite": "resnet50", "scheduler": "random"}"#).unwrap();
+        assert!(uses_deprecated_fields(&value));
+        let value: Value =
+            serde_json::from_str(r#"{"suite": "resnet50", "options": {"scheduler": "random"}}"#)
+                .unwrap();
+        assert!(!uses_deprecated_fields(&value));
+        // Mixing both spellings of the same knob is ambiguous → error.
+        assert!(serde_json::from_str::<ScheduleRequest>(
+            r#"{"suite": "resnet50", "scheduler": "random", "options": {"scheduler": "sat"}}"#,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn options_object_is_partial_and_strict() {
+        let opts: ScheduleOptions =
+            serde_json::from_str(r#"{"interlayer": {"enabled": true}}"#).unwrap();
+        assert_eq!(opts.interlayer, Some(InterlayerOptions::enabled()));
+        assert!(opts.arch.is_none() && opts.scheduler.is_none());
+        let empty: ScheduleOptions = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, ScheduleOptions::default());
+        let err = serde_json::from_str::<ScheduleOptions>(r#"{"interlayr": {}}"#)
+            .expect_err("unknown option field must fail");
+        assert!(err.to_string().contains("interlayr"), "{err}");
+        // Interlayer sub-object: unknown keys fail, partial objects work.
+        let req: ScheduleRequest = serde_json::from_str(
+            r#"{"suite": "resnet50",
+                "options": {"interlayer": {"enabled": true, "budget_bytes": 4096,
+                                           "strategy": "milp"}}}"#,
+        )
+        .unwrap();
+        let il = req.interlayer_or(&InterlayerOptions::disabled());
+        assert!(il.enabled);
+        assert_eq!(il.budget_bytes, Some(4096));
+        assert_eq!(il.strategy, InterlayerStrategy::Milp);
     }
 
     #[test]
@@ -534,37 +747,115 @@ mod tests {
             Some(std::path::Path::new("/tmp/c"))
         );
         assert!(common.noc);
+        assert_eq!(common.interlayer, InterlayerOptions::disabled());
 
         let defaults = CommonArgs::parse(&["bin".to_string()]);
         assert_eq!(defaults.scheduler, "cosa");
         assert_eq!(defaults.cache_format, StoreFormat::default());
         assert!(defaults.lock_staleness.is_none() && !defaults.noc);
+
+        let interlayer = CommonArgs::parse(
+            &[
+                "bin",
+                "--interlayer",
+                "--interlayer-budget-bytes",
+                "65536",
+                "--interlayer-strategy",
+                "milp",
+            ]
+            .map(String::from),
+        );
+        assert_eq!(
+            interlayer.interlayer,
+            InterlayerOptions::enabled()
+                .with_budget_bytes(65536)
+                .with_strategy(InterlayerStrategy::Milp)
+        );
     }
 
     #[test]
     fn routing_digest_matches_engine_cache_key_for_layers() {
         let arch = Arch::simba_baseline();
+        let off = InterlayerOptions::disabled();
         let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
         let req = ScheduleRequest::for_layer(layer.clone());
         let engine = crate::engine::Engine::new(arch.clone());
         let scheduler = scheduler_from_name("cosa", &arch).unwrap();
         assert_eq!(
-            routing_digest(&req, &arch),
+            routing_digest(&req, &arch, &off),
             engine.cache_key(scheduler.as_ref(), &layer),
             "layer requests must route by the exact cache key"
         );
         // Default arch and explicit default arch route identically.
         let explicit = req.clone().with_arch(arch.clone());
         assert_eq!(
-            routing_digest(&req, &arch),
-            routing_digest(&explicit, &arch)
+            routing_digest(&req, &arch, &off),
+            routing_digest(&explicit, &arch, &off)
         );
         // Suite requests are stable and scheduler-sensitive.
         let suite = ScheduleRequest::for_suite(Suite::AlexNet);
-        assert_eq!(routing_digest(&suite, &arch), routing_digest(&suite, &arch));
+        assert_eq!(
+            routing_digest(&suite, &arch, &off),
+            routing_digest(&suite, &arch, &off)
+        );
         assert_ne!(
-            routing_digest(&suite, &arch),
-            routing_digest(&suite.clone().with_scheduler("sat"), &arch)
+            routing_digest(&suite, &arch, &off),
+            routing_digest(&suite.clone().with_scheduler("sat"), &arch, &off)
+        );
+    }
+
+    #[test]
+    fn routing_digest_folds_in_every_option() {
+        let arch = Arch::simba_baseline();
+        let off = InterlayerOptions::disabled();
+        let suite = ScheduleRequest::for_suite(Suite::AlexNet);
+
+        // Requests differing *only* in interlayer options route (and cache)
+        // independently — the PR-6/7 era digest ignored everything but
+        // arch/scheduler, which would alias these.
+        let resident = suite.clone().with_interlayer(InterlayerOptions::enabled());
+        assert_ne!(
+            routing_digest(&suite, &arch, &off),
+            routing_digest(&resident, &arch, &off),
+            "interlayer options must change the routing digest"
+        );
+        let budgeted = suite
+            .clone()
+            .with_interlayer(InterlayerOptions::enabled().with_budget_bytes(1 << 16));
+        assert_ne!(
+            routing_digest(&resident, &arch, &off),
+            routing_digest(&budgeted, &arch, &off)
+        );
+
+        // "Absent" and "explicitly the daemon default" spell the same
+        // request and must colocate.
+        let explicit_off = suite.clone().with_interlayer(off);
+        assert_eq!(
+            routing_digest(&suite, &arch, &off),
+            routing_digest(&explicit_off, &arch, &off)
+        );
+        // ... including when the daemon default is enabled.
+        let fleet_default = InterlayerOptions::enabled();
+        let explicit_on = suite.clone().with_interlayer(fleet_default);
+        assert_eq!(
+            routing_digest(&suite, &arch, &fleet_default),
+            routing_digest(&explicit_on, &arch, &fleet_default)
+        );
+
+        // Engine-level cache keys diverge too: enabling residency folds the
+        // options fingerprint into the key, so the two schedules can never
+        // share a cache entry.
+        let engine = crate::engine::Engine::new(arch.clone());
+        let scheduler = scheduler_from_name("cosa", &arch).unwrap();
+        let layer = Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1);
+        let base = engine.cache_key_with(scheduler.as_ref(), &layer, &off);
+        let aware =
+            engine.cache_key_with(scheduler.as_ref(), &layer, &InterlayerOptions::enabled());
+        assert_ne!(base, aware, "cache keys must not collide");
+        assert_eq!(
+            base,
+            engine.cache_key(scheduler.as_ref(), &layer),
+            "disabled residency keeps the pre-PR-9 cache key (warm caches stay warm)"
         );
     }
 

@@ -160,6 +160,119 @@ fn unversioned_aliases_answer_with_deprecation_header() {
 }
 
 #[test]
+fn legacy_body_fields_answer_with_deprecation_header() {
+    let handle = quick_server();
+    let modern = ScheduleRequest::for_layer(Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1))
+        .with_scheduler("random");
+
+    // The pre-PR-9 spelling: `scheduler` at the top level instead of
+    // inside `options`. Build it from the modern request's own layer so
+    // the two bodies describe the identical work.
+    let modern_value = serde_json::to_value(&modern);
+    let layer_value = match &modern_value {
+        serde::Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == "layer")
+            .map(|(_, v)| v.clone())
+            .expect("layer member"),
+        _ => panic!("request serializes to a map"),
+    };
+    let legacy = serde::Value::Map(vec![
+        ("scheduler".to_string(), serde::Value::Str("random".into())),
+        ("layer".to_string(), layer_value.clone()),
+    ]);
+    let legacy_body = serde_json::to_string(&legacy).unwrap();
+
+    // The legacy body still answers on /v1 — flagged via the header.
+    let resp = http::request(handle.addr(), "POST", "/v1/schedule", &legacy_body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(
+        resp.header("deprecation"),
+        Some("true"),
+        "legacy top-level fields must carry `Deprecation: true`"
+    );
+    let v1 = post_schedule(&handle, &modern);
+    assert!(v1.header("deprecation").is_none(), "modern body is clean");
+    assert_eq!(
+        serde_json::to_string(&parse_response(&v1).without_timings()).unwrap(),
+        serde_json::to_string(&parse_response(&resp).without_timings()).unwrap(),
+        "legacy and modern spellings answer identically"
+    );
+
+    // Spelling the same knob both ways is a 400, not a silent pick.
+    let mixed = serde::Value::Map(vec![
+        ("scheduler".to_string(), serde::Value::Str("random".into())),
+        (
+            "options".to_string(),
+            serde::Value::Map(vec![(
+                "scheduler".to_string(),
+                serde::Value::Str("cosa".into()),
+            )]),
+        ),
+        ("layer".to_string(), layer_value),
+    ]);
+    let mixed_body = serde_json::to_string(&mixed).unwrap();
+    let resp = http::request(handle.addr(), "POST", "/v1/schedule", &mixed_body).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn interlayer_options_flow_end_to_end() {
+    let handle = quick_server();
+
+    // Default request: per-layer scheduling, no `interlayer` section —
+    // and no trace of the key in the wire bytes.
+    let plain = ScheduleRequest::for_network(tiny_network()).with_scheduler("random");
+    let resp = post_schedule(&handle, &plain);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(
+        !resp.body.contains("interlayer"),
+        "default answers match the pre-PR-9 wire format"
+    );
+    let report = parse_response(&resp).report.expect("network answer");
+    assert!(report.interlayer.is_none());
+    let solves_after_plain = get_stats(&handle).cache.misses;
+
+    // Memory-aware request on the same daemon: the residency section
+    // appears and off-chip traffic strictly drops.
+    let aware = plain.clone().with_interlayer(InterlayerOptions::enabled());
+    let resp = post_schedule(&handle, &aware);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.header("deprecation").is_none(), "modern spelling");
+    let report = parse_response(&resp).report.expect("network answer");
+    let section = report.interlayer.expect("interlayer section");
+    assert!(section.offchip_bytes < section.baseline_offchip_bytes);
+    // Memory-aware schedules never collide with the per-layer cache:
+    // the aware request solved its shapes under distinct digests.
+    assert!(
+        get_stats(&handle).cache.misses > solves_after_plain,
+        "memory-aware run must not reuse per-layer cache entries"
+    );
+
+    handle.shutdown().expect("clean shutdown");
+
+    // A daemon started with residency on applies it to requests that
+    // don't mention it — the fleet-level default.
+    let fleet = Server::start(
+        ServeConfig::builder()
+            .workers(2)
+            .interlayer(InterlayerOptions::enabled())
+            .build(),
+    )
+    .expect("start daemon");
+    let resp = post_schedule(&fleet, &plain);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let report = parse_response(&resp).report.expect("network answer");
+    assert!(
+        report.interlayer.is_some(),
+        "fleet default applies to requests without explicit options"
+    );
+    fleet.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn malformed_requests_get_4xx_and_daemon_stays_up() {
     let handle = quick_server();
 

@@ -85,7 +85,7 @@ fn three_shards_solve_each_digest_exactly_once() {
     // serves show exactly one miss per unique routing digest.
     let unique: HashSet<String> = requests()
         .iter()
-        .map(|r| routing_digest(r, &Arch::simba_baseline()))
+        .map(|r| routing_digest(r, &Arch::simba_baseline(), &Default::default()))
         .collect();
     assert_eq!(
         unique.len(),
@@ -106,7 +106,11 @@ fn three_shards_solve_each_digest_exactly_once() {
     let ring = HashRing::new(shards.iter().map(|s| s.addr().to_string()).collect());
     let mut expected = vec![0u64; shards.len()];
     for request in &requests() {
-        expected[ring.owner_index(&routing_digest(request, &Arch::simba_baseline()))] += 1;
+        expected[ring.owner_index(&routing_digest(
+            request,
+            &Arch::simba_baseline(),
+            &Default::default(),
+        ))] += 1;
     }
     for (shard, want) in shards.iter().zip(&expected) {
         assert_eq!(
