@@ -1,0 +1,456 @@
+//! BENCH_10: the transformer-era suites artifact and the tracked perf
+//! trajectory.
+//!
+//! Emits `results/BENCH_10.json` covering four axes, then folds the
+//! BENCH_6→10 headline numbers into `results/trajectory.md` so
+//! "measurably faster" is checked against a record instead of anecdotes:
+//!
+//! 1. **Per-shape-class solver latency** on the new layer classes
+//!    (encoder-block matmuls, depthwise/pointwise convolutions): MILP vs
+//!    SAT vs the portfolio race, with objectives recorded so exactness is
+//!    visible in the artifact itself.
+//! 2. **Cold/warm engine wall-clock** per new suite (GPT-mini and
+//!    MobileNetV2 by default; BERT-base too under `--full`) with the
+//!    portfolio scheduler and per-backend race wins; warm passes are
+//!    asserted all-hit and canonically byte-identical.
+//! 3. **Inter-layer residency on an encoder chain**: off-chip bytes with
+//!    the pass enabled vs the per-layer baseline, asserted strictly lower
+//!    and byte-identical across independently constructed engines.
+//! 4. **Serve p50/p99 on a mixed CNN+transformer workload**: an
+//!    in-process daemon answering requests that cycle over AlexNet,
+//!    GPT-mini and MobileNetV2 network payloads.
+//!
+//! Run with: `cargo run --release -p cosa-bench --bin bench10`
+//!
+//! Flags: `--quick` truncates every suite network to its first 8 entries
+//! (CI mode); `--full` adds BERT-base to the suite sweep.
+
+use std::time::Instant;
+
+use cosa_core::CosaScheduler;
+use cosa_repro::api::{PortfolioScheduler, Scheduled, Scheduler};
+use cosa_repro::engine::{Engine, InterlayerOptions};
+use cosa_repro::serve::{scheduler_from_name, ScheduleRequest, StatsResponse};
+use cosa_sat::SatScheduler;
+use cosa_serve::{http, ServeConfig, Server};
+use cosa_spec::{Arch, Layer, Network, Suite};
+use serde::Value;
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Map-field lookup on the vendored `serde::Value` tree.
+fn get<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.as_map()
+        .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        .unwrap_or_else(|| panic!("missing `{key}` in artifact"))
+}
+
+/// One timed `schedule()` call through the trait object.
+fn timed(scheduler: &dyn Scheduler, arch: &Arch, layer: &Layer) -> (f64, Scheduled) {
+    let start = Instant::now();
+    let scheduled = scheduler
+        .schedule(arch, layer)
+        .unwrap_or_else(|e| panic!("{} failed on {}: {e}", scheduler.name(), layer.name()));
+    (start.elapsed().as_secs_f64(), scheduled)
+}
+
+/// One representative layer per new layer class, at sizes where a release
+/// MILP solve takes seconds, not minutes: miniatures of the BERT/GPT
+/// encoder matmuls and the MobileNetV2 depthwise/pointwise convolutions.
+fn shape_classes() -> Vec<(&'static str, Layer)> {
+    vec![
+        ("qkv_projection", Layer::matmul("qkv_mid", 64, 192, 32)),
+        ("attention_score", Layer::matmul("score_mid", 32, 64, 64)),
+        (
+            "attention_context",
+            Layer::matmul("context_mid", 64, 32, 64),
+        ),
+        ("ffn_matmul", Layer::matmul("ffn_mid", 64, 256, 32)),
+        (
+            "depthwise_conv",
+            Layer::conv("dw_mid", 3, 3, 28, 28, 1, 96, 1, 1, 1),
+        ),
+        (
+            "pointwise_conv",
+            Layer::conv("pw_mid", 1, 1, 14, 14, 96, 576, 1, 1, 1),
+        ),
+    ]
+}
+
+/// Axis 1: per-shape-class solver latency and objectives on the new
+/// layer classes, asserting MILP/SAT/portfolio objective equality.
+fn bench_shape_classes(arch: &Arch) -> Value {
+    let milp = CosaScheduler::new(arch);
+    let sat = SatScheduler::new(arch);
+    let portfolio = PortfolioScheduler::new(arch);
+    let tol = |a: f64, b: f64| 1e-6 * a.abs().max(b.abs()).max(1.0);
+    let mut rows = Vec::new();
+    for (class, layer) in shape_classes() {
+        let (milp_s, milp_out) = timed(&milp, arch, &layer);
+        let (sat_s, sat_out) = timed(&sat, arch, &layer);
+        let (race_s, race_out) = timed(&portfolio, arch, &layer);
+        let objective = |s: &Scheduled| s.stats.milp_objective.expect("objective reported");
+        let (mo, so, ro) = (
+            objective(&milp_out),
+            objective(&sat_out),
+            objective(&race_out),
+        );
+        assert!(
+            (mo - so).abs() <= tol(mo, so) && (mo - ro).abs() <= tol(mo, ro),
+            "{class}: objectives diverge (milp {mo}, sat {so}, portfolio {ro})"
+        );
+        println!(
+            "  {class:<18} milp {milp_s:>8.3}s  sat {sat_s:>8.3}s  portfolio {race_s:>8.3}s \
+             (winner {})",
+            race_out.scheduler,
+        );
+        rows.push(map(vec![
+            ("class", Value::Str(class.to_string())),
+            ("layer", Value::Str(layer.name().to_string())),
+            ("milp_seconds", Value::F64(milp_s)),
+            ("sat_seconds", Value::F64(sat_s)),
+            ("portfolio_seconds", Value::F64(race_s)),
+            ("portfolio_winner", Value::Str(race_out.scheduler.clone())),
+            ("milp_objective", Value::F64(mo)),
+            ("sat_objective", Value::F64(so)),
+            ("portfolio_objective", Value::F64(ro)),
+        ]));
+    }
+    Value::Seq(rows)
+}
+
+/// Axis 2: cold/warm engine wall-clock for one suite under the portfolio
+/// scheduler, asserting the warm pass is all-hit and byte-identical.
+fn bench_suite(arch: &Arch, suite: Suite, quick: bool) -> Value {
+    let mut network = Network::from_suite(suite);
+    if quick {
+        network.layers.truncate(8);
+    }
+    let portfolio = PortfolioScheduler::new(arch);
+    let engine = Engine::new(arch.clone());
+    let cold = engine.schedule_network(&network, &portfolio);
+    assert!(cold.report.is_complete(), "{}: every layer", network.name);
+    let warm = engine.schedule_network(&network, &portfolio);
+    assert_eq!(warm.cache_misses, 0, "{}: warm all hits", network.name);
+    assert!(
+        warm.elapsed < cold.elapsed,
+        "{}: warm must beat cold",
+        network.name
+    );
+    assert_eq!(
+        serde_json::to_string(&cold.report.without_timings()).unwrap(),
+        serde_json::to_string(&warm.report.without_timings()).unwrap(),
+        "{}: warm report byte-identical",
+        network.name
+    );
+    let stats = engine.cache_stats();
+    println!(
+        "  suite {:<12} cold {:>8.3}s ({} solves)  warm {:>10.2?}  ({} unique shapes)",
+        network.name,
+        cold.elapsed.as_secs_f64(),
+        cold.cache_misses,
+        warm.elapsed,
+        network.unique_shapes(),
+    );
+    let wins: Vec<Value> = stats
+        .backend_wins
+        .iter()
+        .map(|w| {
+            map(vec![
+                ("backend", Value::Str(w.backend.clone())),
+                ("wins", Value::U64(w.wins)),
+                ("win_micros", Value::U64(w.win_micros)),
+            ])
+        })
+        .collect();
+    map(vec![
+        ("suite", Value::Str(network.name.clone())),
+        ("quick", Value::Bool(quick)),
+        ("instances", Value::U64(network.num_instances())),
+        ("unique_shapes", Value::U64(network.unique_shapes() as u64)),
+        ("scheduler", Value::Str("portfolio".to_string())),
+        ("fresh_solves", Value::U64(cold.cache_misses)),
+        (
+            "cold_elapsed_micros",
+            Value::U64(cold.elapsed.as_micros() as u64),
+        ),
+        (
+            "warm_elapsed_micros",
+            Value::U64(warm.elapsed.as_micros() as u64),
+        ),
+        (
+            "latency_cycles",
+            Value::F64(cold.report.total_latency_cycles),
+        ),
+        ("backend_wins", Value::Seq(wins)),
+        ("byte_identical_warm", Value::Bool(true)),
+    ])
+}
+
+/// Axis 3: inter-layer residency on a transformer encoder chain, with the
+/// deterministic `cosa` registry scheduler so byte-identity holds across
+/// independently constructed engines (the portfolio is exempt: either
+/// racer may win with a differently tie-broken optimal schedule).
+fn bench_interlayer(arch: &Arch, quick: bool) -> Value {
+    let mut network = Network::from_suite(Suite::GptMini);
+    if quick {
+        // Two encoder blocks still carry every hand-off class.
+        network.layers.truncate(12);
+    }
+    let scheduler = scheduler_from_name("cosa", arch).expect("registry scheduler");
+
+    let baseline = Engine::new(arch.clone()).schedule_network_with(
+        &network,
+        scheduler.as_ref(),
+        &InterlayerOptions::disabled(),
+    );
+    assert!(baseline.report.is_complete());
+
+    // Budget: double the largest inter-stage tensor (the architecture
+    // default is buffer-sized, smaller than transformer activations).
+    let probe = Engine::new(arch.clone())
+        .schedule_network_with(&network, scheduler.as_ref(), &InterlayerOptions::enabled())
+        .report
+        .interlayer
+        .expect("interlayer section");
+    assert!(!probe.edges.is_empty(), "encoder chain must have edges");
+    let max_tensor = probe.edges.iter().map(|e| e.tensor_bytes).max().unwrap();
+    let budget = (2 * max_tensor).max(probe.budget_bytes);
+
+    let options = InterlayerOptions::enabled().with_budget_bytes(budget);
+    let run = |options: &InterlayerOptions| {
+        Engine::new(arch.clone()).schedule_network_with(&network, scheduler.as_ref(), options)
+    };
+    let first = run(&options);
+    let report = first.report.interlayer.clone().expect("interlayer section");
+    assert!(
+        report.offchip_bytes < report.baseline_offchip_bytes,
+        "acceptance: residency must strictly lower off-chip bytes ({} !< {})",
+        report.offchip_bytes,
+        report.baseline_offchip_bytes,
+    );
+    assert!(report.resident_edges >= 1);
+    let second = run(&options);
+    assert_eq!(
+        serde_json::to_string(&first.report.without_timings()).unwrap(),
+        serde_json::to_string(&second.report.without_timings()).unwrap(),
+        "residency pass must be byte-identical across re-runs"
+    );
+    let reduction = report.saved_offchip_bytes / report.baseline_offchip_bytes.max(1.0);
+    println!(
+        "  interlayer {}: resident {}/{}  off-chip {:.3e} B -> {:.3e} B ({:.1}% saved)",
+        network.name,
+        report.resident_edges,
+        report.edges.len(),
+        report.baseline_offchip_bytes,
+        report.offchip_bytes,
+        100.0 * reduction,
+    );
+    map(vec![
+        ("suite", Value::Str(network.name.clone())),
+        ("quick", Value::Bool(quick)),
+        ("budget_bytes", Value::U64(budget)),
+        ("edges", Value::U64(report.edges.len() as u64)),
+        ("resident_edges", Value::U64(report.resident_edges as u64)),
+        (
+            "baseline_offchip_bytes",
+            Value::F64(report.baseline_offchip_bytes),
+        ),
+        ("offchip_bytes", Value::F64(report.offchip_bytes)),
+        ("offchip_reduction", Value::F64(reduction)),
+        ("byte_identical_rerun", Value::Bool(true)),
+    ])
+}
+
+/// Axis 4: serve p50/p99 against an in-process daemon on a mixed
+/// CNN+transformer workload — requests cycle over AlexNet, GPT-mini and
+/// MobileNetV2 network payloads (each truncated to 8 entries so the
+/// section measures the serving path, not solver tails).
+fn bench_serve_mixed() -> Value {
+    let handle = Server::start(ServeConfig::builder().workers(2).build()).expect("start daemon");
+    let suites = [Suite::AlexNet, Suite::GptMini, Suite::MobileNetV2];
+    let payloads: Vec<String> = suites
+        .iter()
+        .map(|s| {
+            let mut network = Network::from_suite(*s);
+            network.layers.truncate(8);
+            let request = ScheduleRequest::for_network(network).with_scheduler("portfolio");
+            serde_json::to_string(&request).expect("request serializes")
+        })
+        .collect();
+    const REQUESTS: usize = 12;
+    for i in 0..REQUESTS {
+        let body = &payloads[i % payloads.len()];
+        let resp = http::request(handle.addr(), "POST", "/v1/schedule", body)
+            .unwrap_or_else(|e| panic!("request {i}: {e}"));
+        assert_eq!(resp.status, 200, "request {i} answered {}", resp.status);
+    }
+    let resp = http::request(handle.addr(), "GET", "/v1/stats", "").expect("GET /v1/stats");
+    let stats: StatsResponse = serde_json::from_str(&resp.body).expect("stats parse");
+    handle.shutdown().expect("daemon shutdown");
+    println!(
+        "  serve (AlexNet+GPT-mini+MobileNetV2): {REQUESTS} requests, daemon p50 {}µs, p99 {}µs",
+        stats.p50_micros, stats.p99_micros
+    );
+    map(vec![
+        ("requests", Value::U64(REQUESTS as u64)),
+        (
+            "workload",
+            Value::Str("AlexNet+GPT-mini+MobileNetV2 (8-entry prefixes)".to_string()),
+        ),
+        ("scheduler", Value::Str("portfolio".to_string())),
+        ("p50_micros", Value::U64(stats.p50_micros)),
+        ("p99_micros", Value::U64(stats.p99_micros)),
+    ])
+}
+
+/// Fold the BENCH_6→10 headline numbers into `results/trajectory.md`,
+/// asserting the trajectory invariants in the recorded numbers: every
+/// warm pass beats its cold pass, every recorded speedup is > 1, the
+/// residency pass saves bytes.
+fn write_trajectory(bench10: &Value) {
+    let read = |n: u64| -> Value {
+        let path = format!("results/BENCH_{n}.json");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("trajectory needs {path}: {e}"));
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path} parses: {e}"))
+    };
+    let f64_of = |v: &Value| v.as_f64().expect("numeric headline");
+    let mut lines = vec![
+        "# Perf trajectory".to_string(),
+        String::new(),
+        "Headline numbers from the committed `results/BENCH_*.json` artifacts,".to_string(),
+        "regenerated by each bench bin (`cargo run --release -p cosa-bench --bin".to_string(),
+        "bench10` refreshes BENCH_10 and this file). Wall-clocks are".to_string(),
+        "machine-dependent; the *invariants* (warm beats cold, speedups > 1,".to_string(),
+        "residency saves bytes) are asserted on every regeneration and by".to_string(),
+        "`tests/suites.rs`.".to_string(),
+        String::new(),
+        "| Record | Headline | Value |".to_string(),
+        "|---|---|---|".to_string(),
+    ];
+
+    let b6 = read(6);
+    let (cold6, warm6) = (
+        f64_of(get(get(&b6, "engine"), "cold_seconds")),
+        f64_of(get(get(&b6, "engine"), "warm_seconds")),
+    );
+    assert!(warm6 < cold6, "BENCH_6: warm must beat cold");
+    lines.push(format!(
+        "| BENCH_6 (portfolio) | engine cold → warm | {cold6:.3} s → {:.0} µs |",
+        warm6 * 1e6
+    ));
+    lines.push(format!(
+        "| BENCH_6 (portfolio) | serve p50 | {} µs |",
+        get(get(&b6, "serve"), "p50_micros").as_u64().unwrap()
+    ));
+
+    let b7 = read(7);
+    let sweep = get(&b7, "sweep").as_seq().expect("sweep rows");
+    let last = sweep.last().expect("non-empty sweep");
+    let speedup7 = f64_of(get(last, "warm_speedup"));
+    assert!(speedup7 > 1.0, "BENCH_7: packed warm start must win");
+    lines.push(format!(
+        "| BENCH_7 (packed cache) | warm-start speedup vs legacy at {} entries | {speedup7:.2}× |",
+        get(last, "entries").as_u64().unwrap()
+    ));
+
+    let b8 = read(8);
+    let speedup8 = f64_of(get(&b8, "warm_throughput_speedup"));
+    assert!(speedup8 > 1.0, "BENCH_8: sharded fleet must win");
+    lines.push(format!(
+        "| BENCH_8 (sharded serve) | 3-shard warm throughput vs one daemon | {speedup8:.2}× |"
+    ));
+
+    let b9 = read(9);
+    let strategies = get(&b9, "strategies").as_seq().expect("strategy rows");
+    for strategy in strategies {
+        let reduction = f64_of(get(strategy, "offchip_reduction"));
+        assert!(reduction > 0.0, "BENCH_9: residency must save bytes");
+        lines.push(format!(
+            "| BENCH_9 (interlayer) | ResNet-50 off-chip bytes saved ({}) | {:.1}% |",
+            get(strategy, "strategy").as_str().unwrap(),
+            100.0 * reduction,
+        ));
+    }
+
+    for suite in get(bench10, "suites").as_seq().expect("suite rows") {
+        let cold = get(suite, "cold_elapsed_micros").as_u64().unwrap();
+        let warm = get(suite, "warm_elapsed_micros").as_u64().unwrap();
+        assert!(warm < cold, "BENCH_10: warm must beat cold");
+        lines.push(format!(
+            "| BENCH_10 (transformer suites) | {} cold → warm | {:.3} s → {warm} µs |",
+            get(suite, "suite").as_str().unwrap(),
+            cold as f64 / 1e6,
+        ));
+    }
+    let inter10 = get(bench10, "interlayer");
+    lines.push(format!(
+        "| BENCH_10 (transformer suites) | {} off-chip bytes saved | {:.1}% |",
+        get(inter10, "suite").as_str().unwrap(),
+        100.0 * f64_of(get(inter10, "offchip_reduction")),
+    ));
+    let serve10 = get(bench10, "serve");
+    lines.push(format!(
+        "| BENCH_10 (transformer suites) | mixed CNN+transformer serve p50 / p99 | {} µs / {} µs |",
+        get(serve10, "p50_micros").as_u64().unwrap(),
+        get(serve10, "p99_micros").as_u64().unwrap(),
+    ));
+    lines.push(String::new());
+
+    let path = "results/trajectory.md";
+    std::fs::write(path, lines.join("\n")).expect("write trajectory");
+    println!("  wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let full = args.iter().any(|a| a == "--full");
+
+    let arch = Arch::simba_baseline();
+    println!("BENCH_10 — transformer-era suites on {arch}");
+
+    let classes = bench_shape_classes(&arch);
+    let mut suites = vec![
+        bench_suite(&arch, Suite::GptMini, quick),
+        bench_suite(&arch, Suite::MobileNetV2, quick),
+    ];
+    if full {
+        suites.push(bench_suite(&arch, Suite::BertBase, quick));
+    }
+    let interlayer = bench_interlayer(&arch, quick || !full);
+    let serve = bench_serve_mixed();
+
+    let artifact = map(vec![
+        ("bench", Value::U64(10)),
+        (
+            "description",
+            Value::Str(
+                "Transformer-era suites: per-shape-class MILP/SAT/portfolio latency on the new \
+                 layer classes, cold/warm engine wall-clock per new suite, inter-layer residency \
+                 on an encoder chain, and serve p50/p99 on a mixed CNN+transformer workload"
+                    .to_string(),
+            ),
+        ),
+        ("quick", Value::Bool(quick)),
+        ("shape_classes", classes),
+        ("suites", Value::Seq(suites)),
+        ("interlayer", interlayer),
+        ("serve", serve),
+    ]);
+    let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_10.json";
+    std::fs::write(path, json).expect("write artifact");
+    println!("  wrote {path}");
+
+    write_trajectory(&artifact);
+}

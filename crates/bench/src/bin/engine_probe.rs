@@ -58,6 +58,25 @@ fn print_backend_wins(stats: &cosa_repro::engine::CacheStats) {
     }
 }
 
+/// Machine-readable per-suite summary, one line per probe run, matching
+/// the `interlayer:`/`probe-throughput:` key=value convention so CI and
+/// the trajectory tooling can extract figures without parsing prose.
+fn print_suite_summary(network: &Network, run: &cosa_repro::engine::NetworkRun) {
+    println!(
+        "suite-summary: suite={} instances={} unique_shapes={} solves={} hits={} failed={} \
+         latency_cycles={:.6e} energy_pj={:.6e} elapsed_micros={}",
+        network.name,
+        network.num_instances(),
+        network.unique_shapes(),
+        run.cache_misses,
+        run.cache_hits,
+        run.report.failed_layers,
+        run.report.total_latency_cycles,
+        run.report.total_energy_pj,
+        run.elapsed.as_micros(),
+    );
+}
+
 fn write_report_artifact(report: &cosa_repro::engine::NetworkReport) -> std::path::PathBuf {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).expect("create results dir");
@@ -103,11 +122,10 @@ fn main() {
     }
 
     let arch = Arch::simba_baseline();
-    let suite: Suite = suite
-        .as_deref()
-        .unwrap_or("resnet50")
-        .parse()
-        .expect("known suite (alexnet|resnet50|resnext50|deepbench)");
+    let suite: Suite =
+        suite.as_deref().unwrap_or("resnet50").parse().expect(
+            "known suite (alexnet|resnet50|resnext50|deepbench|bertbase|gptmini|mobilenetv2)",
+        );
     let mut network = Network::from_suite(suite);
     if quick {
         network.layers.truncate(8);
@@ -298,6 +316,8 @@ fn run_persistent(
         );
     }
 
+    print_suite_summary(network, &run);
+
     if expect_warm {
         assert!(
             stats.warm_entries > 0,
@@ -421,6 +441,8 @@ fn run_in_memory(
         assert_eq!(run_warm.cache_misses, 0, "warm run must be all cache hits");
         assert_eq!(run_warm.noc_sims, 0, "warm run must not re-simulate NoC");
     }
+
+    print_suite_summary(network, &run_n);
 
     let speedup = run1.elapsed.as_secs_f64() / run_n.elapsed.as_secs_f64().max(1e-9);
     println!(

@@ -18,6 +18,10 @@
 //! * `--quick` / `--suite NAME` — request payload: the suite's network
 //!   (`--quick` truncates to the first 8 instances), sent inline so the
 //!   daemon needs no matching flags.
+//! * `--suites A,B,C` — mixed-suite mode: one whole-network payload per
+//!   listed suite (each `--quick`-truncated), requests cycling over the
+//!   payloads — the CNN+transformer serving mix the `transformer-suites`
+//!   CI job replays. Overrides `--suite`.
 //! * `--per-layer` — fire single-layer requests cycling over the
 //!   network's layers instead of one whole-network request: many unique
 //!   digests, the workload shape sharding spreads across the fleet.
@@ -141,7 +145,16 @@ fn main() {
         .as_deref()
         .unwrap_or("resnet50")
         .parse()
-        .expect("known suite (alexnet|resnet50|resnext50|deepbench)");
+        .expect("known suite (alexnet|resnet50|resnext50|deepbench|bertbase|gptmini|mobilenetv2)");
+    let mixed: Vec<Suite> = flag_value(&args, "--suites")
+        .map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse().expect("known suite in --suites"))
+                .collect()
+        })
+        .unwrap_or_default();
     let common = CommonArgs::parse(&args);
     let scheduler = common.scheduler.clone();
     let interlayer = common.interlayer;
@@ -158,10 +171,22 @@ fn main() {
     let storm = args.iter().any(|a| a == "--concurrency-storm");
     let per_layer = args.iter().any(|a| a == "--per-layer");
 
-    let mut network = Network::from_suite(suite);
-    if quick {
-        network.layers.truncate(8);
+    // Mixed-suite mode serves one whole-network payload per listed suite;
+    // otherwise everything derives from the single `--suite` network.
+    let networks: Vec<Network> = if mixed.is_empty() {
+        vec![Network::from_suite(suite)]
+    } else {
+        mixed.iter().map(|s| Network::from_suite(*s)).collect()
     }
+    .into_iter()
+    .map(|mut n| {
+        if quick {
+            n.layers.truncate(8);
+        }
+        n
+    })
+    .collect();
+    let network = networks[0].clone();
 
     // The request plan: payloads, routing and identity groups up front.
     // Storm mode fires M copies of one identical layer request (a single
@@ -186,11 +211,17 @@ fn main() {
             })
             .collect()
     } else {
-        let mut request = ScheduleRequest::for_network(network.clone()).with_scheduler(&scheduler);
-        if interlayer.enabled {
-            request = request.with_interlayer(interlayer);
-        }
-        vec![request]
+        networks
+            .iter()
+            .map(|n| {
+                let mut request =
+                    ScheduleRequest::for_network(n.clone()).with_scheduler(&scheduler);
+                if interlayer.enabled {
+                    request = request.with_interlayer(interlayer);
+                }
+                request
+            })
+            .collect()
     };
     // Routing mirrors `cosa_router` exactly: same digest, same ring.
     let default_arch = Arch::simba_baseline();
@@ -222,6 +253,12 @@ fn main() {
         })
         .collect();
 
+    let workload_label = networks
+        .iter()
+        .map(|n| n.name.as_str())
+        .collect::<Vec<_>>()
+        .join("+");
+    let total_instances: u64 = networks.iter().map(Network::num_instances).sum();
     println!(
         "serve probe — {requests} requests x{concurrency} to {} ({}, {} instances, `{scheduler}`{}{}, {} unique digests)",
         if targets.len() > 1 {
@@ -229,8 +266,8 @@ fn main() {
         } else {
             addr.to_string()
         },
-        network.name,
-        network.num_instances(),
+        workload_label,
+        total_instances,
         if storm { ", concurrency storm" } else { "" },
         if per_layer { ", per-layer" } else { "" },
         unique_digests.len(),

@@ -13,8 +13,9 @@ use crate::layer::Layer;
 use crate::workloads::{self, Workload};
 use crate::SpecError;
 
-/// The four DNN benchmark suites of the paper (Sec. IV-C), as an enum so
-/// call sites stop hand-rolling name loops.
+/// The DNN benchmark suites the system can schedule: the paper's four
+/// (Sec. IV-C) plus the transformer-era and mobile-class additions, as an
+/// enum so call sites stop hand-rolling name loops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Suite {
     /// AlexNet (5 conv + 3 FC).
@@ -25,15 +26,24 @@ pub enum Suite {
     ResNeXt50,
     /// DeepBench (OCR + face recognition convolutions).
     DeepBench,
+    /// BERT-base: 12 transformer encoder blocks as batched matmuls.
+    BertBase,
+    /// GPT-mini: a small 6-block decoder-shaped stack.
+    GptMini,
+    /// MobileNetV2: inverted-residual blocks with depthwise convolutions.
+    MobileNetV2,
 }
 
 impl Suite {
-    /// All four suites in the paper's order.
-    pub const ALL: [Suite; 4] = [
+    /// All suites — the paper's four first, then the modern additions.
+    pub const ALL: [Suite; 7] = [
         Suite::AlexNet,
         Suite::ResNet50,
         Suite::ResNeXt50,
         Suite::DeepBench,
+        Suite::BertBase,
+        Suite::GptMini,
+        Suite::MobileNetV2,
     ];
 
     /// Display name matching the paper's figures.
@@ -43,16 +53,23 @@ impl Suite {
             Suite::ResNet50 => "ResNet-50",
             Suite::ResNeXt50 => "ResNeXt-50",
             Suite::DeepBench => "DeepBench",
+            Suite::BertBase => "BERT-base",
+            Suite::GptMini => "GPT-mini",
+            Suite::MobileNetV2 => "MobileNetV2",
         }
     }
 
-    /// The suite's unique-layer [`Workload`] (the Fig. 6 x-axis).
+    /// The suite's unique-layer [`Workload`] (the Fig. 6 x-axis for the
+    /// paper's four; the per-block/per-stage unique layers otherwise).
     pub fn workload(self) -> Workload {
         match self {
             Suite::AlexNet => workloads::alexnet(),
             Suite::ResNet50 => workloads::resnet50(),
             Suite::ResNeXt50 => workloads::resnext50(),
             Suite::DeepBench => workloads::deepbench(),
+            Suite::BertBase => workloads::bert_base(),
+            Suite::GptMini => workloads::gpt_mini(),
+            Suite::MobileNetV2 => workloads::mobilenet_v2(),
         }
     }
 }
@@ -71,7 +88,13 @@ impl std::str::FromStr for Suite {
             "resnet50" | "resnet" => Ok(Suite::ResNet50),
             "resnext50" | "resnext" | "resnext5032x4d" => Ok(Suite::ResNeXt50),
             "deepbench" => Ok(Suite::DeepBench),
-            _ => Err(SpecError::BadLayerName(format!("unknown suite `{s}`"))),
+            "bertbase" | "bert" => Ok(Suite::BertBase),
+            "gptmini" | "gpt" => Ok(Suite::GptMini),
+            "mobilenetv2" | "mobilenet" | "mbv2" => Ok(Suite::MobileNetV2),
+            _ => Err(SpecError::BadLayerName(format!(
+                "unknown suite `{s}` (expected one of \
+                 alexnet|resnet50|resnext50|deepbench|bertbase|gptmini|mobilenetv2)"
+            ))),
         }
     }
 }
@@ -153,7 +176,7 @@ impl Network {
         net
     }
 
-    /// The full execution-ordered network for one of the paper's suites.
+    /// The full execution-ordered network for a suite.
     ///
     /// AlexNet and DeepBench run each listed layer once. ResNet-50 and
     /// ResNeXt-50 are expanded into their residual stages (3/4/6/3
@@ -161,11 +184,17 @@ impl Network {
     /// the whole point of network-level scheduling with a cache. For
     /// ResNet-50 this includes the stride-1 `3_28_128_128_1` convolution of
     /// the conv3 repeat blocks, which the paper's unique-layer table omits.
+    /// BERT-base and GPT-mini expand into explicit encoder blocks (the
+    /// per-head attention matmuls carry `count = heads`), and MobileNetV2
+    /// into its inverted-residual stages.
     pub fn from_suite(suite: Suite) -> Network {
         match suite {
             Suite::AlexNet | Suite::DeepBench => Network::from_workload(&suite.workload()),
             Suite::ResNet50 => bottleneck_network("ResNet-50", "7_112_3_64_2", &RESNET50_STAGES),
             Suite::ResNeXt50 => bottleneck_network("ResNeXt-50", "7_112_3_64_2", &RESNEXT50_STAGES),
+            Suite::BertBase => encoder_network(&workloads::BERT_BASE),
+            Suite::GptMini => encoder_network(&workloads::GPT_MINI),
+            Suite::MobileNetV2 => mobilenet_network(),
         }
     }
 
@@ -343,6 +372,101 @@ fn parse(name: &str) -> Layer {
     Layer::parse_paper_name(name).expect("stage tables are well-formed")
 }
 
+/// One MobileNetV2 inverted-residual stage: `(stage name, number of
+/// blocks, first-block convs [expand, depthwise, project], repeat-block
+/// convs [expand, depthwise, project])`.
+type MobileStageSpec = (&'static str, u64, [&'static str; 3], [&'static str; 3]);
+
+const MOBILENETV2_STAGES: [MobileStageSpec; 6] = [
+    (
+        "conv3",
+        2,
+        ["1_112_16_96_1", "3_56_1_96_2", "1_56_96_24_1"],
+        ["1_56_24_144_1", "3_56_1_144_1", "1_56_144_24_1"],
+    ),
+    (
+        "conv4",
+        3,
+        ["1_56_24_144_1", "3_28_1_144_2", "1_28_144_32_1"],
+        ["1_28_32_192_1", "3_28_1_192_1", "1_28_192_32_1"],
+    ),
+    (
+        "conv5",
+        4,
+        ["1_28_32_192_1", "3_14_1_192_2", "1_14_192_64_1"],
+        ["1_14_64_384_1", "3_14_1_384_1", "1_14_384_64_1"],
+    ),
+    (
+        "conv6",
+        3,
+        ["1_14_64_384_1", "3_14_1_384_1", "1_14_384_96_1"],
+        ["1_14_96_576_1", "3_14_1_576_1", "1_14_576_96_1"],
+    ),
+    (
+        "conv7",
+        3,
+        ["1_14_96_576_1", "3_7_1_576_2", "1_7_576_160_1"],
+        ["1_7_160_960_1", "3_7_1_960_1", "1_7_960_160_1"],
+    ),
+    (
+        "conv8",
+        1,
+        ["1_7_160_960_1", "3_7_1_960_1", "1_7_960_320_1"],
+        ["1_7_160_960_1", "3_7_1_960_1", "1_7_960_320_1"],
+    ),
+];
+
+/// Expand a transformer encoder stack into explicit blocks. The per-head
+/// attention matmuls run back-to-back with `count = heads`; everything
+/// else runs once per block. Each block's score→context, out→ffn_up and
+/// ffn_up→ffn_down hand-offs chain (`K` feeds `C` at equal `N`), as does
+/// ffn_down→qkv across blocks, so encoder stacks are dense in
+/// inter-layer residency candidates.
+fn encoder_network(spec: &workloads::EncoderSpec) -> Network {
+    let mut net = Network::new(spec.name);
+    for b in 0..spec.blocks {
+        net.push(format!("block{b}.qkv"), spec.qkv(), 1);
+        net.push(
+            format!("block{b}.attn_score"),
+            spec.attn_score(),
+            spec.heads,
+        );
+        net.push(
+            format!("block{b}.attn_context"),
+            spec.attn_context(),
+            spec.heads,
+        );
+        net.push(format!("block{b}.attn_out"), spec.attn_out(), 1);
+        net.push(format!("block{b}.ffn_up"), spec.ffn_up(), 1);
+        net.push(format!("block{b}.ffn_down"), spec.ffn_down(), 1);
+    }
+    net
+}
+
+/// MobileNetV2 expanded into its inverted-residual stages: the stem, the
+/// expansion-free first block, six stages of [expand, depthwise, project]
+/// bottlenecks with repeat counts, the 1×1 head and the classifier.
+fn mobilenet_network() -> Network {
+    let mut net = Network::new("MobileNetV2");
+    net.push("conv1", parse("3_112_3_32_2"), 1);
+    net.push("conv2.0.dw", parse("3_112_1_32_1"), 1);
+    net.push("conv2.0.proj", parse("1_112_32_16_1"), 1);
+    for (stage, blocks, first, rest) in &MOBILENETV2_STAGES {
+        let kinds = ["expand", "dw", "proj"];
+        for (kind, conv) in kinds.iter().zip(first) {
+            net.push(format!("{stage}.0.{kind}"), parse(conv), 1);
+        }
+        if *blocks > 1 {
+            for (kind, conv) in kinds.iter().zip(rest) {
+                net.push(format!("{stage}.rest.{kind}"), parse(conv), blocks - 1);
+            }
+        }
+    }
+    net.push("conv9", parse("1_7_320_1280_1"), 1);
+    net.push("fc", parse("1_1_1280_1000_1"), 1);
+    net
+}
+
 fn bottleneck_network(name: &str, stem: &str, stages: &[StageSpec]) -> Network {
     let mut net = Network::new(name);
     net.push("conv1", parse(stem), 1);
@@ -462,6 +586,101 @@ mod tests {
             assert_eq!(s.name().parse::<Suite>().unwrap(), s);
         }
         assert!("vgg".parse::<Suite>().is_err());
+        // Common aliases for the modern suites.
+        assert_eq!("bert".parse::<Suite>().unwrap(), Suite::BertBase);
+        assert_eq!("gpt".parse::<Suite>().unwrap(), Suite::GptMini);
+        assert_eq!("mbv2".parse::<Suite>().unwrap(), Suite::MobileNetV2);
+        let err = "vgg19".parse::<Suite>().unwrap_err().to_string();
+        assert!(
+            err.contains("bertbase"),
+            "error names the valid suites: {err}"
+        );
+    }
+
+    #[test]
+    fn bert_block_expansion_counts() {
+        let net = Network::from_suite(Suite::BertBase);
+        // 12 blocks × 6 entries; per-head matmuls carry count = 12.
+        assert_eq!(net.layers.len(), 72);
+        assert_eq!(net.num_instances(), 12 * (1 + 12 + 12 + 1 + 1 + 1));
+        // Six unique shapes — every block reuses the block-0 schedules.
+        assert_eq!(net.unique_shapes(), 6);
+        for layer in crate::workloads::bert_base().layers {
+            assert!(
+                net.layers.iter().any(|e| e.layer == layer),
+                "missing {}",
+                layer.name()
+            );
+        }
+    }
+
+    #[test]
+    fn gpt_mini_expansion_counts() {
+        let net = Network::from_suite(Suite::GptMini);
+        assert_eq!(net.layers.len(), 36);
+        assert_eq!(net.num_instances(), 6 * (1 + 8 + 8 + 1 + 1 + 1));
+        assert_eq!(net.unique_shapes(), 6);
+    }
+
+    #[test]
+    fn encoder_chain_has_interlayer_edges() {
+        let net = Network::from_suite(Suite::GptMini);
+        let edges = net.interlayer_edges();
+        let idx = |name: &str| {
+            net.layers
+                .iter()
+                .position(|e| e.name == name)
+                .expect("entry exists")
+        };
+        // Within a block: score→context, out→ffn_up, ffn_up→ffn_down.
+        for (a, b) in [
+            ("block0.attn_score", "block0.attn_context"),
+            ("block0.attn_out", "block0.ffn_up"),
+            ("block0.ffn_up", "block0.ffn_down"),
+            // Across blocks: ffn_down feeds the next block's QKV.
+            ("block0.ffn_down", "block1.qkv"),
+        ] {
+            let (p, c) = (idx(a), idx(b));
+            assert!(
+                edges.iter().any(|e| e.producer == p && e.consumer == c),
+                "{a} must feed {b}"
+            );
+        }
+        // The fused QKV output is not the score input (heads split it),
+        // and per-head matmuls do not feed themselves (K ≠ C).
+        let (qkv, score) = (idx("block0.qkv"), idx("block0.attn_score"));
+        assert!(!edges
+            .iter()
+            .any(|e| e.producer == qkv && e.consumer == score));
+        assert!(!edges
+            .iter()
+            .any(|e| e.producer == score && e.consumer == score));
+    }
+
+    #[test]
+    fn mobilenet_expansion_counts() {
+        let net = Network::from_suite(Suite::MobileNetV2);
+        // stem + first block (2) + stages (6+9+12+9+9+3) + head + fc.
+        assert_eq!(net.num_instances(), 53);
+        assert_eq!(net.unique_shapes(), 31);
+        // Every entry uses a published unique layer and vice versa.
+        for e in &net.layers {
+            assert!(
+                crate::workloads::MOBILENETV2.contains(&e.layer.name()),
+                "{} not in the MobileNetV2 unique-layer table",
+                e.layer.name()
+            );
+        }
+        for name in crate::workloads::MOBILENETV2 {
+            assert!(
+                net.layers.iter().any(|e| e.layer.name() == name),
+                "missing {name}"
+            );
+        }
+        // Depthwise entries keep the per-group C = 1 convention.
+        for e in net.layers.iter().filter(|e| e.name.ends_with(".dw")) {
+            assert_eq!(e.layer.dim(Dim::C), 1, "{}", e.name);
+        }
     }
 
     #[test]

@@ -3,6 +3,13 @@
 //! recognition). Layer lists and names are exactly the x-axis labels of
 //! Fig. 6 / Fig. 10, in the paper's `R_P_C_K_Stride` convention with
 //! `S = R`, `Q = P`, `N = 1`.
+//!
+//! Beyond the paper's four, this module also defines the modern suites
+//! ([`bert_base`], [`gpt_mini`], [`mobilenet_v2`]): transformer encoder
+//! stacks expressed as batched matmuls (`R = S = P = Q = 1`, `N = seq`)
+//! via [`EncoderSpec`], and a mobile-class CNN whose depthwise 3×3
+//! convolutions reuse the ResNeXt grouped-conv convention (per-group
+//! channel count in the `C` slot).
 
 use crate::layer::Layer;
 
@@ -88,6 +95,159 @@ pub const DEEPBENCH: [&str; 9] = [
     "3_7_256_512_1",
 ];
 
+/// MobileNetV2 (224×224) unique layers: the stem, every distinct
+/// expand/depthwise/project convolution of the inverted-residual stages,
+/// the 1×1 head and the classifier. Depthwise 3×3 convolutions carry
+/// their per-group channel count (`C = 1`), mirroring how the ResNeXt
+/// table writes grouped convolutions.
+pub const MOBILENETV2: [&str; 31] = [
+    "3_112_3_32_2",
+    "3_112_1_32_1",
+    "1_112_32_16_1",
+    "1_112_16_96_1",
+    "3_56_1_96_2",
+    "1_56_96_24_1",
+    "1_56_24_144_1",
+    "3_56_1_144_1",
+    "1_56_144_24_1",
+    "3_28_1_144_2",
+    "1_28_144_32_1",
+    "1_28_32_192_1",
+    "3_28_1_192_1",
+    "1_28_192_32_1",
+    "3_14_1_192_2",
+    "1_14_192_64_1",
+    "1_14_64_384_1",
+    "3_14_1_384_1",
+    "1_14_384_64_1",
+    "1_14_384_96_1",
+    "1_14_96_576_1",
+    "3_14_1_576_1",
+    "1_14_576_96_1",
+    "3_7_1_576_2",
+    "1_7_576_160_1",
+    "1_7_160_960_1",
+    "3_7_1_960_1",
+    "1_7_960_160_1",
+    "1_7_960_320_1",
+    "1_7_320_1280_1",
+    "1_1_1280_1000_1",
+];
+
+/// One transformer encoder stack, described by its model dimensions.
+///
+/// Every layer of an encoder block is a single matmul in the paper's
+/// 7-dim operator vocabulary (`R = S = P = Q = 1`, `N = seq`):
+///
+/// * `qkv` — the fused Q/K/V projection, `[d_model → 3·d_model] × seq`;
+/// * `attn_score` — per-head `Q·Kᵀ`, `[d_head → seq] × seq`, one
+///   instance per head;
+/// * `attn_context` — per-head `softmax(QKᵀ)·V`, `[seq → d_head] × seq`;
+/// * `attn_out` — the output projection, `[d_model → d_model] × seq`;
+/// * `ffn_up` / `ffn_down` — the feed-forward pair,
+///   `[d_model → d_ff] × seq` and back.
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderSpec {
+    /// Suite display name (e.g. `BERT-base`).
+    pub name: &'static str,
+    /// Short prefix used in layer names (e.g. `bert`).
+    pub prefix: &'static str,
+    /// Model (hidden) dimension.
+    pub d_model: u64,
+    /// Number of attention heads.
+    pub heads: u64,
+    /// Per-head dimension (`d_model / heads`).
+    pub d_head: u64,
+    /// Feed-forward inner dimension.
+    pub d_ff: u64,
+    /// Sequence length (the matmul batch dimension `N`).
+    pub seq: u64,
+    /// Encoder blocks in the stack.
+    pub blocks: u64,
+}
+
+/// BERT-base: 12 encoder blocks, d_model 768, 12 heads, FFN 3072, seq 512.
+pub const BERT_BASE: EncoderSpec = EncoderSpec {
+    name: "BERT-base",
+    prefix: "bert",
+    d_model: 768,
+    heads: 12,
+    d_head: 64,
+    d_ff: 3072,
+    seq: 512,
+    blocks: 12,
+};
+
+/// GPT-mini: a small decoder-shaped stack (6 blocks, d_model 256, 8 heads,
+/// FFN 1024, seq 256) sized so whole-suite cold solves stay cheap.
+pub const GPT_MINI: EncoderSpec = EncoderSpec {
+    name: "GPT-mini",
+    prefix: "gpt",
+    d_model: 256,
+    heads: 8,
+    d_head: 32,
+    d_ff: 1024,
+    seq: 256,
+    blocks: 6,
+};
+
+impl EncoderSpec {
+    fn mm(&self, kind: &str, c: u64, k: u64, n: u64) -> Layer {
+        Layer::matmul(format!("{}.{kind}", self.prefix), c, k, n)
+    }
+
+    /// Fused Q/K/V projection (one matmul, so the three projections share
+    /// a schedule and no spurious self-feed edge appears).
+    pub fn qkv(&self) -> Layer {
+        self.mm("qkv", self.d_model, 3 * self.d_model, self.seq)
+    }
+
+    /// Per-head attention score matmul `Q·Kᵀ`.
+    pub fn attn_score(&self) -> Layer {
+        self.mm("attn_score", self.d_head, self.seq, self.seq)
+    }
+
+    /// Per-head context matmul `softmax(Q·Kᵀ)·V`.
+    pub fn attn_context(&self) -> Layer {
+        self.mm("attn_context", self.seq, self.d_head, self.seq)
+    }
+
+    /// Attention output projection.
+    pub fn attn_out(&self) -> Layer {
+        self.mm("attn_out", self.d_model, self.d_model, self.seq)
+    }
+
+    /// Feed-forward up-projection.
+    pub fn ffn_up(&self) -> Layer {
+        self.mm("ffn_up", self.d_model, self.d_ff, self.seq)
+    }
+
+    /// Feed-forward down-projection.
+    pub fn ffn_down(&self) -> Layer {
+        self.mm("ffn_down", self.d_ff, self.d_model, self.seq)
+    }
+
+    /// The six unique layers of one encoder block, in execution order.
+    pub fn unique_layers(&self) -> Vec<Layer> {
+        vec![
+            self.qkv(),
+            self.attn_score(),
+            self.attn_context(),
+            self.attn_out(),
+            self.ffn_up(),
+            self.ffn_down(),
+        ]
+    }
+
+    /// The stack's unique-layer [`Workload`].
+    pub fn workload(&self) -> Workload {
+        Workload {
+            name: self.name,
+            layers: self.unique_layers(),
+        }
+    }
+}
+
 /// A named suite of layers.
 #[derive(Debug, Clone)]
 pub struct Workload {
@@ -127,21 +287,46 @@ pub fn deepbench() -> Workload {
     Workload::from_names("DeepBench", &DEEPBENCH)
 }
 
-/// All four suites in the paper's order.
+/// BERT-base as a parsed [`Workload`] (the six unique encoder layers).
+pub fn bert_base() -> Workload {
+    BERT_BASE.workload()
+}
+
+/// GPT-mini as a parsed [`Workload`] (the six unique encoder layers).
+pub fn gpt_mini() -> Workload {
+    GPT_MINI.workload()
+}
+
+/// MobileNetV2 as a parsed [`Workload`].
+pub fn mobilenet_v2() -> Workload {
+    Workload::from_names("MobileNetV2", &MOBILENETV2)
+}
+
+/// The four paper suites, in the paper's order. Figure campaigns iterate
+/// exactly these — the modern additions live in [`modern_suites`].
 pub fn all_suites() -> Vec<Workload> {
     vec![alexnet(), resnet50(), resnext50(), deepbench()]
 }
 
-/// Look up a single layer by its paper name across all suites.
+/// The transformer-era and mobile-class suites added beyond the paper.
+pub fn modern_suites() -> Vec<Workload> {
+    vec![bert_base(), gpt_mini(), mobilenet_v2()]
+}
+
+/// Look up a single layer by its name across all suites (the paper's four
+/// plus the modern additions).
 ///
 /// ```
 /// use cosa_spec::workloads::find_layer;
 /// let l = find_layer("3_7_512_512_1").expect("known ResNet layer");
 /// assert_eq!(l.name(), "3_7_512_512_1");
+/// let m = find_layer("bert.qkv").expect("known BERT layer");
+/// assert_eq!(m.macs(), 768 * 3 * 768 * 512);
 /// ```
 pub fn find_layer(name: &str) -> Option<Layer> {
     all_suites()
         .into_iter()
+        .chain(modern_suites())
         .flat_map(|w| w.layers)
         .find(|l| l.name() == name)
 }
@@ -187,5 +372,53 @@ mod tests {
     #[test]
     fn find_layer_misses_unknown() {
         assert!(find_layer("9_9_9_9_9").is_none());
+    }
+
+    #[test]
+    fn modern_suite_sizes() {
+        assert_eq!(bert_base().layers.len(), 6);
+        assert_eq!(gpt_mini().layers.len(), 6);
+        assert_eq!(mobilenet_v2().layers.len(), 31);
+        for suite in modern_suites() {
+            for layer in &suite.layers {
+                assert!(layer.macs() > 0, "{}", layer.name());
+            }
+        }
+    }
+
+    #[test]
+    fn encoder_heads_cover_d_model() {
+        for spec in [BERT_BASE, GPT_MINI] {
+            assert_eq!(spec.heads * spec.d_head, spec.d_model, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn encoder_layers_are_batched_matmuls() {
+        for layer in bert_base().layers.iter().chain(&gpt_mini().layers) {
+            for d in [Dim::R, Dim::S, Dim::P, Dim::Q] {
+                assert_eq!(layer.dim(d), 1, "{}", layer.name());
+            }
+            assert!(
+                layer.dim(Dim::N) > 1,
+                "{} must batch over seq",
+                layer.name()
+            );
+        }
+        let qkv = find_layer("bert.qkv").unwrap();
+        assert_eq!(qkv.dim(Dim::C), 768);
+        assert_eq!(qkv.dim(Dim::K), 3 * 768);
+        assert_eq!(qkv.dim(Dim::N), 512);
+    }
+
+    #[test]
+    fn mobilenet_depthwise_convs_use_per_group_channels() {
+        let dw = find_layer("3_14_1_384_1").unwrap();
+        assert_eq!(dw.dim(Dim::C), 1);
+        assert_eq!(dw.dim(Dim::K), 384);
+        // Depthwise layers mirror the ResNeXt grouped-conv convention:
+        // the table stores per-group C, so groups never appear explicitly.
+        let grouped = find_layer("3_56_4_128_1").unwrap();
+        assert_eq!(grouped.dim(Dim::C), 4);
     }
 }

@@ -119,6 +119,88 @@ fn layer_and_network_requests_round_trip() {
 }
 
 #[test]
+fn new_suites_round_trip_over_the_wire() {
+    // Each transformer-era / mobile-class suite asked for *by name* over
+    // the wire must answer exactly what a direct engine run on the same
+    // registry scheduler produces — canonically byte-identical, with the
+    // full expansion (every repeated encoder block / inverted residual).
+    let handle = quick_server();
+    let direct_engine = Engine::new(Arch::simba_baseline());
+    let direct_scheduler = scheduler_from_name("random", direct_engine.arch()).unwrap();
+
+    for suite in [Suite::BertBase, Suite::GptMini, Suite::MobileNetV2] {
+        let network = Network::from_suite(suite);
+        let resp = post_schedule(
+            &handle,
+            &ScheduleRequest::for_suite(suite).with_scheduler("random"),
+        );
+        assert_eq!(resp.status, 200, "{}: {}", suite.name(), resp.body);
+        let report = parse_response(&resp).report.expect("network answer");
+        assert!(report.is_complete(), "{}: every layer", suite.name());
+        assert_eq!(
+            report.layers.len(),
+            network.layers.len(),
+            "{}: daemon expands the full suite",
+            suite.name()
+        );
+
+        let direct = direct_engine.schedule_network(&network, direct_scheduler.as_ref());
+        assert_eq!(
+            serde_json::to_string(&report.without_timings()).unwrap(),
+            serde_json::to_string(&direct.report.without_timings()).unwrap(),
+            "{}: wire answer matches a direct engine run byte-identically",
+            suite.name()
+        );
+    }
+
+    // The short aliases resolve to the same suites on the wire.
+    for (alias, canonical) in [
+        ("bert", Suite::BertBase),
+        ("gpt", Suite::GptMini),
+        ("mbv2", Suite::MobileNetV2),
+    ] {
+        let body = format!(r#"{{"suite": "{alias}", "options": {{"scheduler": "random"}}}}"#);
+        let resp = http::request(handle.addr(), "POST", "/v1/schedule", &body).unwrap();
+        assert_eq!(resp.status, 200, "alias {alias}: {}", resp.body);
+        let aliased = parse_response(&resp).report.expect("network answer");
+        let via_name = post_schedule(
+            &handle,
+            &ScheduleRequest::for_suite(canonical).with_scheduler("random"),
+        );
+        assert_eq!(
+            serde_json::to_string(&aliased.without_timings()).unwrap(),
+            serde_json::to_string(
+                &parse_response(&via_name)
+                    .report
+                    .expect("network answer")
+                    .without_timings()
+            )
+            .unwrap(),
+            "alias {alias} answers identically to {}",
+            canonical.name()
+        );
+    }
+
+    // An unknown suite is a clean 400 whose error names the full menu —
+    // including the transformer-era additions.
+    let resp = http::request(
+        handle.addr(),
+        "POST",
+        "/v1/schedule",
+        r#"{"suite": "vgg19"}"#,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400);
+    let error = parse_response(&resp).error.expect("error body");
+    assert!(
+        error.contains("bertbase") && error.contains("mobilenetv2"),
+        "400 body lists the new suites: {error}"
+    );
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn unversioned_aliases_answer_with_deprecation_header() {
     let handle = quick_server();
     let request = ScheduleRequest::for_layer(Layer::conv("t", 3, 3, 8, 8, 16, 16, 1, 1, 1))
